@@ -1,0 +1,485 @@
+(* Benchmark and reproduction harness.
+
+   `dune exec bench/main.exe` regenerates, in order:
+     1. every figure of the paper (Fig. 1a/1b, 1c, 2a, 2b, 2c), printed
+        as ASCII charts with paper-vs-measured summary rows;
+     2. "Table 1": the congestion-control x default-path convergence
+        sweep condensing the paper's prose results;
+     3. the ablations DESIGN.md calls out (buffer size, queue discipline,
+        scheduler, single-path baselines);
+     4. Bechamel micro-benchmarks of the hot components.
+
+   `dune exec bench/main.exe -- --quick` trims the sweeps for CI use. *)
+
+let quick = Array.exists (fun a -> a = "--quick" || a = "-q") Sys.argv
+
+(* `--csv-dir DIR` writes each regenerated dataset as CSV next to the
+   terminal output, for external plotting. *)
+let csv_dir =
+  let rec find i =
+    if i >= Array.length Sys.argv - 1 then None
+    else if Sys.argv.(i) = "--csv-dir" then Some Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 1
+
+let write_csv name content =
+  match csv_dir with
+  | None -> ()
+  | Some dir ->
+    let path = Filename.concat dir name in
+    Measure.Render.write_file ~path content;
+    Printf.printf "[csv] wrote %s\n" path
+
+let hr title =
+  Printf.printf "\n%s\n=== %s ===\n" (String.make 72 '=') title
+
+(* ------------------------------------------------------------------ *)
+(* 1. Figures                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let show_figure (f : Core.Figures.figure) =
+  hr f.Core.Figures.title;
+  print_string f.Core.Figures.chart;
+  match f.Core.Figures.result with
+  | None -> ()
+  | Some r ->
+    let opt = Core.Scenario.optimal_total_mbps r in
+    Printf.printf
+      "measured: tail %.1f Mbps of %.0f optimal; time-to-optimum %s\n"
+      (Core.Scenario.tail_mean_mbps r) opt
+      (match Core.Scenario.time_to_optimum_s r with
+      | Some t -> Printf.sprintf "%.2f s" t
+      | None -> "not within this run");
+    List.iter
+      (fun (tag, v) -> Printf.printf "  path %d tail: %.1f Mbps\n" tag v)
+      (Core.Scenario.per_path_tail_mbps r)
+
+let figures () =
+  List.iter
+    (fun (f : Core.Figures.figure) ->
+      show_figure f;
+      if f.Core.Figures.csv <> "" then
+        write_csv ("fig" ^ f.Core.Figures.id ^ ".csv") f.Core.Figures.csv)
+    (Core.Figures.all ~seed:1 ());
+  hr "paper vs measured (figure summary)";
+  Printf.printf
+    "Fig 1c | LP optimum          | paper: 90 Mbps at (10,30,50) | \
+     measured: exact (simplex + enumeration agree)\n";
+  let f2a = Core.Figures.fig2a ~seed:1 () in
+  let f2b = Core.Figures.fig2b ~seed:1 () in
+  match (f2a.Core.Figures.result, f2b.Core.Figures.result) with
+  | Some ra, Some rb ->
+    Printf.printf
+      "Fig 2a | CUBIC finds optimum | paper: yes, ~3 s, then unstable | \
+       measured: %s, tail %.1f Mbps\n"
+      (match Core.Scenario.time_to_optimum_s ra with
+      | Some t -> Printf.sprintf "yes, %.1f s" t
+      | None -> "no")
+      (Core.Scenario.tail_mean_mbps ra);
+    Printf.printf
+      "Fig 2b | OLIA at 4 s         | paper: below optimum            | \
+       measured: %s, tail %.1f Mbps\n"
+      (match Core.Scenario.time_to_optimum_s rb with
+      | Some _ -> "reached (differs)"
+      | None -> "below optimum")
+      (Core.Scenario.tail_mean_mbps rb)
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* 2. Table 1: the sweep behind the paper's prose                      *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  hr "Table 1: convergence by congestion control x default path";
+  let seeds = if quick then [ 1 ] else [ 1; 2; 3 ] in
+  let duration = Engine.Time.s (if quick then 8 else 20) in
+  let rows = Core.Summary.sweep ~seeds ~duration () in
+  Format.printf "%a@." Core.Summary.pp_table rows;
+  write_csv "table1_sweep.csv" (Core.Summary.to_csv rows);
+  Printf.printf
+    "(optimum 90 Mbps; greedy fill from the default path reaches 80)\n";
+  Printf.printf
+    "paper: CUBIC always reached (transiently unstable); LIA never; \
+     OLIA only with Path 2 default, ~20 s.\n"
+
+(* ------------------------------------------------------------------ *)
+(* 3. Ablations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_paper ?(cc = Mptcp.Algorithm.Cubic) ?(default = 2) ?net_config
+    ?sender_config ?scheduler ?(duration = 12) ?(seed = 1) () =
+  let topo = Core.Paper_net.topology () in
+  let paths = Core.Paper_net.tagged_paths ~default topo in
+  let spec =
+    Core.Scenario.make ~topo ~paths ~cc ?scheduler ?net_config ?sender_config
+      ~duration:(Engine.Time.s duration) ~sampling:(Engine.Time.ms 100) ~seed
+      ()
+  in
+  Core.Scenario.run spec
+
+let describe r =
+  Printf.sprintf "tail %5.1f Mbps, t_opt %s, residency %.2f"
+    (Core.Scenario.tail_mean_mbps r)
+    (match Core.Scenario.time_to_optimum_s r with
+    | Some t -> Printf.sprintf "%5.1fs" t
+    | None -> "never ")
+    (Measure.Converge.fraction_above r.Core.Scenario.total ~target:90.0
+       ~tolerance:0.05 ~from_s:2.0 ())
+
+let ablation_buffers () =
+  hr "Ablation: buffer size (drop-tail, packets per link direction)";
+  let buffers = if quick then [ 16; 40 ] else [ 8; 16; 24; 40 ] in
+  List.iter
+    (fun limit ->
+      Printf.printf "buffer %2d pkts:\n" limit;
+      List.iter
+        (fun cc ->
+          let net_config =
+            { Netsim.Net.qdisc = Netsim.Qdisc.Drop_tail; limit_pkts = limit;
+        delay_jitter = Engine.Time.zero }
+          in
+          let r = run_paper ~cc ~net_config () in
+          Printf.printf "  %-6s %s\n" (Mptcp.Algorithm.name cc) (describe r))
+        Mptcp.Algorithm.[ Cubic; Lia; Olia ])
+    buffers;
+  Printf.printf
+    "(the paper's qualitative picture needs shallow buffers; at 40 pkts \
+     ~ 1.5 BDP every algorithm converges)\n"
+
+let ablation_qdisc () =
+  hr "Ablation: queue discipline (16-packet buffers)";
+  List.iter
+    (fun (name, qdisc, ecn) ->
+      Printf.printf "%s:\n" name;
+      List.iter
+        (fun cc ->
+          let net_config =
+            { Netsim.Net.qdisc; limit_pkts = 16;
+              delay_jitter = Engine.Time.zero }
+          in
+          let sender_config =
+            { Tcp.Sender.default_config with Tcp.Sender.ecn }
+          in
+          let r = run_paper ~cc ~net_config ~sender_config () in
+          Printf.printf "  %-6s %s\n" (Mptcp.Algorithm.name cc) (describe r))
+        Mptcp.Algorithm.[ Cubic; Lia; Olia ])
+    [ ("drop-tail", Netsim.Qdisc.Drop_tail, false);
+      ("RED", Netsim.Qdisc.Red Netsim.Qdisc.default_red, false);
+      ("RED + ECN", Netsim.Qdisc.Red Netsim.Qdisc.default_red_ecn, true);
+      ("CoDel", Netsim.Qdisc.Codel Netsim.Qdisc.default_codel, false) ];
+  Printf.printf
+    "(16-packet buffers drain in under CoDel's 5 ms target, so CoDel \
+     never fires here and matches drop-tail; its effect shows on deep \
+     buffers - see the bufferbloat test in test/test_netsim.ml)\n"
+
+let ablation_scheduler () =
+  hr "Ablation: subflow scheduler (CUBIC)";
+  List.iter
+    (fun scheduler ->
+      let r = run_paper ~scheduler () in
+      Printf.printf "  %-10s %s\n"
+        (Mptcp.Scheduler.policy_name scheduler)
+        (describe r))
+    Mptcp.Scheduler.[ Min_rtt; Round_robin; Redundant ];
+  Printf.printf
+    "(the chart numbers are wire rates; under `redundant' every byte \
+     travels all three paths, so application goodput is roughly a third \
+     of the wire total)\n"
+
+let scaling_experiment () =
+  hr "Extension: n pairwise-overlapping paths (achieved / LP optimal)";
+  let ns = if quick then [ 2; 3 ] else [ 2; 3; 4; 5 ] in
+  let rows =
+    Core.Scaling.sweep ~ns
+      ~duration:(Engine.Time.s (if quick then 8 else 15))
+      ()
+  in
+  Format.printf "%a@." Core.Scaling.pp_table rows;
+  write_csv "scaling.csv" (Core.Scaling.to_csv rows);
+  Printf.printf
+    "(capacities 30 + 5(i+j) Mbps per pair; the LP dimension grows as      C(n,2))
+"
+
+let ablation_delayed_ack () =
+  hr "Ablation: delayed ACKs (receiver acks every 2nd segment / 40 ms)";
+  List.iter
+    (fun delayed ->
+      Printf.printf "%s:
+" (if delayed then "delayed" else "per-segment");
+      List.iter
+        (fun cc ->
+          let topo = Core.Paper_net.topology () in
+          let paths = Core.Paper_net.tagged_paths ~default:2 topo in
+          let spec =
+            Core.Scenario.make ~topo ~paths ~cc ~delayed_ack:delayed
+              ~duration:(Engine.Time.s 12) ~sampling:(Engine.Time.ms 100) ()
+          in
+          let r = Core.Scenario.run spec in
+          Printf.printf "  %-6s %s
+" (Mptcp.Algorithm.name cc) (describe r))
+        Mptcp.Algorithm.[ Cubic; Lia; Olia ])
+    [ false; true ]
+
+let ablation_hol_buffer () =
+  hr "Ablation: scheduler under a 64 KB send buffer, asymmetric RTTs";
+  let run ?(reinjection = false) policy =
+    let b = Netgraph.Topology.builder () in
+    let a = Netgraph.Topology.add_node b "a" in
+    let fast = Netgraph.Topology.add_node b "fast" in
+    let slow = Netgraph.Topology.add_node b "slow" in
+    let z = Netgraph.Topology.add_node b "z" in
+    let link u v delay =
+      ignore
+        (Netgraph.Topology.add_link b ~u ~v
+           ~capacity_bps:(Netgraph.Topology.mbps 20) ~delay)
+    in
+    link a fast (Engine.Time.ms 2);
+    link fast z (Engine.Time.ms 2);
+    link a slow (Engine.Time.ms 50);
+    link slow z (Engine.Time.ms 50);
+    let topo = Netgraph.Topology.build b in
+    let paths =
+      Mptcp.Path_manager.tag_paths
+        [
+          Netgraph.Path.of_names topo [ "a"; "fast"; "z" ];
+          Netgraph.Path.of_names topo [ "a"; "slow"; "z" ];
+        ]
+    in
+    let sched = Engine.Sched.create () in
+    let net = Netsim.Net.create ~sched ~rng:(Engine.Rng.create 3) topo in
+    let src = Tcp.Endpoint.create net ~node:a in
+    let dst = Tcp.Endpoint.create net ~node:z in
+    let config =
+      { Mptcp.Connection.default_config with
+        Mptcp.Connection.scheduler = policy;
+        send_buffer = Some 65_536;
+        reinjection }
+    in
+    let conn =
+      Mptcp.Connection.establish ~net ~src ~dst ~conn:1 ~paths
+        ~cc:Mptcp.Algorithm.Lia ~config ()
+    in
+    Engine.Sched.run ~until:(Engine.Time.s 10) sched;
+    ( float_of_int (Mptcp.Connection.delivered_bytes conn) *. 8.0 /. 10.0
+      /. 1e6,
+      Mptcp.Connection.reinjections conn )
+  in
+  List.iter
+    (fun (label, policy, reinjection) ->
+      let goodput, reinjected = run ~reinjection policy in
+      Printf.printf "  %-24s goodput %5.1f Mbps%s\n" label goodput
+        (if reinjected > 0 then Printf.sprintf " (%d reinjections)" reinjected
+         else ""))
+    [ ("minrtt", Mptcp.Scheduler.Min_rtt, false);
+      ("roundrobin", Mptcp.Scheduler.Round_robin, false);
+      ("roundrobin + reinject", Mptcp.Scheduler.Round_robin, true) ];
+  Printf.printf
+    "(chunks mapped to the 100 ms path stall the 64 KB data-sequence      window: head-of-line blocking; the default min-RTT scheduler avoids      it)
+"
+
+let baseline_single_path () =
+  hr "Baseline: single-path TCP on each of the three paths (CUBIC)";
+  let topo = Core.Paper_net.topology () in
+  List.iteri
+    (fun i path ->
+      let sched = Engine.Sched.create () in
+      let rng = Engine.Rng.create 1 in
+      let net =
+        Netsim.Net.create ~sched ~rng ~config:Core.Scenario.default_net_config
+          topo
+      in
+      Netsim.Net.install_path net ~tag:1 path;
+      let src = Tcp.Endpoint.create net ~node:(Netgraph.Path.src path) in
+      let dst = Tcp.Endpoint.create net ~node:(Netgraph.Path.dst path) in
+      let flow = Tcp.Flow.start ~src ~dst ~tag:1 ~conn:1 () in
+      Engine.Sched.run ~until:(Engine.Time.s 8) sched;
+      Printf.printf "  path %d alone: %.1f Mbps (bottleneck %d Mbps)\n" (i + 1)
+        (Tcp.Flow.goodput_bps flow ~now:(Engine.Sched.now sched) /. 1e6)
+        (Netgraph.Path.bottleneck_bps topo path / 1_000_000))
+    (Core.Paper_net.paths topo);
+  Printf.printf
+    "(MPTCP's 90 Mbps optimum more than doubles the best single path)\n"
+
+let two_connections_fairness () =
+  hr "Extension: two MPTCP connections sharing the paper network";
+  let run cc =
+    let topo = Core.Paper_net.topology () in
+    let paths = Core.Paper_net.tagged_paths ~default:2 topo in
+    let sched = Engine.Sched.create () in
+    let rng = Engine.Rng.create 1 in
+    let net =
+      Netsim.Net.create ~sched ~rng ~config:Core.Scenario.default_net_config
+        topo
+    in
+    let s_node = Netgraph.Topology.node_id topo "s" in
+    let d_node = Netgraph.Topology.node_id topo "d" in
+    let src = Tcp.Endpoint.create net ~node:s_node in
+    let dst = Tcp.Endpoint.create net ~node:d_node in
+    let conns =
+      List.map
+        (fun id ->
+          Mptcp.Connection.establish ~net ~src ~dst ~conn:id ~paths ~cc
+            ~rng:(Engine.Rng.split rng)
+            ~config:
+              { Mptcp.Connection.default_config with
+                Mptcp.Connection.start_jitter = Engine.Time.ms 2 }
+            ())
+        [ 1; 2 ]
+    in
+    Engine.Sched.run ~until:(Engine.Time.s 20) sched;
+    List.map
+      (fun c ->
+        Mptcp.Connection.total_throughput_bps c
+          ~now:(Engine.Sched.now sched)
+        /. 1e6)
+      conns
+  in
+  List.iter
+    (fun cc ->
+      match run cc with
+      | [ c1; c2 ] ->
+        Printf.printf
+          "  %-6s conn1 %5.1f + conn2 %5.1f = %5.1f Mbps (jain %.3f)
+"
+          (Mptcp.Algorithm.name cc) c1 c2 (c1 +. c2)
+          (Measure.Converge.jain_fairness [| c1; c2 |])
+      | _ -> ())
+    Mptcp.Algorithm.[ Cubic; Lia; Olia ];
+  Printf.printf
+    "(the LP optimum is still 90 Mbps; fairness between the two      connections is the new question)
+"
+
+(* ------------------------------------------------------------------ *)
+(* 4. Bechamel micro-benchmarks                                        *)
+(* ------------------------------------------------------------------ *)
+
+open Bechamel
+open Toolkit
+
+let bench_heap =
+  Test.make ~name:"heap push+pop 1k"
+    (Staged.stage @@ fun () ->
+     let h = Engine.Heap.create () in
+     for i = 0 to 999 do
+       Engine.Heap.push h ~key:(i * 7919 mod 1000) ~tie:i i
+     done;
+     while not (Engine.Heap.is_empty h) do
+       ignore (Engine.Heap.pop h)
+     done)
+
+let bench_sched =
+  Test.make ~name:"sched 1k events"
+    (Staged.stage @@ fun () ->
+     let s = Engine.Sched.create () in
+     for i = 1 to 1000 do
+       ignore (Engine.Sched.at s (Engine.Time.us i) (fun () -> ()))
+     done;
+     Engine.Sched.run s)
+
+let bench_simplex =
+  let a = [| [| 1.; 1.; 0. |]; [| 1.; 0.; 1. |]; [| 0.; 1.; 1. |] |] in
+  let b = [| 40.; 60.; 80. |] in
+  let c = [| 1.; 1.; 1. |] in
+  Test.make ~name:"simplex paper LP"
+    (Staged.stage @@ fun () -> ignore (Lp.Simplex.solve ~c ~a ~b))
+
+let bench_cc name factory =
+  Test.make ~name
+    (Staged.stage @@ fun () ->
+     let cwnd = ref 10.0 and ssthresh = ref 1e9 in
+     let now = ref 0.0 in
+     let sibling w =
+       { Tcp.Cc.cwnd = w; srtt_s = 0.01; in_slow_start = false;
+         loss_interval_bytes = 100_000; established = true }
+     in
+     let ctx =
+       {
+         Tcp.Cc.now_s = (fun () -> !now);
+         mss = Packet.default_mss;
+         get_cwnd = (fun () -> !cwnd);
+         set_cwnd = (fun w -> cwnd := w);
+         get_ssthresh = (fun () -> !ssthresh);
+         set_ssthresh = (fun w -> ssthresh := w);
+         srtt_s = (fun () -> 0.01);
+         siblings = (fun () -> [| sibling !cwnd; sibling 20.0; sibling 30.0 |]);
+         self_index = (fun () -> 0);
+       }
+     in
+     let cc = factory ctx in
+     for i = 1 to 1000 do
+       now := float_of_int i *. 0.001;
+       cc.Tcp.Cc.on_ack ~acked:Packet.default_mss;
+       if i mod 100 = 0 then cc.Tcp.Cc.on_loss ()
+     done)
+
+let bench_reassembly =
+  Test.make ~name:"reassembly 1k shuffled"
+    (Staged.stage @@ fun () ->
+     let r = Mptcp.Reassembly.create () in
+     for i = 0 to 999 do
+       let j = i * 769 mod 1000 in
+       Mptcp.Reassembly.insert r ~dseq:(j * 1448) ~len:1448
+     done)
+
+let bench_paper_sim =
+  Test.make ~name:"paper sim 200ms (CUBIC)"
+    (Staged.stage @@ fun () ->
+     let topo = Core.Paper_net.topology () in
+     let paths = Core.Paper_net.tagged_paths ~default:2 topo in
+     let spec =
+       Core.Scenario.make ~topo ~paths ~cc:Mptcp.Algorithm.Cubic
+         ~duration:(Engine.Time.ms 200) ~sampling:(Engine.Time.ms 100) ()
+     in
+     ignore (Core.Scenario.run spec))
+
+let microbench () =
+  hr "Bechamel micro-benchmarks (ns per run, OLS on the monotonic clock)";
+  let tests =
+    [
+      bench_heap; bench_sched; bench_simplex;
+      bench_cc "cubic 1k acks" Tcp.Cc_cubic.factory;
+      bench_cc "lia 1k acks" Mptcp.Cc_lia.factory;
+      bench_cc "olia 1k acks" Mptcp.Cc_olia.factory;
+      bench_reassembly; bench_paper_sim;
+    ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true
+      ~predictors:[| Measure.run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:200
+      ~quota:(Time.second (if quick then 0.2 else 0.5))
+      ~stabilize:false ()
+  in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg [ instance ] elt in
+          let est = Analyze.one ols instance raw in
+          match Analyze.OLS.estimates est with
+          | Some (t :: _) ->
+            Printf.printf "  %-26s %12.0f ns/run\n" (Test.Elt.name elt) t
+          | Some [] | None ->
+            Printf.printf "  %-26s (no estimate)\n" (Test.Elt.name elt))
+        (Test.elements test))
+    tests
+
+let () =
+  Printf.printf "MPTCP overlapping-paths reproduction - benchmark harness%s\n"
+    (if quick then " (quick mode)" else "");
+  figures ();
+  table1 ();
+  ablation_buffers ();
+  ablation_qdisc ();
+  ablation_scheduler ();
+  ablation_delayed_ack ();
+  ablation_hol_buffer ();
+  baseline_single_path ();
+  scaling_experiment ();
+  two_connections_fairness ();
+  microbench ();
+  hr "done"

@@ -1,0 +1,299 @@
+(* Command-line front end for the MPTCP overlapping-paths reproduction.
+
+   Subcommands:
+     paths    - show the paper's network, paths, and their overlaps
+     lp-opt   - solve the Fig. 1c throughput LP
+     run      - run one measured scenario with full control of parameters
+     figures  - regenerate the paper's figures (2a, 2b, 2c, 1, 1c)
+     sweep    - the convergence summary table (cc x default path) *)
+
+open Cmdliner
+
+(* --- shared argument definitions --- *)
+
+let cc_arg =
+  let parse s =
+    match Mptcp.Algorithm.of_string s with
+    | Some a -> Ok a
+    | None -> Error (`Msg (Printf.sprintf "unknown congestion control %S" s))
+  in
+  let print fmt a = Mptcp.Algorithm.pp fmt a in
+  Arg.conv (parse, print)
+
+let scheduler_arg =
+  let parse s =
+    match Mptcp.Scheduler.policy_of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown scheduler %S" s))
+  in
+  let print fmt p =
+    Format.pp_print_string fmt (Mptcp.Scheduler.policy_name p)
+  in
+  Arg.conv (parse, print)
+
+let seed_t =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let duration_t =
+  Arg.(
+    value
+    & opt float 4.0
+    & info [ "duration" ] ~docv:"SECONDS" ~doc:"Simulated duration.")
+
+let sampling_t =
+  Arg.(
+    value
+    & opt float 0.1
+    & info [ "sampling" ] ~docv:"SECONDS"
+        ~doc:"Sampling window (the paper uses 0.1 and 0.01).")
+
+let csv_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"PATH" ~doc:"Also write the time series as CSV.")
+
+(* --- paths --- *)
+
+let paths_cmd =
+  let run () =
+    let f = Core.Figures.fig1 () in
+    print_string f.Core.Figures.chart;
+    let topo = Core.Paper_net.topology () in
+    let ps = Core.Paper_net.paths topo in
+    List.iteri
+      (fun i p ->
+        List.iteri
+          (fun j q ->
+            if j > i then
+              Format.printf "Paths %d and %d share %d link(s)@," (i + 1)
+                (j + 1)
+                (List.length (Netgraph.Path.shared_links p q)))
+          ps)
+      ps;
+    Format.printf "@."
+  in
+  Cmd.v
+    (Cmd.info "paths" ~doc:"Show the paper's network and path overlaps")
+    Term.(const run $ const ())
+
+(* --- lp-opt --- *)
+
+let lp_opt_cmd =
+  let run () =
+    let f = Core.Figures.fig1c () in
+    print_string f.Core.Figures.chart
+  in
+  Cmd.v
+    (Cmd.info "lp-opt" ~doc:"Solve the Fig. 1c throughput maximisation LP")
+    Term.(const run $ const ())
+
+(* --- run --- *)
+
+let run_cmd =
+  let exec cc default scheduler duration sampling seed buffer csv trace =
+    let topo = Core.Paper_net.topology () in
+    let paths = Core.Paper_net.tagged_paths ~default topo in
+    let spec =
+      Core.Scenario.make ~topo ~paths ~cc ~scheduler
+        ~duration:(Engine.Time.of_float_s duration)
+        ~sampling:(Engine.Time.of_float_s sampling)
+        ~seed ?send_buffer:buffer
+        ?trace_limit:(Option.map (fun _ -> 50_000) trace)
+        ()
+    in
+    let result = Core.Scenario.run spec in
+    let named =
+      List.map
+        (fun (tag, s) -> (Printf.sprintf "path%d" tag, s))
+        result.Core.Scenario.per_tag
+      @ [ ("total", result.Core.Scenario.total) ]
+    in
+    print_string
+      (Measure.Render.ascii_chart ~y_max:100.0
+         ~title:
+           (Printf.sprintf "MPTCP-%s on the paper network (Mbps)"
+              (String.uppercase_ascii (Mptcp.Algorithm.name cc)))
+         named);
+    Format.printf "%a@." Core.Scenario.pp_summary result;
+    Format.printf "LP optimum %.1f Mbps; measured tail %.1f Mbps@."
+      (Core.Scenario.optimal_total_mbps result)
+      (Core.Scenario.tail_mean_mbps result);
+    List.iter
+      (fun (tag, v) -> Format.printf "  path %d tail: %.1f Mbps@." tag v)
+      (Core.Scenario.per_path_tail_mbps result);
+    (match Core.Scenario.time_to_optimum_s result with
+    | Some t -> Format.printf "time to optimum: %.2f s@." t
+    | None -> Format.printf "optimum not reached within the run@.");
+    (match csv with
+    | Some path ->
+      Measure.Render.write_file ~path (Measure.Render.series_csv named);
+      Format.printf "wrote %s@." path
+    | None -> ());
+    match (trace, result.Core.Scenario.trace_text) with
+    | Some path, Some text ->
+      Measure.Render.write_file ~path text;
+      Format.printf "wrote packet trace to %s@." path
+    | _ -> ()
+  in
+  let cc_t =
+    Arg.(
+      value
+      & opt cc_arg Mptcp.Algorithm.Cubic
+      & info [ "cc" ] ~docv:"ALGO"
+          ~doc:"Congestion control: cubic, reno, lia, olia, balia, ewtcp.")
+  in
+  let default_t =
+    Arg.(
+      value
+      & opt int 2
+      & info [ "default" ] ~docv:"PATH"
+          ~doc:"Which path (1-3) is the default subflow.")
+  in
+  let sched_t =
+    Arg.(
+      value
+      & opt scheduler_arg Mptcp.Scheduler.Min_rtt
+      & info [ "scheduler" ] ~docv:"POLICY"
+          ~doc:"Subflow scheduler: minrtt, roundrobin, redundant.")
+  in
+  let buffer_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "send-buffer" ] ~docv:"BYTES"
+          ~doc:"Connection-level send buffer cap (default unlimited).")
+  in
+  let trace_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"PATH"
+          ~doc:"Write a tcpdump-style packet trace of the connection.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one MPTCP scenario on the paper's network")
+    Term.(
+      const exec $ cc_t $ default_t $ sched_t $ duration_t $ sampling_t
+      $ seed_t $ buffer_t $ csv_t $ trace_t)
+
+(* --- figures --- *)
+
+let figures_cmd =
+  let exec fig seed csv_dir =
+    let figs =
+      match fig with
+      | "all" -> Core.Figures.all ~seed ()
+      | id -> (
+        match Core.Figures.by_id id with
+        | Some f -> [ f ~seed () ]
+        | None ->
+          Format.eprintf "unknown figure %S (use 1, 1c, 2a, 2b, 2c, all)@." id;
+          exit 1)
+    in
+    List.iter
+      (fun (f : Core.Figures.figure) ->
+        Format.printf "=== %s ===@." f.Core.Figures.title;
+        print_string f.Core.Figures.chart;
+        Format.printf "@.";
+        match csv_dir with
+        | Some dir when f.Core.Figures.csv <> "" ->
+          let path = Filename.concat dir ("fig" ^ f.Core.Figures.id ^ ".csv") in
+          Measure.Render.write_file ~path f.Core.Figures.csv;
+          Format.printf "wrote %s@." path
+        | Some _ | None -> ())
+      figs
+  in
+  let fig_t =
+    Arg.(
+      value & opt string "all"
+      & info [ "fig" ] ~docv:"ID" ~doc:"Figure id: 1, 1c, 2a, 2b, 2c or all.")
+  in
+  let dir_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv-dir" ] ~docv:"DIR" ~doc:"Write each figure's CSV here.")
+  in
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Regenerate the paper's figures")
+    Term.(const exec $ fig_t $ seed_t $ dir_t)
+
+(* --- scaling --- *)
+
+let scaling_cmd =
+  let exec max_n duration csv =
+    let rows =
+      Core.Scaling.sweep
+        ~ns:(List.init (max_n - 1) (fun i -> i + 2))
+        ~duration:(Engine.Time.of_float_s duration)
+        ()
+    in
+    Format.printf "%a@." Core.Scaling.pp_table rows;
+    match csv with
+    | Some path ->
+      Measure.Render.write_file ~path (Core.Scaling.to_csv rows);
+      Format.printf "wrote %s@." path
+    | None -> ()
+  in
+  let max_n_t =
+    Arg.(
+      value & opt int 5
+      & info [ "max-n" ] ~docv:"N"
+          ~doc:"Largest number of pairwise-overlapping paths.")
+  in
+  let duration_t =
+    Arg.(
+      value & opt float 15.0
+      & info [ "duration" ] ~docv:"SECONDS" ~doc:"Per-run duration.")
+  in
+  Cmd.v
+    (Cmd.info "scaling"
+       ~doc:
+         "Generalise the paper's construction to n pairwise-overlapping           paths and measure achieved/optimal per algorithm")
+    Term.(const exec $ max_n_t $ duration_t $ csv_t)
+
+(* --- sweep --- *)
+
+let sweep_cmd =
+  let exec duration seeds csv =
+    let rows =
+      Core.Summary.sweep
+        ~seeds:(List.init seeds (fun i -> i + 1))
+        ~duration:(Engine.Time.of_float_s duration)
+        ()
+    in
+    Format.printf "%a@." Core.Summary.pp_table rows;
+    Format.printf
+      "(optimum %.0f Mbps; greedy Pareto point from Path 2: %.0f Mbps)@."
+      Core.Paper_net.optimal_total_mbps
+      (Core.Paper_net.greedy_total_mbps ~default:2);
+    match csv with
+    | Some path ->
+      Measure.Render.write_file ~path (Core.Summary.to_csv rows);
+      Format.printf "wrote %s@." path
+    | None -> ()
+  in
+  let duration_t =
+    Arg.(
+      value & opt float 20.0
+      & info [ "duration" ] ~docv:"SECONDS" ~doc:"Per-run duration.")
+  in
+  let seeds_t =
+    Arg.(
+      value & opt int 3
+      & info [ "seeds" ] ~docv:"N" ~doc:"Seeds per cell (1..N).")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Convergence summary: congestion control x default path")
+    Term.(const exec $ duration_t $ seeds_t $ csv_t)
+
+let () =
+  let doc = "Reproduction of 'The Performance of MPTCP with Overlapping Paths'" in
+  let info = Cmd.info "mptcp_sim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ paths_cmd; lp_opt_cmd; run_cmd; figures_cmd; sweep_cmd;
+            scaling_cmd ]))

@@ -1,0 +1,1 @@
+examples/datacenter_ecmp.ml: Engine Format List Measure Mptcp Netgraph Netsim Printf Tcp

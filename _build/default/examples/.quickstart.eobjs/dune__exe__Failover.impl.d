@@ -1,0 +1,1 @@
+examples/failover.ml: Engine List Measure Mptcp Netgraph Netsim Printf Tcp

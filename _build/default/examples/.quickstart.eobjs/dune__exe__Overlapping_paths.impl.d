@@ -1,0 +1,1 @@
+examples/overlapping_paths.ml: Core Engine Format List Measure Mptcp Printf String

@@ -1,0 +1,1 @@
+examples/overlapping_paths.mli:

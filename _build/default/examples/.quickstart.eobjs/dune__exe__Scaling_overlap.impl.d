@@ -1,0 +1,1 @@
+examples/scaling_overlap.ml: Array Core Engine Format Mptcp Netgraph Printf String

@@ -1,0 +1,1 @@
+examples/wifi_cellular.ml: Engine Format List Measure Mptcp Netgraph Netsim Tcp

@@ -1,0 +1,53 @@
+(* The paper's demo, end to end: the Fig. 1 network with three pairwise
+   overlapping paths, the throughput LP, and the convergence of CUBIC,
+   LIA and OLIA towards (or away from) the 90 Mbps optimum.
+
+     dune exec examples/overlapping_paths.exe *)
+
+let hr () = print_endline (String.make 72 '-')
+
+let () =
+  (* The network and the optimization problem MPTCP implicitly faces. *)
+  let f1 = Core.Figures.fig1 () in
+  print_string f1.Core.Figures.chart;
+  hr ();
+  let f1c = Core.Figures.fig1c () in
+  print_string f1c.Core.Figures.chart;
+  hr ();
+
+  (* Measure the three congestion-control algorithms the paper compares.
+     Path 2 (the 3-hop route) is the default subflow, as in the paper. *)
+  let topo = Core.Paper_net.topology () in
+  List.iter
+    (fun cc ->
+      let paths = Core.Paper_net.tagged_paths ~default:2 topo in
+      let spec =
+        Core.Scenario.make ~topo ~paths ~cc ~duration:(Engine.Time.s 8)
+          ~sampling:(Engine.Time.ms 100) ()
+      in
+      let r = Core.Scenario.run spec in
+      let named =
+        List.map
+          (fun (tag, s) -> (Printf.sprintf "path%d" tag, s))
+          r.Core.Scenario.per_tag
+        @ [ ("total", r.Core.Scenario.total) ]
+      in
+      print_string
+        (Measure.Render.ascii_chart ~y_max:100.0
+           ~title:
+             (Printf.sprintf "MPTCP-%s (optimum %.0f Mbps)"
+                (String.uppercase_ascii (Mptcp.Algorithm.name cc))
+                (Core.Scenario.optimal_total_mbps r))
+           named);
+      Format.printf
+        "tail mean %.1f Mbps; time to optimum %s; per path: %s@."
+        (Core.Scenario.tail_mean_mbps r)
+        (match Core.Scenario.time_to_optimum_s r with
+        | Some t -> Printf.sprintf "%.2f s" t
+        | None -> "not within this run")
+        (String.concat ", "
+           (List.map
+              (fun (tag, v) -> Printf.sprintf "x%d=%.1f" tag v)
+              (Core.Scenario.per_path_tail_mbps r)));
+      hr ())
+    Mptcp.Algorithm.[ Cubic; Lia; Olia ]

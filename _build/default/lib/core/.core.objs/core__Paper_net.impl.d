@@ -1,0 +1,1 @@
+lib/core/paper_net.ml: Array Engine Mptcp Netgraph

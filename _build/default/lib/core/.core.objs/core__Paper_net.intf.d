@@ -1,0 +1,1 @@
+lib/core/paper_net.mli: Engine Mptcp Netgraph

@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Engine Format List Measure Mptcp Netgraph Netsim Option Packet Printf Tcp

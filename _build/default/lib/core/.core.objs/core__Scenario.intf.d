@@ -1,0 +1,1 @@
+lib/core/scenario.mli: Engine Format Measure Mptcp Netgraph Netsim Packet Tcp

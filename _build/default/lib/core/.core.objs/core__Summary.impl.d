@@ -1,0 +1,1 @@
+lib/core/summary.ml: Engine Float Format List Measure Mptcp Paper_net Printf Scenario

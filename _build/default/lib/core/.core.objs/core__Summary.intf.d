@@ -1,0 +1,1 @@
+lib/core/summary.mli: Engine Format Mptcp

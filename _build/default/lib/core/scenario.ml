@@ -1,0 +1,193 @@
+type spec = {
+  topo : Netgraph.Topology.t;
+  paths : Mptcp.Path_manager.t;
+  cc : Mptcp.Algorithm.t;
+  scheduler : Mptcp.Scheduler.policy;
+  duration : Engine.Time.t;
+  sampling : Engine.Time.t;
+  seed : int;
+  net_config : Netsim.Net.config;
+  sender_config : Tcp.Sender.config;
+  join_delay : Engine.Time.t;
+  start_jitter : Engine.Time.t;
+  delayed_ack : bool;
+  send_buffer : int option;
+  total_bytes : int option;
+  trace_limit : int option;
+}
+
+(* The paper's Mininet links have shallow buffers relative to the
+   bandwidth-delay product; 16 packets (~0.5 BDP of the fastest path)
+   reproduces the measured dynamics, and the bench harness sweeps this
+   value as an ablation. *)
+let default_net_config =
+  { Netsim.Net.qdisc = Netsim.Qdisc.Drop_tail; limit_pkts = 16;
+        delay_jitter = Engine.Time.zero }
+
+let make ~topo ~paths ~cc ?(scheduler = Mptcp.Scheduler.Min_rtt)
+    ?(duration = Engine.Time.s 4) ?(sampling = Engine.Time.ms 100) ?(seed = 1)
+    ?(net_config = default_net_config)
+    ?(sender_config = Tcp.Sender.default_config)
+    ?(join_delay = Engine.Time.ms 10) ?(start_jitter = Engine.Time.ms 2)
+    ?(delayed_ack = false) ?send_buffer ?total_bytes ?trace_limit () =
+  if paths = [] then invalid_arg "Scenario.make: no paths";
+  {
+    topo; paths; cc; scheduler; duration; sampling; seed; net_config;
+    sender_config; join_delay; start_jitter; delayed_ack; send_buffer;
+    total_bytes; trace_limit;
+  }
+
+type subflow_report = {
+  tag : Packet.tag;
+  cwnd : float;
+  srtt_s : float option;
+  segments_sent : int;
+  retransmits : int;
+  timeouts : int;
+  fast_recoveries : int;
+  bytes_acked : int;
+  rx_bytes : int;
+}
+
+type result = {
+  spec : spec;
+  per_tag : (Packet.tag * Measure.Series.t) list;
+  total : Measure.Series.t;
+  cwnd_series : (Packet.tag * Measure.Series.t) list;
+      (* congestion window (MSS) sampled at the same period *)
+  optimum : Netgraph.Constraints.optimum;
+  subflows : subflow_report list;
+  delivered_bytes : int;
+  queue_drops : int;
+  events_processed : int;
+  trace_text : string option;
+}
+
+let endpoints_of_paths paths =
+  match paths with
+  | [] -> invalid_arg "Scenario: no paths"
+  | (_, first) :: rest ->
+    let src = Netgraph.Path.src first and dst = Netgraph.Path.dst first in
+    List.iter
+      (fun (_, p) ->
+        if Netgraph.Path.src p <> src || Netgraph.Path.dst p <> dst then
+          invalid_arg "Scenario: all paths must share source and destination")
+      rest;
+    (src, dst)
+
+let run spec =
+  let src_node, dst_node = endpoints_of_paths spec.paths in
+  let sched = Engine.Sched.create () in
+  let rng = Engine.Rng.create spec.seed in
+  let net =
+    Netsim.Net.create ~sched ~rng ~config:spec.net_config spec.topo
+  in
+  let src_ep = Tcp.Endpoint.create net ~node:src_node in
+  let dst_ep = Tcp.Endpoint.create net ~node:dst_node in
+  let capture = Measure.Capture.attach net ~node:dst_node ~conn:1 () in
+  let trace =
+    Option.map
+      (fun limit ->
+        Measure.Trace.attach net
+          ~nodes:[ src_node; dst_node ]
+          ~keep:(Measure.Trace.conn_filter 1) ~limit ())
+      spec.trace_limit
+  in
+  let config =
+    {
+      Mptcp.Connection.sender = spec.sender_config;
+      scheduler = spec.scheduler;
+      send_buffer = spec.send_buffer;
+      join_delay = spec.join_delay;
+      start_jitter = spec.start_jitter;
+      delayed_ack = spec.delayed_ack;
+      reinjection = false;
+    }
+  in
+  let conn =
+    Mptcp.Connection.establish ~net ~src:src_ep ~dst:dst_ep ~conn:1
+      ~paths:spec.paths ~cc:spec.cc ~config ~rng:(Engine.Rng.split rng)
+      ?total_bytes:spec.total_bytes ()
+  in
+  let probes =
+    List.init (Mptcp.Connection.subflow_count conn) (fun i ->
+        let sender = Mptcp.Connection.subflow_sender conn i in
+        ( Mptcp.Connection.subflow_tag conn i,
+          Measure.Probe.attach ~sched ~period:spec.sampling
+            ~until:spec.duration (fun () -> Tcp.Sender.cwnd sender) ))
+  in
+  Engine.Sched.run ~until:spec.duration sched;
+  let per_tag, total =
+    Measure.Sampler.per_tag capture ~window:spec.sampling ~until:spec.duration
+  in
+  let path_list = List.map snd spec.paths in
+  let optimum = Netgraph.Constraints.optimum spec.topo path_list in
+  let subflows =
+    List.init (Mptcp.Connection.subflow_count conn) (fun i ->
+        let sender = Mptcp.Connection.subflow_sender conn i in
+        let stats = Tcp.Sender.stats sender in
+        {
+          tag = Mptcp.Connection.subflow_tag conn i;
+          cwnd = Tcp.Sender.cwnd sender;
+          srtt_s =
+            Option.map Engine.Time.to_float_s (Tcp.Sender.srtt sender);
+          segments_sent = stats.Tcp.Sender.segments_sent;
+          retransmits = stats.Tcp.Sender.retransmits;
+          timeouts = stats.Tcp.Sender.timeouts;
+          fast_recoveries = stats.Tcp.Sender.fast_recoveries;
+          bytes_acked = stats.Tcp.Sender.bytes_acked;
+          rx_bytes = Mptcp.Connection.subflow_rx_bytes conn i;
+        })
+  in
+  {
+    spec;
+    per_tag;
+    total;
+    cwnd_series =
+      List.map (fun (tag, p) -> (tag, Measure.Probe.series p)) probes;
+    optimum;
+    subflows;
+    delivered_bytes = Mptcp.Connection.delivered_bytes conn;
+    queue_drops = Netsim.Net.total_drops net;
+    events_processed = Engine.Sched.events_processed sched;
+    trace_text = Option.map (fun tr -> Measure.Trace.to_text net tr) trace;
+  }
+
+let optimal_total_mbps result = result.optimum.Netgraph.Constraints.total_bps /. 1e6
+
+let tail_start result =
+  0.75 *. Engine.Time.to_float_s result.spec.duration
+
+let tail_mean_mbps result =
+  Measure.Series.mean_from result.total ~from_s:(tail_start result)
+
+let per_path_tail_mbps result =
+  let from_s = tail_start result in
+  List.map
+    (fun (tag, s) -> (tag, Measure.Series.mean_from s ~from_s))
+    result.per_tag
+
+let time_to_optimum_s ?(tolerance = 0.05) ?(hold = 3) result =
+  Measure.Converge.time_to_reach result.total
+    ~target:(optimal_total_mbps result) ~tolerance ~hold ()
+
+let pp_summary fmt result =
+  Format.fprintf fmt
+    "@[<v>cc=%a scheduler=%s seed=%d duration=%a@,\
+     optimum=%.1f Mbps, tail mean=%.1f Mbps, time-to-optimum=%s@,\
+     delivered=%d bytes, queue drops=%d@,"
+    Mptcp.Algorithm.pp result.spec.cc
+    (Mptcp.Scheduler.policy_name result.spec.scheduler)
+    result.spec.seed Engine.Time.pp result.spec.duration
+    (optimal_total_mbps result) (tail_mean_mbps result)
+    (match time_to_optimum_s result with
+    | Some t -> Printf.sprintf "%.2fs" t
+    | None -> "never")
+    result.delivered_bytes result.queue_drops;
+  List.iter
+    (fun r ->
+      Format.fprintf fmt
+        "  tag %d: cwnd=%.1f rtx=%d rto=%d acked=%dB rx=%dB@," r.tag r.cwnd
+        r.retransmits r.timeouts r.bytes_acked r.rx_bytes)
+    result.subflows;
+  Format.fprintf fmt "@]"

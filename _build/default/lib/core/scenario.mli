@@ -1,0 +1,90 @@
+(** Experiment builder: one MPTCP bulk transfer over a path set, measured
+    at the receiver — the whole methodology of the paper's Section 2 in
+    one record.
+
+    A {!spec} is pure data; {!run} builds a fresh simulator (scheduler,
+    network, endpoints, connection, capture), executes it and returns the
+    sampled series plus summary statistics.  Runs with equal specs are
+    bit-for-bit identical. *)
+
+type spec = {
+  topo : Netgraph.Topology.t;
+  paths : Mptcp.Path_manager.t;  (** first entry = default subflow *)
+  cc : Mptcp.Algorithm.t;
+  scheduler : Mptcp.Scheduler.policy;
+  duration : Engine.Time.t;
+  sampling : Engine.Time.t;
+  seed : int;
+  net_config : Netsim.Net.config;
+  sender_config : Tcp.Sender.config;
+  join_delay : Engine.Time.t;
+  start_jitter : Engine.Time.t;
+  delayed_ack : bool;
+  send_buffer : int option;
+  total_bytes : int option;
+  trace_limit : int option;
+      (** when set, keep a packet trace of up to this many events at both
+          endpoints (see {!result.trace_text}) *)
+}
+
+val default_net_config : Netsim.Net.config
+(** Drop-tail with 16-packet buffers — about half the fastest path's
+    bandwidth-delay product, reproducing the shallow-buffer dynamics of
+    the paper's Mininet links.  (The generic {!Netsim.Net.default_config}
+    keeps 40-packet buffers.) *)
+
+val make :
+  topo:Netgraph.Topology.t -> paths:Mptcp.Path_manager.t
+  -> cc:Mptcp.Algorithm.t -> ?scheduler:Mptcp.Scheduler.policy
+  -> ?duration:Engine.Time.t -> ?sampling:Engine.Time.t -> ?seed:int
+  -> ?net_config:Netsim.Net.config -> ?sender_config:Tcp.Sender.config
+  -> ?join_delay:Engine.Time.t -> ?start_jitter:Engine.Time.t
+  -> ?delayed_ack:bool -> ?send_buffer:int -> ?total_bytes:int
+  -> ?trace_limit:int -> unit -> spec
+(** Defaults: min-RTT scheduler, 4 s at 100 ms sampling (the paper's
+    Fig. 2a/2b setup), seed 1, {!default_net_config}, default sender
+    config, 10 ms join delay with up to 2 ms of seeded start jitter,
+    unlimited buffer and bulk data. *)
+
+type subflow_report = {
+  tag : Packet.tag;
+  cwnd : float;
+  srtt_s : float option;
+  segments_sent : int;
+  retransmits : int;
+  timeouts : int;
+  fast_recoveries : int;
+  bytes_acked : int;
+  rx_bytes : int;
+}
+
+type result = {
+  spec : spec;
+  per_tag : (Packet.tag * Measure.Series.t) list;
+      (** wire Mbps per path, in tag order *)
+  total : Measure.Series.t;
+  cwnd_series : (Packet.tag * Measure.Series.t) list;
+      (** each subflow's congestion window (MSS units) sampled every
+          [sampling] period — the sawtooth behind Fig. 2c *)
+  optimum : Netgraph.Constraints.optimum;
+  subflows : subflow_report list;
+  delivered_bytes : int;  (** connection-level in-order goodput *)
+  queue_drops : int;
+  events_processed : int;
+  trace_text : string option;
+      (** tcpdump-style rendering of the packet trace, when requested *)
+}
+
+val run : spec -> result
+
+val optimal_total_mbps : result -> float
+
+val tail_mean_mbps : result -> float
+(** Mean total throughput over the last quarter of the run. *)
+
+val per_path_tail_mbps : result -> (Packet.tag * float) list
+
+val time_to_optimum_s : ?tolerance:float -> ?hold:int -> result -> float option
+(** When the total first sustainedly reached the LP optimum. *)
+
+val pp_summary : Format.formatter -> result -> unit

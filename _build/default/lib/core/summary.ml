@@ -1,0 +1,122 @@
+type row = {
+  cc : Mptcp.Algorithm.t;
+  default_path : int;
+  seeds : int;
+  reached : int;
+  mean_time_to_opt_s : float;
+  mean_tail_mbps : float;
+  tail_std_mbps : float;
+  mean_dips : float;
+  tail_cv : float;
+}
+
+let mean = function
+  | [] -> Float.nan
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let cell ~cc ~default_path ~seeds ~duration ~tolerance =
+  let runs =
+    List.map
+      (fun seed ->
+        let topo = Paper_net.topology () in
+        let paths = Paper_net.tagged_paths ~default:default_path topo in
+        let spec =
+          Scenario.make ~topo ~paths ~cc ~duration
+            ~sampling:(Engine.Time.ms 100) ~seed ()
+        in
+        Scenario.run spec)
+      seeds
+  in
+  let times =
+    List.filter_map (Scenario.time_to_optimum_s ~tolerance ~hold:3) runs
+  in
+  let target = Paper_net.optimal_total_mbps in
+  let tails = List.map Scenario.tail_mean_mbps runs in
+  {
+    cc;
+    default_path;
+    seeds = List.length seeds;
+    reached = List.length times;
+    mean_time_to_opt_s = mean times;
+    mean_tail_mbps = mean tails;
+    tail_std_mbps =
+      (match Measure.Stats.summarise tails with
+      | Some s -> s.Measure.Stats.std
+      | None -> Float.nan);
+    mean_dips =
+      mean
+        (List.map
+           (fun r ->
+             float_of_int
+               (Measure.Converge.dip_count r.Scenario.total ~target ~tolerance
+                  ()))
+           runs);
+    tail_cv =
+      mean
+        (List.map
+           (fun r ->
+             let from_s =
+               0.75 *. Engine.Time.to_float_s r.Scenario.spec.Scenario.duration
+             in
+             Measure.Converge.coefficient_of_variation r.Scenario.total
+               ~from_s)
+           runs);
+  }
+
+let sweep
+    ?(ccs =
+      Mptcp.Algorithm.[ Cubic; Lia; Olia; Balia; Ewtcp; Wvegas ])
+    ?(defaults = [ 1; 2; 3 ]) ?(seeds = [ 1; 2; 3 ])
+    ?(duration = Engine.Time.s 20) ?(tolerance = 0.05) () =
+  List.concat_map
+    (fun cc ->
+      List.map
+        (fun default_path ->
+          cell ~cc ~default_path ~seeds ~duration ~tolerance)
+        defaults)
+    ccs
+
+let pp_table fmt rows =
+  Format.fprintf fmt
+    "@[<v>%-7s %-7s %-8s %-10s %-14s %-7s %-7s@,"
+    "cc" "default" "reached" "t_opt[s]" "tail[Mbps]" "dips" "tailCV";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt
+        "%-7s %-7d %d/%-6d %-10s %5.1f +/-%-5.1f %-7.1f %-7.3f@,"
+        (Mptcp.Algorithm.name r.cc)
+        r.default_path r.reached r.seeds
+        (if r.reached = 0 then "never"
+         else Printf.sprintf "%.2f" r.mean_time_to_opt_s)
+        r.mean_tail_mbps
+        (if Float.is_nan r.tail_std_mbps then 0.0 else r.tail_std_mbps)
+        r.mean_dips r.tail_cv)
+    rows;
+  Format.fprintf fmt "@]"
+
+let to_csv rows =
+  Measure.Render.to_csv
+    ~header:
+      [ "cc_id"; "default_path"; "seeds"; "reached"; "mean_time_to_opt_s";
+        "mean_tail_mbps"; "tail_std_mbps"; "mean_dips"; "tail_cv" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [ float_of_int
+               (match r.cc with
+               | Mptcp.Algorithm.Cubic -> 0
+               | Mptcp.Algorithm.Reno -> 1
+               | Mptcp.Algorithm.Lia -> 2
+               | Mptcp.Algorithm.Olia -> 3
+               | Mptcp.Algorithm.Balia -> 4
+               | Mptcp.Algorithm.Ewtcp -> 5
+               | Mptcp.Algorithm.Wvegas -> 6);
+             float_of_int r.default_path;
+             float_of_int r.seeds;
+             float_of_int r.reached;
+             r.mean_time_to_opt_s;
+             r.mean_tail_mbps;
+             r.tail_std_mbps;
+             r.mean_dips;
+             r.tail_cv ])
+         rows)

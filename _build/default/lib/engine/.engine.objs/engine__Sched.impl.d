@@ -1,0 +1,1 @@
+lib/engine/sched.ml: Format Heap Time

@@ -1,0 +1,78 @@
+type 'a entry = { key : int; tie : int; value : 'a }
+
+type 'a t = { mutable items : 'a entry array; mutable size : int }
+
+(* Slot 0 is the root.  Unused slots past [size] keep stale entries, which
+   is harmless because [size] bounds all accesses (it does retain values;
+   acceptable for the short-lived simulation objects stored here). *)
+
+let create ?capacity:_ () = { items = [||]; size = 0 }
+let length h = h.size
+let is_empty h = h.size = 0
+let less a b = a.key < b.key || (a.key = b.key && a.tie < b.tie)
+
+let rec sift_up items i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less items.(i) items.(parent) then begin
+      let tmp = items.(i) in
+      items.(i) <- items.(parent);
+      items.(parent) <- tmp;
+      sift_up items parent
+    end
+  end
+
+let rec sift_down items size i =
+  let left = (2 * i) + 1 in
+  let right = left + 1 in
+  let smallest = ref i in
+  if left < size && less items.(left) items.(!smallest) then smallest := left;
+  if right < size && less items.(right) items.(!smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    let tmp = items.(i) in
+    items.(i) <- items.(!smallest);
+    items.(!smallest) <- tmp;
+    sift_down items size !smallest
+  end
+
+let push h ~key ~tie value =
+  let e = { key; tie; value } in
+  let cap = Array.length h.items in
+  if cap = 0 then h.items <- Array.make 16 e
+  else if h.size = cap then begin
+    let fresh = Array.make (2 * cap) e in
+    Array.blit h.items 0 fresh 0 h.size;
+    h.items <- fresh
+  end;
+  h.items.(h.size) <- e;
+  h.size <- h.size + 1;
+  sift_up h.items (h.size - 1)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let root = h.items.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.items.(0) <- h.items.(h.size);
+      sift_down h.items h.size 0
+    end;
+    Some (root.key, root.tie, root.value)
+  end
+
+let peek h =
+  if h.size = 0 then None
+  else
+    let root = h.items.(0) in
+    Some (root.key, root.tie, root.value)
+
+let clear h = h.size <- 0
+
+let fold h ~init ~f =
+  let acc = ref init in
+  for i = 0 to h.size - 1 do
+    let e = h.items.(i) in
+    acc := f !acc ~key:e.key e.value
+  done;
+  !acc

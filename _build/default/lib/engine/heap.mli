@@ -1,0 +1,31 @@
+(** Imperative binary min-heap, specialised to integer priorities.
+
+    This is the event queue of the simulator, so it favours raw speed:
+    a growable array, no functors, integer keys.  Ties are broken by a
+    secondary integer key supplied at insertion (the scheduler uses a
+    monotonically increasing sequence number, giving FIFO order among
+    simultaneous events and hence deterministic replay). *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** Fresh empty heap.  [capacity] is the initial array size (default 256);
+    the heap grows as needed. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> key:int -> tie:int -> 'a -> unit
+(** [push h ~key ~tie v] inserts [v] with primary priority [key]; among
+    equal keys the smaller [tie] pops first. *)
+
+val pop : 'a t -> (int * int * 'a) option
+(** Removes and returns the minimum [(key, tie, value)]. *)
+
+val peek : 'a t -> (int * int * 'a) option
+(** Returns the minimum without removing it. *)
+
+val clear : 'a t -> unit
+
+val fold : 'a t -> init:'b -> f:('b -> key:int -> 'a -> 'b) -> 'b
+(** Folds over live entries in unspecified order (used for diagnostics). *)

@@ -1,0 +1,59 @@
+type timer = { mutable alive : bool; action : unit -> unit }
+
+type t = {
+  heap : timer Heap.t;
+  mutable clock : Time.t;
+  mutable seq : int;
+  mutable fired : int;
+}
+
+let create () = { heap = Heap.create (); clock = Time.zero; seq = 0; fired = 0 }
+let now t = t.clock
+
+let at t when_ f =
+  if Time.( < ) when_ t.clock then
+    invalid_arg
+      (Format.asprintf "Sched.at: %a is before now (%a)" Time.pp when_
+         Time.pp t.clock);
+  let timer = { alive = true; action = f } in
+  t.seq <- t.seq + 1;
+  Heap.push t.heap ~key:when_ ~tie:t.seq timer;
+  timer
+
+let after t delay f =
+  if Time.( < ) delay Time.zero then invalid_arg "Sched.after: negative delay";
+  at t (Time.add t.clock delay) f
+
+let cancel timer = timer.alive <- false
+let pending timer = timer.alive
+
+let fire t when_ timer =
+  t.clock <- when_;
+  if timer.alive then begin
+    timer.alive <- false;
+    t.fired <- t.fired + 1;
+    timer.action ()
+  end
+
+let step t =
+  match Heap.pop t.heap with
+  | None -> false
+  | Some (when_, _, timer) ->
+    fire t when_ timer;
+    true
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some horizon ->
+    let continue = ref true in
+    while !continue do
+      match Heap.peek t.heap with
+      | Some (when_, _, _) when Time.( <= ) when_ horizon ->
+        ignore (step t)
+      | Some _ | None -> continue := false
+    done;
+    if Time.( < ) t.clock horizon then t.clock <- horizon
+
+let queue_length t = Heap.length t.heap
+let events_processed t = t.fired

@@ -1,0 +1,42 @@
+(** Discrete-event scheduler.
+
+    Single-threaded, deterministic: events fire in (time, insertion-order)
+    order.  Callbacks may schedule and cancel further events freely. *)
+
+type t
+
+type timer
+(** Handle for a scheduled event, usable to cancel it. *)
+
+val create : unit -> t
+(** Fresh scheduler with clock at {!Time.zero}. *)
+
+val now : t -> Time.t
+(** Current simulated time (the timestamp of the running event, or of the
+    last completed one). *)
+
+val at : t -> Time.t -> (unit -> unit) -> timer
+(** [at t when_ f] schedules [f] at absolute time [when_].  Raises
+    [Invalid_argument] when [when_] is in the past. *)
+
+val after : t -> Time.t -> (unit -> unit) -> timer
+(** [after t delay f] schedules [f] at [now t + delay]; [delay >= 0]. *)
+
+val cancel : timer -> unit
+(** Prevents a pending event from firing.  Cancelling an already-fired or
+    already-cancelled timer is a no-op. *)
+
+val pending : timer -> bool
+(** [pending tm] is [true] until the timer fires or is cancelled. *)
+
+val run : ?until:Time.t -> t -> unit
+(** Processes events in order.  With [until], stops once every event at
+    time <= [until] has run and advances the clock to exactly [until];
+    without it, runs until the queue drains. *)
+
+val step : t -> bool
+(** Processes exactly one event; [false] when the queue is empty. *)
+
+val queue_length : t -> int
+val events_processed : t -> int
+(** Total number of callbacks fired so far (diagnostics / benchmarks). *)

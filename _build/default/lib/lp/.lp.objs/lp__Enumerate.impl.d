@@ -1,0 +1,1 @@
+lib/lp/enumerate.ml: Array Float List Simplex

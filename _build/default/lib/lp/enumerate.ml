@@ -1,0 +1,109 @@
+let eps = 1e-7
+
+(* Gaussian elimination with partial pivoting; [None] for singular. *)
+let solve_linear m v =
+  let n = Array.length v in
+  let a = Array.map Array.copy m in
+  let b = Array.copy v in
+  let ok = ref true in
+  for col = 0 to n - 1 do
+    if !ok then begin
+      let piv = ref col in
+      for r = col + 1 to n - 1 do
+        if Float.abs a.(r).(col) > Float.abs a.(!piv).(col) then piv := r
+      done;
+      if Float.abs a.(!piv).(col) < 1e-12 then ok := false
+      else begin
+        if !piv <> col then begin
+          let tmp = a.(col) in
+          a.(col) <- a.(!piv);
+          a.(!piv) <- tmp;
+          let tb = b.(col) in
+          b.(col) <- b.(!piv);
+          b.(!piv) <- tb
+        end;
+        for r = 0 to n - 1 do
+          if r <> col then begin
+            let k = a.(r).(col) /. a.(col).(col) in
+            if k <> 0.0 then begin
+              for j = col to n - 1 do
+                a.(r).(j) <- a.(r).(j) -. (k *. a.(col).(j))
+              done;
+              b.(r) <- b.(r) -. (k *. b.(col))
+            end
+          end
+        done
+      end
+    end
+  done;
+  if not !ok then None
+  else Some (Array.init n (fun i -> b.(i) /. a.(i).(i)))
+
+(* Enumerate all size-[k] subsets of [0 .. total-1]. *)
+let iter_subsets total k f =
+  let choice = Array.make k 0 in
+  let rec go idx start =
+    if idx = k then f choice
+    else
+      for v = start to total - 1 do
+        choice.(idx) <- v;
+        go (idx + 1) (v + 1)
+      done
+  in
+  if k <= total then go 0 0
+
+(* Shared driver: visit the solution of every n-subset of active
+   constraints (rows of A plus the axes). *)
+let iter_basic_solutions ~a ~b ~n f =
+  let m = Array.length a in
+  let total = m + n in
+  iter_subsets total n (fun choice ->
+      let rows =
+        Array.map
+          (fun k ->
+            if k < m then Array.copy a.(k)
+            else begin
+              let row = Array.make n 0.0 in
+              row.(k - m) <- 1.0;
+              row
+            end)
+          choice
+      in
+      let rhs = Array.map (fun k -> if k < m then b.(k) else 0.0) choice in
+      match solve_linear rows rhs with None -> () | Some x -> f x)
+
+let validate ~a ~b ~n name =
+  let m = Array.length a in
+  if Array.length b <> m then invalid_arg (name ^ ": |b| <> m");
+  if n > 10 then invalid_arg (name ^ ": n too large");
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then invalid_arg (name ^ ": ragged matrix"))
+    a
+
+let best_vertex ~c ~a ~b =
+  let n = Array.length c in
+  validate ~a ~b ~n "Enumerate.best_vertex";
+  let best = ref None in
+  iter_basic_solutions ~a ~b ~n (fun x ->
+      if Simplex.feasible ~a ~b ~x ~eps then begin
+        let obj = ref 0.0 in
+        Array.iteri (fun j v -> obj := !obj +. (v *. x.(j))) c;
+        match !best with
+        | Some (prev, _) when prev >= !obj -> ()
+        | _ -> best := Some (!obj, Array.copy x)
+      end);
+  !best
+
+let feasible_vertices ~a ~b =
+  let n = match a with [||] -> 0 | _ -> Array.length a.(0) in
+  validate ~a ~b ~n "Enumerate.feasible_vertices";
+  let acc = ref [] in
+  iter_basic_solutions ~a ~b ~n (fun x ->
+      if Simplex.feasible ~a ~b ~x ~eps then begin
+        (* Snap tiny numerical noise so deduplication is stable. *)
+        let x = Array.map (fun v -> if Float.abs v < eps then 0.0 else v) x in
+        let close y = Array.for_all2 (fun u v -> Float.abs (u -. v) < 1e-5) x y in
+        if not (List.exists close !acc) then acc := Array.copy x :: !acc
+      end);
+  List.sort compare !acc

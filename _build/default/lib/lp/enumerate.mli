@@ -1,0 +1,23 @@
+(** Brute-force LP solver by vertex enumeration.
+
+    For [maximize c.x  s.t.  A x <= b, x >= 0] with a bounded feasible
+    region, the optimum lies at a vertex, i.e. at the intersection of [n]
+    linearly independent active constraints drawn from the rows of [A]
+    and the axes [x_j = 0].  This solver tries every such combination —
+    exponential, so only usable for the tiny instances in tests, where it
+    serves as an independent oracle for {!Simplex}. *)
+
+val best_vertex :
+  c:float array -> a:float array array -> b:float array
+  -> (float * float array) option
+(** [best_vertex ~c ~a ~b] is [Some (objective, x)] for the best feasible
+    vertex, or [None] when no feasible vertex exists (for these
+    inequality systems with [x >= 0], the origin is feasible whenever
+    [b >= 0], so [None] implies infeasibility).  Raises
+    [Invalid_argument] on dimension mismatch or [n > 10]. *)
+
+val feasible_vertices :
+  a:float array array -> b:float array -> float array list
+(** All vertices of [{x : A x <= b, x >= 0}], deduplicated, in
+    lexicographic order — the corner points of the paper's Fig. 1c
+    throughput polytope.  Same size limits as {!best_vertex}. *)

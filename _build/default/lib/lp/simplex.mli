@@ -1,0 +1,37 @@
+(** Dense two-phase primal simplex.
+
+    Solves [maximize c.x  subject to  A x <= b, x >= 0] — the form taken
+    by the paper's path-throughput problem (Fig. 1c), where each row of
+    [A] is a link and [b] its capacity.  Bland's rule guarantees
+    termination under degeneracy (common here: many constraints are tight
+    at the optimum).
+
+    Problems in this repository are tiny (a handful of paths and links),
+    so a dense float tableau is the right tool; no scaling or revised
+    simplex is needed. *)
+
+type result =
+  | Optimal of solution
+  | Unbounded
+  | Infeasible
+
+and solution = {
+  objective : float;
+  x : float array;  (** primal values, one per structural variable *)
+  dual : float array;
+      (** shadow price per constraint row: the marginal objective gain per
+          unit of extra capacity.  A strictly positive dual identifies a
+          binding bottleneck link. *)
+}
+
+val solve :
+  c:float array -> a:float array array -> b:float array -> result
+(** [solve ~c ~a ~b] with [a] an [m x n] matrix ([m] rows of length [n]),
+    [b] of length [m], [c] of length [n].  Raises [Invalid_argument] on
+    dimension mismatch or non-finite input. *)
+
+val pp_result : Format.formatter -> result -> unit
+
+val feasible : a:float array array -> b:float array -> x:float array
+  -> eps:float -> bool
+(** [feasible ~a ~b ~x ~eps] checks [A x <= b + eps] and [x >= -eps]. *)

@@ -1,0 +1,1 @@
+lib/measure/capture.ml: Array Engine Hashtbl Int List Netsim Packet

@@ -1,0 +1,1 @@
+lib/measure/capture.mli: Engine Netsim Packet

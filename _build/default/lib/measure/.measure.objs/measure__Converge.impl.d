@@ -1,0 +1,1 @@
+lib/measure/converge.ml: Array Float Series

@@ -1,0 +1,1 @@
+lib/measure/converge.mli: Series

@@ -1,0 +1,1 @@
+lib/measure/probe.ml: Array Engine Series

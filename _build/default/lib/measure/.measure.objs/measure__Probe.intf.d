@@ -1,0 +1,1 @@
+lib/measure/probe.mli: Engine Series

@@ -1,0 +1,1 @@
+lib/measure/render.ml: Array Buffer Float Fun List Printf Series String

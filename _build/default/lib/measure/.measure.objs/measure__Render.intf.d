@@ -1,0 +1,1 @@
+lib/measure/render.mli: Series

@@ -1,0 +1,1 @@
+lib/measure/sampler.ml: Array Capture Engine List Series

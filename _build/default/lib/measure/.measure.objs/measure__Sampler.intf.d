@@ -1,0 +1,1 @@
+lib/measure/sampler.mli: Capture Engine Packet Series

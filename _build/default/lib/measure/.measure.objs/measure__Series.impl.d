@@ -1,0 +1,1 @@
+lib/measure/series.ml: Array Float List

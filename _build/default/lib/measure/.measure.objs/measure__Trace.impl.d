@@ -1,0 +1,1 @@
+lib/measure/trace.ml: Array Buffer Engine Format List Netgraph Netsim Packet Printf

@@ -1,0 +1,1 @@
+lib/measure/trace.mli: Engine Netsim Packet

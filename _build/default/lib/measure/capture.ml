@@ -1,0 +1,53 @@
+type event = { time : Engine.Time.t; tag : Packet.tag; bytes : int }
+
+type t = {
+  mutable items : event array;
+  mutable size : int;
+}
+
+let create () = { items = [||]; size = 0 }
+
+let record t ~time ~tag ~bytes =
+  let e = { time; tag; bytes } in
+  let cap = Array.length t.items in
+  if cap = 0 then t.items <- Array.make 1024 e
+  else if t.size = cap then begin
+    let fresh = Array.make (2 * cap) e in
+    Array.blit t.items 0 fresh 0 t.size;
+    t.items <- fresh
+  end;
+  t.items.(t.size) <- e;
+  t.size <- t.size + 1
+
+let attach net ~node ?conn () =
+  let t = create () in
+  let sched = Netsim.Net.sched net in
+  Netsim.Net.add_tap net ~node (fun p ->
+      if p.Packet.dst = node && Packet.is_data p then begin
+        let keep =
+          match conn with
+          | None -> true
+          | Some c -> (Packet.tcp_exn p).Packet.conn = c
+        in
+        if keep then
+          record t ~time:(Engine.Sched.now sched) ~tag:p.Packet.tag
+            ~bytes:p.Packet.size
+      end);
+  t
+
+let events t = Array.sub t.items 0 t.size
+let count t = t.size
+
+let bytes_for_tag t tag =
+  let acc = ref 0 in
+  for i = 0 to t.size - 1 do
+    if t.items.(i).tag = tag then acc := !acc + t.items.(i).bytes
+  done;
+  !acc
+
+let tags t =
+  let seen = Hashtbl.create 8 in
+  for i = 0 to t.size - 1 do
+    Hashtbl.replace seen t.items.(i).tag ()
+  done;
+  Hashtbl.fold (fun tag () acc -> tag :: acc) seen [] |> List.sort Int.compare

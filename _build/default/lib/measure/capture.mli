@@ -1,0 +1,32 @@
+(** Receiver-side packet capture — the simulator's tshark.
+
+    The paper "captured the data stream by tshark at the destination
+    node, then filtered the captured packets based on the tags".  A
+    capture taps one node, records every TCP data packet's (time, tag,
+    wire bytes) — including retransmissions, as a wire capture would —
+    and is post-processed by {!Sampler} at any sampling period. *)
+
+type event = {
+  time : Engine.Time.t;
+  tag : Packet.tag;
+  bytes : int;  (** wire size *)
+}
+
+type t
+
+val attach : Netsim.Net.t -> node:int -> ?conn:int -> unit -> t
+(** Start capturing data packets arriving at [node]; with [conn], only
+    that connection's packets are kept. *)
+
+val create : unit -> t
+(** Detached capture for feeding events manually (tests). *)
+
+val record : t -> time:Engine.Time.t -> tag:Packet.tag -> bytes:int -> unit
+
+val events : t -> event array
+(** Snapshot in arrival order. *)
+
+val count : t -> int
+val bytes_for_tag : t -> Packet.tag -> int
+val tags : t -> Packet.tag list
+(** Distinct tags seen, sorted. *)

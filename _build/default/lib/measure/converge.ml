@@ -1,0 +1,54 @@
+let threshold ~target ~tolerance = target *. (1.0 -. tolerance)
+
+let time_to_reach series ~target ?(tolerance = 0.05) ?(hold = 3) () =
+  let th = threshold ~target ~tolerance in
+  let n = Series.length series in
+  let result = ref None in
+  let run = ref 0 in
+  (try
+     for i = 0 to n - 1 do
+       if Series.value_at series i >= th then begin
+         incr run;
+         if !run >= hold then begin
+           result := Some (Series.time_at series (i - hold + 1));
+           raise Exit
+         end
+       end
+       else run := 0
+     done
+   with Exit -> ());
+  !result
+
+let fraction_above series ~target ?(tolerance = 0.05) ?(from_s = 0.0) () =
+  let th = threshold ~target ~tolerance in
+  let total = ref 0 and above = ref 0 in
+  Series.iteri series ~f:(fun _ time v ->
+      if time >= from_s then begin
+        incr total;
+        if v >= th then incr above
+      end);
+  if !total = 0 then Float.nan
+  else float_of_int !above /. float_of_int !total
+
+let coefficient_of_variation series ~from_s =
+  let m = Series.mean_from series ~from_s in
+  if Float.is_nan m || m = 0.0 then Float.nan
+  else Series.std_from series ~from_s /. m
+
+let jain_fairness xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Converge.jain_fairness: empty";
+  let s = Array.fold_left ( +. ) 0.0 xs in
+  let s2 = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 xs in
+  if s2 = 0.0 then 1.0 else s *. s /. (float_of_int n *. s2)
+
+let dip_count series ~target ?(tolerance = 0.05) () =
+  let th = threshold ~target ~tolerance in
+  let dips = ref 0 and above = ref false in
+  Series.iteri series ~f:(fun _ _ v ->
+      if v >= th then above := true
+      else if !above then begin
+        incr dips;
+        above := false
+      end);
+  !dips

@@ -1,0 +1,31 @@
+(** Convergence and stability metrics for throughput series.
+
+    Quantifies the paper's prose: "CUBIC always reached the optimum but
+    was unstable for short periods", "LIA never could reach the optimum",
+    "OLIA took 20 s". *)
+
+val time_to_reach :
+  Series.t -> target:float -> ?tolerance:float -> ?hold:int -> unit
+  -> float option
+(** First time (seconds) at which the series reaches
+    [target * (1 - tolerance)] and stays at or above it for [hold]
+    consecutive windows (defaults: 5% tolerance, 3 windows).  [None] when
+    it never does. *)
+
+val fraction_above :
+  Series.t -> target:float -> ?tolerance:float -> ?from_s:float -> unit
+  -> float
+(** Fraction of windows (ending at or after [from_s], default 0) at or
+    above the tolerated target — a stability measure: 1.0 means the
+    series, once sampled, never dipped below. *)
+
+val coefficient_of_variation : Series.t -> from_s:float -> float
+(** std/mean over the tail; lower is steadier. *)
+
+val jain_fairness : float array -> float
+(** Jain's index [(Σx)² / (n Σx²)]; 1.0 = perfectly even allocation.
+    Raises on an empty array; returns 1.0 for all-zero input. *)
+
+val dip_count : Series.t -> target:float -> ?tolerance:float -> unit -> int
+(** Number of downward crossings of the tolerated target — how many times
+    the "unstable short periods" occurred. *)

@@ -1,0 +1,20 @@
+(** Periodic state sampling.
+
+    Captures observe packets; a probe observes *state* — e.g. a subflow's
+    congestion window, a queue's depth — at a fixed period, producing a
+    {!Series} aligned with the throughput samplers.  This is how the
+    cwnd sawtooth plots behind Fig. 2c's narrative are made. *)
+
+type t
+
+val attach :
+  sched:Engine.Sched.t -> period:Engine.Time.t -> until:Engine.Time.t
+  -> (unit -> float) -> t
+(** Samples [f ()] every [period], starting at [period], until (and
+    including) [until].  Raises [Invalid_argument] when the period is not
+    positive. *)
+
+val series : t -> Series.t
+(** The samples collected so far, as a series with [dt = period]. *)
+
+val samples : t -> int

@@ -1,0 +1,96 @@
+let to_csv ~header ~rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (String.concat "," header);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      if List.length row <> List.length header then
+        invalid_arg "Render.to_csv: row width mismatch";
+      Buffer.add_string buf
+        (String.concat "," (List.map (Printf.sprintf "%.6g") row));
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let series_csv named =
+  match named with
+  | [] -> invalid_arg "Render.series_csv: no series"
+  | (_, first) :: _ ->
+    let n = Series.length first in
+    let header = "time_s" :: List.map fst named in
+    let rows =
+      List.init n (fun i ->
+          Series.time_at first i
+          :: List.map (fun (_, s) -> Series.value_at s i) named)
+    in
+    to_csv ~header ~rows
+
+let glyphs = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '&' |]
+
+let ascii_chart ?(width = 72) ?(height = 18) ?y_max ~title named =
+  match named with
+  | [] -> invalid_arg "Render.ascii_chart: no series"
+  | (_, first) :: _ ->
+    let n = Series.length first in
+    let top =
+      match y_max with
+      | Some v -> v
+      | None ->
+        let m =
+          List.fold_left
+            (fun acc (_, s) -> Float.max acc (Series.max_value s))
+            0.0 named
+        in
+        if m <= 0.0 then 1.0 else m *. 1.05
+    in
+    let grid = Array.make_matrix height width ' ' in
+    List.iteri
+      (fun si (_, s) ->
+        let glyph = glyphs.(si mod Array.length glyphs) in
+        for i = 0 to n - 1 do
+          let x = if n <= 1 then 0 else i * (width - 1) / (n - 1) in
+          let v = Float.max 0.0 (Series.value_at s i) in
+          let y =
+            int_of_float (Float.round (v /. top *. float_of_int (height - 1)))
+          in
+          let y = min (height - 1) y in
+          grid.(height - 1 - y).(x) <- glyph
+        done)
+      named;
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf title;
+    Buffer.add_char buf '\n';
+    let y_label_width = 8 in
+    Array.iteri
+      (fun row line ->
+        let frac = float_of_int (height - 1 - row) /. float_of_int (height - 1) in
+        let label =
+          if row mod 3 = 0 || row = height - 1 then
+            Printf.sprintf "%*.1f |" (y_label_width - 2) (top *. frac)
+          else String.make (y_label_width - 1) ' ' ^ "|"
+        in
+        Buffer.add_string buf label;
+        Buffer.add_string buf (String.init width (fun c -> line.(c)));
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf (String.make (y_label_width - 1) ' ');
+    Buffer.add_char buf '+';
+    Buffer.add_string buf (String.make width '-');
+    Buffer.add_char buf '\n';
+    let t_last = if n = 0 then 0.0 else Series.time_at first (n - 1) in
+    Buffer.add_string buf
+      (Printf.sprintf "%*s0%*.3gs\n" (y_label_width - 1) "" (width - 1) t_last);
+    Buffer.add_string buf "legend:";
+    List.iteri
+      (fun si (name, _) ->
+        Buffer.add_string buf
+          (Printf.sprintf " %c=%s" glyphs.(si mod Array.length glyphs) name))
+      named;
+    Buffer.add_char buf '\n';
+    Buffer.contents buf
+
+let write_file ~path content =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc content)

@@ -1,0 +1,19 @@
+(** Rendering results as CSV (for external plotting) and as ASCII charts
+    (so `dune exec bench/main.exe` shows the figures directly in the
+    terminal). *)
+
+val to_csv : header:string list -> rows:float list list -> string
+(** Plain CSV; row lengths must match the header. *)
+
+val series_csv : (string * Series.t) list -> string
+(** Columns: [time_s] then one column per named series (all series must
+    share shape). *)
+
+val ascii_chart :
+  ?width:int -> ?height:int -> ?y_max:float -> title:string
+  -> (string * Series.t) list -> string
+(** Multi-series line chart drawn with one glyph per series, a y-axis in
+    the series' units and an x-axis in seconds.  Series must share
+    shape. *)
+
+val write_file : path:string -> string -> unit

@@ -1,0 +1,29 @@
+let throughput events ~window ~until ?tag () =
+  if Engine.Time.( <= ) window Engine.Time.zero then
+    invalid_arg "Sampler.throughput: window must be positive";
+  let nbins = (until + window - 1) / window in
+  let bytes = Array.make (max nbins 1) 0 in
+  Array.iter
+    (fun (e : Capture.event) ->
+      let keep = match tag with None -> true | Some t -> e.Capture.tag = t in
+      if keep && e.Capture.time < until then begin
+        let i = e.Capture.time / window in
+        bytes.(i) <- bytes.(i) + e.Capture.bytes
+      end)
+    events;
+  let w_s = Engine.Time.to_float_s window in
+  let values =
+    Array.map (fun b -> float_of_int (b * 8) /. w_s /. 1e6) bytes
+  in
+  Series.create ~t0:0.0 ~dt:w_s values
+
+let per_tag capture ~window ~until =
+  let events = Capture.events capture in
+  let tags = Capture.tags capture in
+  let per =
+    List.map
+      (fun tag -> (tag, throughput events ~window ~until ~tag ()))
+      tags
+  in
+  let total = throughput events ~window ~until () in
+  (per, total)

@@ -1,0 +1,15 @@
+(** Post-processing a {!Capture} into throughput time series, the way the
+    paper binned tshark captures at 10 ms and 100 ms. *)
+
+val throughput :
+  Capture.event array -> window:Engine.Time.t -> until:Engine.Time.t
+  -> ?tag:Packet.tag -> unit -> Series.t
+(** Wire throughput in Mbps per [window], covering [\[0, until)] (the
+    number of windows is [ceil (until / window)]).  With [tag], only that
+    path's packets count. *)
+
+val per_tag :
+  Capture.t -> window:Engine.Time.t -> until:Engine.Time.t
+  -> (Packet.tag * Series.t) list * Series.t
+(** One series per tag seen in the capture (sorted by tag) plus their
+    total — the four curves of the paper's Fig. 2 panels. *)

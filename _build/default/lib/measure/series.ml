@@ -1,0 +1,66 @@
+type t = { t0 : float; dt : float; values : float array }
+
+let create ~t0 ~dt values =
+  if dt <= 0.0 then invalid_arg "Series.create: dt must be positive";
+  { t0; dt; values }
+
+let length s = Array.length s.values
+let time_at s i = s.t0 +. (float_of_int (i + 1) *. s.dt)
+let value_at s i = s.values.(i)
+let max_value s = Array.fold_left Float.max neg_infinity s.values
+
+let mean s =
+  if Array.length s.values = 0 then Float.nan
+  else Array.fold_left ( +. ) 0.0 s.values /. float_of_int (Array.length s.values)
+
+let fold_from s ~from_s ~init ~f =
+  let acc = ref init in
+  Array.iteri
+    (fun i v -> if time_at s i >= from_s then acc := f !acc v)
+    s.values;
+  !acc
+
+let mean_from s ~from_s =
+  let n = fold_from s ~from_s ~init:0 ~f:(fun acc _ -> acc + 1) in
+  if n = 0 then Float.nan
+  else fold_from s ~from_s ~init:0.0 ~f:( +. ) /. float_of_int n
+
+let mean_between s ~from_s ~to_s =
+  let n = ref 0 and acc = ref 0.0 in
+  Array.iteri
+    (fun i v ->
+      let t = time_at s i in
+      if t >= from_s && t < to_s then begin
+        incr n;
+        acc := !acc +. v
+      end)
+    s.values;
+  if !n = 0 then Float.nan else !acc /. float_of_int !n
+
+let std_from s ~from_s =
+  let n = fold_from s ~from_s ~init:0 ~f:(fun acc _ -> acc + 1) in
+  if n = 0 then Float.nan
+  else begin
+    let m = mean_from s ~from_s in
+    let ss =
+      fold_from s ~from_s ~init:0.0 ~f:(fun acc v ->
+          acc +. ((v -. m) *. (v -. m)))
+    in
+    Float.sqrt (ss /. float_of_int n)
+  end
+
+let check_shape a b =
+  if a.t0 <> b.t0 || a.dt <> b.dt
+     || Array.length a.values <> Array.length b.values
+  then invalid_arg "Series: shape mismatch"
+
+let map2 a b ~f =
+  check_shape a b;
+  { a with values = Array.map2 f a.values b.values }
+
+let sum = function
+  | [] -> invalid_arg "Series.sum: empty list"
+  | first :: rest ->
+    List.fold_left (fun acc s -> map2 acc s ~f:( +. )) first rest
+
+let iteri s ~f = Array.iteri (fun i v -> f i (time_at s i) v) s.values

@@ -1,0 +1,33 @@
+(** Uniformly-sampled time series (one value per sampling window). *)
+
+type t = {
+  t0 : float;      (** window 0 covers [\[t0, t0 + dt)], seconds *)
+  dt : float;      (** sampling period in seconds *)
+  values : float array;
+}
+
+val create : t0:float -> dt:float -> float array -> t
+val length : t -> int
+val time_at : t -> int -> float
+(** End of window [i] — the x-coordinate used when plotting, matching how
+    tshark's [io,stat] labels intervals. *)
+
+val value_at : t -> int -> float
+val max_value : t -> float
+val mean : t -> float
+
+val mean_from : t -> from_s:float -> float
+(** Mean over windows ending at or after [from_s]; [nan] if none. *)
+
+val mean_between : t -> from_s:float -> to_s:float -> float
+(** Mean over windows ending in [\[from_s, to_s)]; [nan] if none. *)
+
+val std_from : t -> from_s:float -> float
+val map2 : t -> t -> f:(float -> float -> float) -> t
+(** Pointwise combination; requires identical [t0]/[dt]/length. *)
+
+val sum : t list -> t
+(** Pointwise sum of equally-shaped series.  Raises on empty list. *)
+
+val iteri : t -> f:(int -> float -> float -> unit) -> unit
+(** [f i time value] for each window. *)

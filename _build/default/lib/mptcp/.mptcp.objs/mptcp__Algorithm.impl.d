@@ -1,0 +1,1 @@
+lib/mptcp/algorithm.ml: Cc_balia Cc_ewtcp Cc_lia Cc_olia Cc_wvegas Format String Tcp

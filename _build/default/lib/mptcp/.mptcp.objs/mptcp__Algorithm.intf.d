@@ -1,0 +1,1 @@
+lib/mptcp/algorithm.mli: Format Tcp

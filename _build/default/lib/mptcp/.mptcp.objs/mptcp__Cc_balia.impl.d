@@ -1,0 +1,1 @@
+lib/mptcp/cc_balia.ml: Cc Coupled Float Tcp

@@ -1,0 +1,1 @@
+lib/mptcp/cc_balia.mli: Tcp

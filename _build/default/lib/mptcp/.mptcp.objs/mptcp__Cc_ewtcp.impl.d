@@ -1,0 +1,1 @@
+lib/mptcp/cc_ewtcp.ml: Array Cc Coupled Float Tcp

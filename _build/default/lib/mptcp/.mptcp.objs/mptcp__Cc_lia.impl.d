@@ -1,0 +1,1 @@
+lib/mptcp/cc_lia.ml: Cc Coupled Float Tcp

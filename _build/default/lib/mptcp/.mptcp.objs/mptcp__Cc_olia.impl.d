@@ -1,0 +1,1 @@
+lib/mptcp/cc_olia.ml: Array Cc Coupled Float List Tcp

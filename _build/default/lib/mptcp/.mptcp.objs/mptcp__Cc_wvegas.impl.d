@@ -1,0 +1,1 @@
+lib/mptcp/cc_wvegas.ml: Cc Coupled Float Tcp

@@ -1,0 +1,1 @@
+lib/mptcp/connection.ml: Algorithm Array Engine Hashtbl List Netgraph Netsim Packet Path_manager Reassembly Scheduler Tcp

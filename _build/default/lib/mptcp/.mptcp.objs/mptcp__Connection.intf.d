@@ -1,0 +1,1 @@
+lib/mptcp/connection.mli: Algorithm Engine Netgraph Netsim Packet Path_manager Scheduler Tcp

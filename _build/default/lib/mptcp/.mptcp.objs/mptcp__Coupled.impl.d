@@ -1,0 +1,1 @@
+lib/mptcp/coupled.ml: Array Cc Float List Tcp

@@ -1,0 +1,1 @@
+lib/mptcp/coupled.mli: Tcp

@@ -1,0 +1,1 @@
+lib/mptcp/path_manager.ml: Format List Netgraph Netsim Packet

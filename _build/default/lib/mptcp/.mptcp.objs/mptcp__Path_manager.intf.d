@@ -1,0 +1,1 @@
+lib/mptcp/path_manager.mli: Format Netgraph Netsim Packet

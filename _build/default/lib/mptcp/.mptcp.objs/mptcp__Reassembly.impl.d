@@ -1,0 +1,1 @@
+lib/mptcp/reassembly.ml: Int Map

@@ -1,0 +1,1 @@
+lib/mptcp/scheduler.ml: Array String

@@ -1,0 +1,38 @@
+type t = Cubic | Reno | Lia | Olia | Balia | Ewtcp | Wvegas
+
+let all = [ Cubic; Reno; Lia; Olia; Balia; Ewtcp; Wvegas ]
+
+let coupled = function
+  | Cubic | Reno -> false
+  | Lia | Olia | Balia | Ewtcp | Wvegas -> true
+
+let name = function
+  | Cubic -> "cubic"
+  | Reno -> "reno"
+  | Lia -> "lia"
+  | Olia -> "olia"
+  | Balia -> "balia"
+  | Ewtcp -> "ewtcp"
+  | Wvegas -> "wvegas"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "cubic" -> Some Cubic
+  | "reno" -> Some Reno
+  | "lia" -> Some Lia
+  | "olia" -> Some Olia
+  | "balia" -> Some Balia
+  | "ewtcp" -> Some Ewtcp
+  | "wvegas" | "vegas" -> Some Wvegas
+  | _ -> None
+
+let factory = function
+  | Cubic -> Tcp.Cc_cubic.factory
+  | Reno -> Tcp.Cc_reno.factory
+  | Lia -> Cc_lia.factory
+  | Olia -> Cc_olia.factory
+  | Balia -> Cc_balia.factory
+  | Ewtcp -> Cc_ewtcp.factory
+  | Wvegas -> Cc_wvegas.factory
+
+let pp fmt t = Format.pp_print_string fmt (name t)

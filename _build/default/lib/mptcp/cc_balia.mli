@@ -1,0 +1,15 @@
+(** BALIA — the Balanced Linked Adaptation algorithm (Peng, Walid, Hwang,
+    Low: "Multipath TCP: Analysis, Design, and Implementation",
+    IEEE/ACM ToN 2016), as shipped in the MPTCP kernel's
+    [mptcp_balia.c].
+
+    Not measured in the paper; included as the natural "extension"
+    algorithm for the sweep benchmarks, since it was designed to strike a
+    balance between LIA's friendliness and OLIA's responsiveness.  With
+    [x_p = w_p / rtt_p] and [a = max_p x_p / x_r]:
+
+    - increase per MSS acked on path [r]:
+      [ (x_r / rtt_r) / (sum_p x_p)^2 * (1 + a)/2 * (4 + a)/5 ]
+    - decrease on loss: [w_r -= w_r / 2 * min(a, 1.5)]. *)
+
+val factory : Tcp.Cc.factory

@@ -1,0 +1,10 @@
+(** EWTCP — Equally-Weighted TCP (Honda et al.; analysed by Wischik,
+    Raiciu, Greenhalgh, Handley, NSDI 2011 — the paper's reference [6]).
+
+    The simplest multipath coupling: each subflow runs AIMD with a
+    reduced additive-increase gain [a = 1 / sqrt(n)] so that the
+    aggregate competes roughly like one TCP.  It makes no attempt to move
+    traffic between paths, so on the overlapping-path network it serves
+    as the "no load balancing" lower bound in the benchmark sweeps. *)
+
+val factory : Tcp.Cc.factory

@@ -1,0 +1,21 @@
+(** LIA — the Linked Increases Algorithm (RFC 6356; Wischik et al.,
+    NSDI 2011), the original coupled congestion control for MPTCP and one
+    of the three algorithms the paper measures.
+
+    In congestion avoidance, an ACK for [b] bytes on subflow [i] grows
+    [w_i] by
+
+    {v min ( alpha / w_total , 1 / w_i ) v}
+
+    per MSS acknowledged, where
+
+    {v alpha = w_total * max_p (w_p / rtt_p^2) / ( sum_p w_p / rtt_p )^2 v}
+
+    which caps the aggregate aggressiveness at that of one TCP on the
+    best path ("do no harm").  Slow start and the loss response are the
+    standard uncoupled ones.  The paper reports that LIA {e never}
+    reached the 90 Mbps optimum on the overlapping-path network — the
+    conservative coupling stops probing before the rebalancing
+    [(40,0,40) -> (10,30,50)] is complete. *)
+
+val factory : Tcp.Cc.factory

@@ -1,0 +1,65 @@
+open Tcp
+
+let eps = 1e-9
+
+(* Index sets over the sibling array (only established paths are
+   considered; indices refer to the original array so [self_index] can be
+   tested for membership). *)
+let alpha_for siblings ~self =
+  let n = Array.length siblings in
+  let considered i = siblings.(i).Cc.established || i = self in
+  let quality i =
+    let s = siblings.(i) in
+    let l = float_of_int s.Cc.loss_interval_bytes in
+    l *. l /. s.Cc.srtt_s
+  in
+  let best_q = ref neg_infinity and max_w = ref neg_infinity in
+  for i = 0 to n - 1 do
+    if considered i then begin
+      if quality i > !best_q then best_q := quality i;
+      if siblings.(i).Cc.cwnd > !max_w then max_w := siblings.(i).Cc.cwnd
+    end
+  done;
+  let in_b i = considered i && quality i >= !best_q -. eps in
+  let in_m i = considered i && siblings.(i).Cc.cwnd >= !max_w -. eps in
+  let collected = ref [] and maxers = ref [] in
+  for i = 0 to n - 1 do
+    if in_b i && not (in_m i) then collected := i :: !collected;
+    if in_m i then maxers := i :: !maxers
+  done;
+  let n_f = float_of_int n in
+  if !collected = [] then 0.0
+  else if List.mem self !collected then
+    1.0 /. (n_f *. float_of_int (List.length !collected))
+  else if List.mem self !maxers then
+    -1.0 /. (n_f *. float_of_int (List.length !maxers))
+  else 0.0
+
+let factory (ctx : Cc.ctx) =
+  let on_ack ~acked =
+    if not (Cc.slow_start_ack ctx ~acked) then begin
+      let siblings = ctx.Cc.siblings () in
+      let self = ctx.Cc.self_index () in
+      let active = Coupled.active siblings in
+      let denom = Coupled.rate_sum active in
+      let w = ctx.Cc.get_cwnd () in
+      let rtt = ctx.Cc.srtt_s () in
+      let coupled =
+        if denom <= 0.0 then 0.0
+        else w /. (rtt *. rtt) /. (denom *. denom)
+      in
+      let alpha = alpha_for siblings ~self in
+      let acked_mss = float_of_int acked /. float_of_int ctx.Cc.mss in
+      let inc = coupled +. (alpha /. w) in
+      (* The increase may be negative on max-window paths; never shrink
+         below the floor, and never faster than 1 MSS per MSS acked. *)
+      let inc = Float.min inc (1.0 /. w) in
+      ctx.Cc.set_cwnd (Float.max Cc.min_cwnd (w +. (inc *. acked_mss)))
+    end
+  in
+  {
+    Cc.name = "olia";
+    on_ack;
+    on_loss = (fun () -> Coupled.halve_on_loss ctx);
+    on_rto = (fun () -> Coupled.collapse_on_rto ctx);
+  }

@@ -1,0 +1,25 @@
+(** OLIA — the Opportunistic Linked Increases Algorithm (Khalili, Gast,
+    Popovic, Le Boudec: "MPTCP is not Pareto-optimal", IEEE/ACM ToN 2013),
+    the paper's reference [2] and its third measured algorithm.
+
+    In congestion avoidance, an ACK on path [r] grows [w_r] per MSS
+    acknowledged by
+
+    {v  w_r/rtt_r^2 / (sum_p w_p/rtt_p)^2  +  alpha_r / w_r  v}
+
+    The first term is a Kelly/MPTCP-style coupled increase; the second
+    re-allocates window between paths: with [l_p] the bytes acknowledged
+    in the current inter-loss interval (or the previous one if larger),
+    [B = argmax_p l_p^2 / rtt_p] the "best" paths and
+    [M = argmax_p w_p] the max-window paths,
+
+    - [alpha_r = 1 / (n |B \ M|)]  for [r] in [B \ M] (best but small),
+    - [alpha_r = -1 / (n |M|)]     for [r] in [M] when [B \ M] is
+      non-empty,
+    - [alpha_r = 0] otherwise,
+
+    with [n] the number of paths.  OLIA provably converges to the
+    Pareto-optimal allocation — but slowly; the paper measured ~20 s
+    convergence and only when the shortest path was the default. *)
+
+val factory : Tcp.Cc.factory

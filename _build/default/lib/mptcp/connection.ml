@@ -1,0 +1,269 @@
+type config = {
+  sender : Tcp.Sender.config;
+  scheduler : Scheduler.policy;
+  send_buffer : int option;
+  join_delay : Engine.Time.t;
+  start_jitter : Engine.Time.t;
+  delayed_ack : bool;
+  reinjection : bool;
+}
+
+let default_config =
+  {
+    sender = Tcp.Sender.default_config;
+    scheduler = Scheduler.Min_rtt;
+    send_buffer = None;
+    join_delay = Engine.Time.ms 10;
+    start_jitter = Engine.Time.zero;
+    delayed_ack = false;
+    reinjection = false;
+  }
+
+type subflow = {
+  index : int;
+  tag : Packet.tag;
+  path : Netgraph.Path.t;
+  mutable sender : Tcp.Sender.t option; (* set during establishment *)
+  mutable joined : bool; (* false until the subflow's start time *)
+  mutable rx_bytes : int;
+  mutable cursor : int; (* Redundant scheduler: private stream position *)
+}
+
+type t = {
+  sched : Engine.Sched.t;
+  config : config;
+  algorithm : Algorithm.t;
+  subflows : subflow array;
+  reassembly : Reassembly.t;
+  total_bytes : int option;
+  start_at : Engine.Time.t;
+  rr_cursor : int ref;
+  mutable next_dseq : int;
+  mutable data_ack_rx : int; (* highest DATA_ACK seen by the sender side *)
+  (* Which subflow a connection-level chunk was (last) mapped to, for
+     reinjection; entries below data_ack_rx are garbage-collected. *)
+  chunk_owner : (int, int * int) Hashtbl.t; (* dseq -> owner index, len *)
+  mutable reinjections : int;
+  mutable completed_at : Engine.Time.t option;
+}
+
+let sender_exn sf =
+  match sf.sender with Some s -> s | None -> assert false
+
+let window_space sender =
+  let w =
+    int_of_float (Tcp.Sender.cwnd sender *. float_of_int (Tcp.Sender.mss sender))
+  in
+  max 0 (w - Tcp.Sender.in_flight_bytes sender)
+
+let candidates t =
+  Array.map
+    (fun sf ->
+      let s = sender_exn sf in
+      {
+        Scheduler.index = sf.index;
+        srtt_s =
+          (match Tcp.Sender.srtt s with
+          | Some v -> Engine.Time.to_float_s v
+          | None -> 0.01);
+        (* A subflow that has not joined yet must never attract data. *)
+        window_space = (if sf.joined then window_space s else 0);
+      })
+    t.subflows
+
+let conn_window_open t =
+  match t.config.send_buffer with
+  | None -> true
+  | Some cap -> t.next_dseq - t.data_ack_rx < cap
+
+let gc_chunk_owners t =
+  if Hashtbl.length t.chunk_owner > 64 then
+    Hashtbl.iter
+      (fun dseq _ -> if dseq < t.data_ack_rx then Hashtbl.remove t.chunk_owner dseq)
+      (Hashtbl.copy t.chunk_owner)
+
+(* Opportunistic reinjection (Raiciu et al., NSDI 2012): when the
+   connection-level window blocks subflow [sf], re-send the blocking
+   chunk (the first un-data-acked one) on [sf] and penalize the subflow
+   that originally carried it. *)
+let reinject t sf =
+  match Hashtbl.find_opt t.chunk_owner t.data_ack_rx with
+  | Some (owner, len) when owner <> sf.index ->
+    Hashtbl.replace t.chunk_owner t.data_ack_rx (sf.index, len);
+    t.reinjections <- t.reinjections + 1;
+    Tcp.Sender.penalize (sender_exn t.subflows.(owner));
+    Some { Tcp.Sender.dss = Some { Packet.dseq = t.data_ack_rx; dlen = len };
+           len }
+  | Some _ | None -> None
+
+let remaining t ~from =
+  match t.total_bytes with
+  | None -> max_int
+  | Some total -> total - from
+
+(* Data source for one subflow: consulted by its sender whenever the
+   congestion window opens. *)
+let source t sf ~max_len =
+  match t.config.scheduler with
+  | Scheduler.Redundant ->
+    let len = min max_len (remaining t ~from:sf.cursor) in
+    if len <= 0 then None
+    else begin
+      let dseq = sf.cursor in
+      sf.cursor <- dseq + len;
+      Some { Tcp.Sender.dss = Some { Packet.dseq; dlen = len }; len }
+    end
+  | Scheduler.Min_rtt | Scheduler.Round_robin ->
+    let len = min max_len (remaining t ~from:t.next_dseq) in
+    if len <= 0 then None
+    else if not (conn_window_open t) then
+      if t.config.reinjection then reinject t sf else None
+    else begin
+      match
+        Scheduler.decide t.config.scheduler ~cursor:t.rr_cursor
+          ~requester:sf.index (candidates t)
+      with
+      | Scheduler.Grant ->
+        let dseq = t.next_dseq in
+        t.next_dseq <- dseq + len;
+        if t.config.reinjection then begin
+          gc_chunk_owners t;
+          Hashtbl.replace t.chunk_owner dseq (sf.index, len)
+        end;
+        Some { Tcp.Sender.dss = Some { Packet.dseq; dlen = len }; len }
+      | Scheduler.Defer preferred ->
+        (match preferred with
+        | Some j when j <> sf.index && t.subflows.(j).joined ->
+          (* Hand the transmission opportunity to the preferred subflow,
+             outside the requester's send loop. *)
+          ignore
+            (Engine.Sched.after t.sched Engine.Time.zero (fun () ->
+                 Tcp.Sender.kick (sender_exn t.subflows.(j))))
+        | Some _ | None -> ());
+        None
+    end
+
+let establish ~net ~src ~dst ~conn ~paths ~cc ?(config = default_config)
+    ?rng ?total_bytes ?(start_at = Engine.Time.zero) () =
+  if paths = [] then invalid_arg "Connection.establish: no paths";
+  let sched = Netsim.Net.sched net in
+  Path_manager.install net paths;
+  let subflows =
+    Array.of_list
+      (List.mapi
+         (fun index (tag, path) ->
+           { index; tag; path; sender = None; joined = false; rx_bytes = 0;
+             cursor = 0 })
+         paths)
+  in
+  let t =
+    {
+      sched;
+      config;
+      algorithm = cc;
+      subflows;
+      reassembly = Reassembly.create ();
+      total_bytes;
+      start_at;
+      rr_cursor = ref 0;
+      next_dseq = 0;
+      data_ack_rx = 0;
+      chunk_owner = Hashtbl.create 64;
+      reinjections = 0;
+      completed_at = None;
+    }
+  in
+  let fresh_id () = Netsim.Net.fresh_packet_id net in
+  let siblings () =
+    Array.map (fun sf -> Tcp.Sender.sibling_view (sender_exn sf)) t.subflows
+  in
+  let src_node = Tcp.Endpoint.node src and dst_node = Tcp.Endpoint.node dst in
+  Array.iter
+    (fun sf ->
+      (* Receiver side. *)
+      let receiver =
+        Tcp.Receiver.create ~sched ~conn ~subflow:sf.index ~addr:dst_node
+          ~peer:src_node ~tag:sf.tag ~fresh_id
+          ~transmit:(fun p -> Netsim.Net.inject net ~at:dst_node p)
+          ~on_deliver:(fun ~seq:_ ~len ~dss ->
+            sf.rx_bytes <- sf.rx_bytes + len;
+            (match dss with
+            | Some { Packet.dseq; dlen } ->
+              Reassembly.insert t.reassembly ~dseq ~len:dlen
+            | None ->
+              (* MPTCP data always carries a mapping. *)
+              assert false);
+            match t.total_bytes with
+            | Some total
+              when Reassembly.delivered_bytes t.reassembly >= total
+                   && t.completed_at = None ->
+              t.completed_at <- Some (Engine.Sched.now sched)
+            | Some _ | None -> ())
+          ~data_ack:(fun () -> Reassembly.next_expected t.reassembly)
+          ~delayed_ack:config.delayed_ack ()
+      in
+      Tcp.Endpoint.register dst ~conn ~subflow:sf.index (fun p ->
+          Tcp.Receiver.handle_data receiver p);
+      (* Sender side. *)
+      let sender =
+        Tcp.Sender.create ~sched ~config:config.sender ~conn ~subflow:sf.index
+          ~src:src_node ~dst:dst_node ~tag:sf.tag ~fresh_id
+          ~transmit:(fun p -> Netsim.Net.inject net ~at:src_node p)
+          ~source:(fun ~max_len -> source t sf ~max_len)
+          ~cc:(Algorithm.factory cc) ~siblings
+          ~self_index:(fun () -> sf.index)
+          ()
+      in
+      sf.sender <- Some sender;
+      Tcp.Endpoint.register src ~conn ~subflow:sf.index (fun p ->
+          let tcp = Packet.tcp_exn p in
+          let advanced = tcp.Packet.data_ack > t.data_ack_rx in
+          if advanced then t.data_ack_rx <- tcp.Packet.data_ack;
+          Tcp.Sender.handle_ack sender tcp;
+          (* Freed connection-level buffer may unblock other subflows. *)
+          if advanced && t.config.send_buffer <> None then
+            Array.iter
+              (fun other ->
+                if other.index <> sf.index then
+                  Tcp.Sender.kick (sender_exn other))
+              t.subflows))
+    subflows;
+  (* Default subflow starts at [start_at]; the rest join later.  The
+     per-subflow jitter desynchronises the slow starts, as scheduling
+     noise would on a real host. *)
+  let jitter () =
+    match rng with
+    | Some rng when Engine.Time.( > ) config.start_jitter Engine.Time.zero ->
+      Engine.Rng.uniform_time rng ~lo:Engine.Time.zero ~hi:config.start_jitter
+    | Some _ | None -> Engine.Time.zero
+  in
+  Array.iter
+    (fun sf ->
+      let when_ =
+        Engine.Time.add (jitter ())
+          (if sf.index = 0 then start_at
+           else Engine.Time.add start_at config.join_delay)
+      in
+      ignore
+        (Engine.Sched.at sched when_ (fun () ->
+             sf.joined <- true;
+             Tcp.Sender.kick (sender_exn sf))))
+    subflows;
+  t
+
+let subflow_count t = Array.length t.subflows
+let subflow_sender t i = sender_exn t.subflows.(i)
+let subflow_tag t i = t.subflows.(i).tag
+let subflow_path t i = t.subflows.(i).path
+let subflow_rx_bytes t i = t.subflows.(i).rx_bytes
+let delivered_bytes t = Reassembly.delivered_bytes t.reassembly
+let data_ack t = Reassembly.next_expected t.reassembly
+let reassembly_buffered t = Reassembly.buffered_bytes t.reassembly
+let completed_at t = t.completed_at
+let reinjections t = t.reinjections
+let cc t = t.algorithm
+
+let total_throughput_bps t ~now =
+  let dt = Engine.Time.to_float_s (Engine.Time.diff now t.start_at) in
+  if dt <= 0.0 then 0.0
+  else float_of_int (delivered_bytes t * 8) /. dt

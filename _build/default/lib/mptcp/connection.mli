@@ -1,0 +1,79 @@
+(** An MPTCP connection: one byte stream striped over several TCP
+    subflows, each pinned to a tagged path.
+
+    This is the system under test in the paper: a bulk transfer (iperf)
+    from [s] to [d] over three overlapping paths, with the chosen
+    congestion-control algorithm deciding how the stream spreads across
+    the paths.  The first path is the default subflow; the others join
+    [join_delay] later, as the kernel's path manager would create them
+    after connection establishment. *)
+
+type config = {
+  sender : Tcp.Sender.config;
+  scheduler : Scheduler.policy;
+  send_buffer : int option;
+      (** connection-level in-flight cap in bytes; [None] (default)
+          models iperf's effectively unlimited buffer *)
+  join_delay : Engine.Time.t;
+      (** when the non-default subflows start (default 10 ms) *)
+  start_jitter : Engine.Time.t;
+      (** each subflow's start is delayed by an extra uniform draw from
+          [\[0, start_jitter\]] (default 0, i.e. fully deterministic);
+          requires [rng] at {!establish} to take effect *)
+  delayed_ack : bool;
+      (** receiver-side delayed ACKs (see {!Tcp.Receiver.create});
+          default [false] *)
+  reinjection : bool;
+      (** opportunistic reinjection with penalization (Raiciu et al.,
+          NSDI 2012): when the connection-level [send_buffer] window
+          blocks a subflow, the blocking chunk is re-sent on that subflow
+          and the slow subflow that owns it gets its window halved.
+          Only meaningful together with [send_buffer]; default [false] *)
+}
+
+val default_config : config
+
+type t
+
+val establish :
+  net:Netsim.Net.t ->
+  src:Tcp.Endpoint.t ->
+  dst:Tcp.Endpoint.t ->
+  conn:int ->
+  paths:Path_manager.t ->
+  cc:Algorithm.t ->
+  ?config:config ->
+  ?rng:Engine.Rng.t ->
+  ?total_bytes:int ->
+  ?start_at:Engine.Time.t ->
+  unit -> t
+(** Installs the tagged routes, creates one (sender, receiver) pair per
+    path and starts the transfer.  [conn] must be unique per simulation;
+    tags must be unique per (src, dst) pair.  Raises [Invalid_argument]
+    on an empty path list. *)
+
+(** {1 Observation} *)
+
+val subflow_count : t -> int
+val subflow_sender : t -> int -> Tcp.Sender.t
+val subflow_tag : t -> int -> Packet.tag
+val subflow_path : t -> int -> Netgraph.Path.t
+
+val subflow_rx_bytes : t -> int -> int
+(** In-order subflow-level bytes the receiver got on that subflow. *)
+
+val delivered_bytes : t -> int
+(** Connection-level bytes delivered in data-sequence order. *)
+
+val data_ack : t -> int
+val reassembly_buffered : t -> int
+val completed_at : t -> Engine.Time.t option
+
+val reinjections : t -> int
+(** Count of chunks re-sent on a faster subflow to clear head-of-line
+    blocking (see [config.reinjection]). *)
+
+val cc : t -> Algorithm.t
+
+val total_throughput_bps : t -> now:Engine.Time.t -> float
+(** Delivered connection-level goodput averaged since [start_at]. *)

@@ -1,0 +1,32 @@
+open Tcp
+let active siblings =
+  let est = Array.of_list
+      (List.filter (fun s -> s.Cc.established) (Array.to_list siblings))
+  in
+  if Array.length est = 0 then siblings else est
+
+let rate_sum siblings =
+  Array.fold_left (fun acc s -> acc +. (s.Cc.cwnd /. s.Cc.srtt_s)) 0.0 siblings
+
+let max_rate2 siblings =
+  Array.fold_left
+    (fun acc s -> Float.max acc (s.Cc.cwnd /. (s.Cc.srtt_s *. s.Cc.srtt_s)))
+    0.0 siblings
+
+let max_rate siblings =
+  Array.fold_left
+    (fun acc s -> Float.max acc (s.Cc.cwnd /. s.Cc.srtt_s))
+    0.0 siblings
+
+let total_cwnd siblings =
+  Array.fold_left (fun acc s -> acc +. s.Cc.cwnd) 0.0 siblings
+
+let halve_on_loss (ctx : Cc.ctx) =
+  let half = Float.max Cc.min_cwnd (ctx.Cc.get_cwnd () /. 2.0) in
+  ctx.Cc.set_ssthresh half;
+  ctx.Cc.set_cwnd half
+
+let collapse_on_rto (ctx : Cc.ctx) =
+  let half = Float.max Cc.min_cwnd (ctx.Cc.get_cwnd () /. 2.0) in
+  ctx.Cc.set_ssthresh half;
+  ctx.Cc.set_cwnd 1.0

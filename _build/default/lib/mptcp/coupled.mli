@@ -1,0 +1,28 @@
+(** Shared arithmetic for coupled congestion controllers.
+
+    All quantities are in MSS units (windows) and seconds (RTTs), the
+    conventions of RFC 6356 and the OLIA/BALIA papers.  Subflows that
+    have not yet sent anything are excluded: they would otherwise
+    contribute a bogus initial window to the coupling sums. *)
+
+val active : Tcp.Cc.sibling array -> Tcp.Cc.sibling array
+(** Established subflows only; falls back to the full array when none is
+    established yet (connection start-up). *)
+
+val rate_sum : Tcp.Cc.sibling array -> float
+(** [Σ_p w_p / rtt_p]. *)
+
+val max_rate2 : Tcp.Cc.sibling array -> float
+(** [max_p w_p / rtt_p²]. *)
+
+val max_rate : Tcp.Cc.sibling array -> float
+(** [max_p w_p / rtt_p]. *)
+
+val total_cwnd : Tcp.Cc.sibling array -> float
+
+val halve_on_loss : Tcp.Cc.ctx -> unit
+(** The standard multiplicative decrease shared by LIA/OLIA/EWTCP:
+    [ssthresh = cwnd/2] (floored at {!Cc.min_cwnd}), [cwnd = ssthresh]. *)
+
+val collapse_on_rto : Tcp.Cc.ctx -> unit
+(** [ssthresh = cwnd/2], [cwnd = 1]. *)

@@ -1,0 +1,67 @@
+type t = (Packet.tag * Netgraph.Path.t) list
+
+let tag_paths ?(first_tag = 1) paths =
+  List.mapi (fun i p -> (first_tag + i, p)) paths
+
+let ndiffports topo ~src ~dst ~subflows ?(weight = Netgraph.Shortest.delay_ns)
+    () =
+  if subflows < 1 then invalid_arg "Path_manager.ndiffports: subflows < 1";
+  let paths = Netgraph.Kshortest.yen topo ~src ~dst ~k:subflows ~weight in
+  tag_paths paths
+
+let fullmesh topo ~src ~dst ?(weight = Netgraph.Shortest.delay_ns) () =
+  if src = dst then invalid_arg "Path_manager.fullmesh: src = dst";
+  let src_links = List.map fst (Netgraph.Topology.neighbours topo src) in
+  let dst_links = List.map fst (Netgraph.Topology.neighbours topo dst) in
+  let paths =
+    List.concat_map
+      (fun ls ->
+        List.filter_map
+          (fun ld ->
+            (* Force the exit and entry interfaces by banning the other
+               access links of each host. *)
+            let banned lid =
+              (List.mem lid src_links && lid <> ls)
+              || (List.mem lid dst_links && lid <> ld)
+            in
+            Netgraph.Shortest.shortest_path topo ~src ~dst ~weight
+              ~avoid_links:banned)
+          dst_links)
+      src_links
+  in
+  let deduped =
+    List.fold_left
+      (fun acc p ->
+        if List.exists (Netgraph.Path.equal p) acc then acc else p :: acc)
+      [] paths
+    |> List.rev
+  in
+  let sorted =
+    List.sort
+      (fun p q ->
+        compare
+          (Netgraph.Kshortest.path_weight topo weight p)
+          (Netgraph.Kshortest.path_weight topo weight q))
+      deduped
+  in
+  tag_paths sorted
+
+let with_default t ~default_tag =
+  let chosen = List.assoc default_tag t in
+  (default_tag, chosen)
+  :: List.filter (fun (tag, _) -> tag <> default_tag) t
+
+let install net t =
+  List.iter (fun (tag, path) -> Netsim.Net.install_path net ~tag path) t
+
+let pp topo fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iteri
+    (fun i (tag, path) ->
+      Format.fprintf fmt "%ssubflow tag=%d%s: %a@,"
+        (if i = 0 then "" else "")
+        tag
+        (if i = 0 then " (default)" else "")
+        (Netgraph.Path.pp topo) path)
+    t;
+  Format.fprintf fmt "@]"

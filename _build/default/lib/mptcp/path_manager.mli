@@ -1,0 +1,42 @@
+(** Path management: which routes a connection gets, and their tags.
+
+    Mirrors the paper's modified [ndiffports] path manager: the operator
+    (or an algorithm such as Yen's) supplies a list of paths; each is
+    assigned a distinct tag, and one subflow per tag is created.  The
+    first path in the list is the {e default} path — the one the
+    connection is established on (the paper's experiments hinge on which
+    path plays this role). *)
+
+type t = (Packet.tag * Netgraph.Path.t) list
+
+val tag_paths : ?first_tag:int -> Netgraph.Path.t list -> t
+(** Assign consecutive tags (default from 1) in list order. *)
+
+val ndiffports :
+  Netgraph.Topology.t -> src:int -> dst:int -> subflows:int
+  -> ?weight:Netgraph.Shortest.weight -> unit -> t
+(** The k-shortest-paths analogue of [ndiffports]: take the [subflows]
+    shortest simple paths (by [weight], default propagation delay) and
+    tag them.  The shortest path comes first, i.e. is the default —
+    matching "Path 2 as default shortest path" in the paper. *)
+
+val fullmesh :
+  Netgraph.Topology.t -> src:int -> dst:int
+  -> ?weight:Netgraph.Shortest.weight -> unit -> t
+(** The kernel's [fullmesh] path manager for multihomed hosts.  In this
+    model a host's "addresses" are its access links, so fullmesh tries
+    one subflow per (source access link, destination access link) pair:
+    the shortest path forced to leave [src] through the one link and
+    enter [dst] through the other.  Pairs with no such route are
+    skipped; duplicate paths are kept once; the shortest surviving path
+    comes first (the default subflow).  Raises [Invalid_argument] when
+    [src = dst]. *)
+
+val with_default : t -> default_tag:Packet.tag -> t
+(** Reorder so the path carrying [default_tag] is first.  Raises
+    [Not_found] when no path has that tag. *)
+
+val install : Netsim.Net.t -> t -> unit
+(** Install forward and reverse routes for every tagged path. *)
+
+val pp : Netgraph.Topology.t -> Format.formatter -> t -> unit

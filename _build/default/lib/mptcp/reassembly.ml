@@ -1,0 +1,48 @@
+module Imap = Map.Make (Int)
+
+type t = {
+  mutable next : int;
+  mutable ranges : int Imap.t; (* start -> end, disjoint, all > next *)
+}
+
+let create () = { next = 0; ranges = Imap.empty }
+
+let insert t ~dseq ~len =
+  if len <= 0 then invalid_arg "Reassembly.insert: len must be positive";
+  if dseq < 0 then invalid_arg "Reassembly.insert: negative dseq";
+  let lo = max dseq t.next and hi = dseq + len in
+  if hi > t.next then begin
+    (* Merge [lo, hi) with any overlapping or adjacent stored ranges. *)
+    let lo = ref lo and hi = ref hi in
+    let overlapping =
+      Imap.filter (fun s e -> s <= !hi && e >= !lo) t.ranges
+    in
+    Imap.iter
+      (fun s e ->
+        lo := min !lo s;
+        hi := max !hi e;
+        t.ranges <- Imap.remove s t.ranges)
+      overlapping;
+    if !lo <= t.next then begin
+      t.next <- max t.next !hi;
+      (* Newly contiguous prefix may absorb further stored ranges. *)
+      let rec absorb () =
+        match Imap.min_binding_opt t.ranges with
+        | Some (s, e) when s <= t.next ->
+          t.ranges <- Imap.remove s t.ranges;
+          if e > t.next then t.next <- e;
+          absorb ()
+        | Some _ | None -> ()
+      in
+      absorb ()
+    end
+    else t.ranges <- Imap.add !lo !hi t.ranges
+  end
+
+let next_expected t = t.next
+let delivered_bytes t = t.next
+
+let buffered_bytes t =
+  Imap.fold (fun s e acc -> acc + (e - s)) t.ranges 0
+
+let gap_count t = Imap.cardinal t.ranges

@@ -1,0 +1,28 @@
+(** Connection-level data-sequence reassembly.
+
+    MPTCP stripes one byte stream across subflows; the receiver must
+    reassemble by data-sequence number (DSS) before delivering to the
+    application.  Duplicate and overlapping ranges are tolerated (the
+    redundant scheduler sends them on purpose). *)
+
+type t
+
+val create : unit -> t
+
+val insert : t -> dseq:int -> len:int -> unit
+(** Register receipt of connection-level bytes [\[dseq, dseq + len)].
+    Raises [Invalid_argument] when [len <= 0] or [dseq < 0]. *)
+
+val next_expected : t -> int
+(** The connection-level cumulative acknowledgement (DATA_ACK): all bytes
+    below this point have arrived. *)
+
+val delivered_bytes : t -> int
+(** Bytes handed to the application in order; equals {!next_expected} for
+    a stream starting at 0. *)
+
+val buffered_bytes : t -> int
+(** Bytes received above a gap, awaiting reassembly. *)
+
+val gap_count : t -> int
+(** Number of discontiguous ranges buffered. *)

@@ -1,0 +1,52 @@
+type policy = Min_rtt | Round_robin | Redundant
+
+let policy_name = function
+  | Min_rtt -> "minrtt"
+  | Round_robin -> "roundrobin"
+  | Redundant -> "redundant"
+
+let policy_of_string s =
+  match String.lowercase_ascii s with
+  | "minrtt" | "min_rtt" | "default" -> Some Min_rtt
+  | "roundrobin" | "round_robin" | "rr" -> Some Round_robin
+  | "redundant" -> Some Redundant
+  | _ -> None
+
+type candidate = { index : int; srtt_s : float; window_space : int }
+type decision = Grant | Defer of int option
+
+let decide policy ~cursor ~requester candidates =
+  match policy with
+  | Redundant -> Grant
+  | Min_rtt ->
+    let best = ref None in
+    Array.iter
+      (fun c ->
+        if c.window_space > 0 then
+          match !best with
+          | Some b when b.srtt_s <= c.srtt_s -> ()
+          | Some _ | None -> best := Some c)
+      candidates;
+    (match !best with
+    | None -> Grant (* requester claims space; trust it *)
+    | Some b -> if b.index = requester then Grant else Defer (Some b.index))
+  | Round_robin ->
+    let n = Array.length candidates in
+    if n = 0 then Grant
+    else begin
+      (* Advance the cursor to the next subflow with window space. *)
+      let rec find i remaining =
+        if remaining = 0 then None
+        else
+          let c = candidates.(i mod n) in
+          if c.window_space > 0 then Some (i mod n) else find (i + 1) (remaining - 1)
+      in
+      match find !cursor n with
+      | None -> Grant
+      | Some chosen ->
+        if chosen = requester then begin
+          cursor := (chosen + 1) mod n;
+          Grant
+        end
+        else Defer (Some chosen)
+    end

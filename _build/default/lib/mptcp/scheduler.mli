@@ -1,0 +1,38 @@
+(** Subflow scheduling policies.
+
+    Decides which subflow carries the next connection-level chunk.  With
+    an unlimited send buffer and a bulk source (the paper's iperf
+    setup) every subflow always has data, so the policy is immaterial
+    there; it matters when {!Connection} is given a finite send buffer or
+    a latency-sensitive source.
+
+    [Min_rtt] is the Linux MPTCP default scheduler the paper used. *)
+
+type policy =
+  | Min_rtt      (** prefer the subflow with the lowest smoothed RTT *)
+  | Round_robin  (** rotate across subflows with window space *)
+  | Redundant
+      (** duplicate the stream on every subflow (Vulimiri et al.'s
+          latency-via-redundancy, the paper's reference [5]) *)
+
+val policy_name : policy -> string
+val policy_of_string : string -> policy option
+
+(** A candidate subflow as seen by the scheduler. *)
+type candidate = {
+  index : int;
+  srtt_s : float;
+  window_space : int;  (** bytes of congestion window still unused *)
+}
+
+type decision =
+  | Grant
+  | Defer of int option
+      (** refuse the requester; the payload should go to the given
+          subflow instead (kick it), or nobody right now *)
+
+val decide : policy -> cursor:int ref -> requester:int
+  -> candidate array -> decision
+(** [decide] assumes the requester has window space (it is pulling).
+    [cursor] is the rotation state for [Round_robin]; [Redundant] always
+    grants. *)

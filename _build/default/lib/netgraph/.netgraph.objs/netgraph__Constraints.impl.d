@@ -1,0 +1,1 @@
+lib/netgraph/constraints.ml: Array Float Format Hashtbl Int List Lp Path Printf String Topology

@@ -1,0 +1,1 @@
+lib/netgraph/constraints.mli: Format Path Topology

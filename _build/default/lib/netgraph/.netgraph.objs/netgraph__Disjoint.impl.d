@@ -1,0 +1,1 @@
+lib/netgraph/disjoint.ml: Array Hashtbl Int Kshortest List Option Path Shortest Topology

@@ -1,0 +1,1 @@
+lib/netgraph/disjoint.mli: Path Shortest Topology

@@ -1,0 +1,1 @@
+lib/netgraph/generate.ml: Array Engine Hashtbl List Path Printf Topology

@@ -1,0 +1,1 @@
+lib/netgraph/generate.mli: Engine Path Topology

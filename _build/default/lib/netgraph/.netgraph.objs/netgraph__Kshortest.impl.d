@@ -1,0 +1,1 @@
+lib/netgraph/kshortest.ml: Array Hashtbl Int List Path Shortest Topology

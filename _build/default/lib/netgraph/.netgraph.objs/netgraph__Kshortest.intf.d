@@ -1,0 +1,1 @@
+lib/netgraph/kshortest.mli: Path Shortest Topology

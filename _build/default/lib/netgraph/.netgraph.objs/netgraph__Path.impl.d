@@ -1,0 +1,1 @@
+lib/netgraph/path.ml: Array Engine Format Hashtbl List Printf Stdlib String Topology

@@ -1,0 +1,1 @@
+lib/netgraph/shortest.ml: Array Engine List Path Topology

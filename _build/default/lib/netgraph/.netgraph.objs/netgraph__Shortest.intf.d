@@ -1,0 +1,1 @@
+lib/netgraph/shortest.mli: Path Topology

@@ -1,0 +1,1 @@
+lib/netgraph/topology.ml: Array Engine Format Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/netgraph/topology.mli: Engine Format

@@ -1,0 +1,37 @@
+(** From a path set to the paper's throughput LP (Fig. 1c).
+
+    Every link carried by at least one path contributes one inequality
+    [sum over paths using it of x_p <= capacity]; maximizing
+    [sum of x_p] over that polytope is exactly the optimization problem
+    the paper argues MPTCP's congestion control is implicitly solving. *)
+
+type system = {
+  paths : Path.t array;
+  link_rows : int array;  (** [link_rows.(i)] is the link id of row [i] *)
+  a : float array array;  (** 0/1 incidence matrix, rows = links *)
+  b : float array;        (** capacities in bits per second *)
+}
+
+val extract : Topology.t -> Path.t list -> system
+(** Raises [Invalid_argument] on an empty path list. *)
+
+type optimum = {
+  total_bps : float;
+  per_path_bps : float array;
+  bottlenecks : (int * float) list;
+      (** (link id, shadow price) for every binding constraint — the
+          links whose extra capacity would raise total throughput. *)
+}
+
+val optimum : Topology.t -> Path.t list -> optimum
+(** Solves the LP.  The polytope is always feasible (x = 0) and bounded
+    (capacities are finite), so a solution exists. *)
+
+val greedy_from : Topology.t -> Path.t list -> order:int list -> float array
+(** The rate vector reached by greedily filling paths one at a time in
+    [order] (each path takes all residual capacity along its links).
+    This models "increase each subflow independently until its own
+    bottleneck" — the suboptimal Pareto point the paper contrasts with
+    the LP optimum.  [order] must be a permutation of path indices. *)
+
+val pp_system : Topology.t -> Format.formatter -> system -> unit

@@ -1,0 +1,162 @@
+(* Bhandari's algorithm:
+   1. take the shortest path P1;
+   2. in a directed copy of the graph, reverse P1's arcs and negate their
+      weights;
+   3. run Bellman-Ford (negative arcs, no negative cycles) for P2;
+   4. cancel link uses appearing in opposite directions, then decompose
+      the remaining arcs into two paths. *)
+
+type arc = { from_ : int; to_ : int; link_id : int; w : int }
+
+let arcs_of topo ~weight ~p1 =
+  let on_p1 = Hashtbl.create 8 in
+  (* direction of use: link id -> (from, to) *)
+  let nodes = p1.Path.nodes in
+  Array.iteri
+    (fun i lid -> Hashtbl.replace on_p1 lid (nodes.(i), nodes.(i + 1)))
+    p1.Path.links;
+  let out = ref [] in
+  Array.iter
+    (fun (l : Topology.link) ->
+      let w = weight l in
+      if w < 0 then invalid_arg "Disjoint: negative weight";
+      match Hashtbl.find_opt on_p1 l.id with
+      | Some (a, b) ->
+        (* Keep only the reversed, negative-cost arc. *)
+        out := { from_ = b; to_ = a; link_id = l.id; w = -w } :: !out
+      | None ->
+        out := { from_ = l.u; to_ = l.v; link_id = l.id; w } :: !out;
+        out := { from_ = l.v; to_ = l.u; link_id = l.id; w } :: !out)
+    (Topology.links topo);
+  !out
+
+let bellman_ford_arcs ~n ~arcs ~src =
+  let dist = Array.make n max_int in
+  let pred = Array.make n None in
+  dist.(src) <- 0;
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds <= n + 1 do
+    changed := false;
+    incr rounds;
+    List.iter
+      (fun a ->
+        if dist.(a.from_) <> max_int && dist.(a.from_) + a.w < dist.(a.to_)
+        then begin
+          dist.(a.to_) <- dist.(a.from_) + a.w;
+          pred.(a.to_) <- Some a;
+          changed := true
+        end)
+      arcs
+  done;
+  (dist, pred)
+
+(* Walk from [src] to [dst] through a mutable multimap of directed arcs,
+   erasing loops so the result is a simple path. *)
+let extract_path topo ~src ~dst outgoing =
+  let rec walk node acc =
+    if node = dst then List.rev acc
+    else
+      match Hashtbl.find_opt outgoing node with
+      | None | Some [] -> failwith "Disjoint: broken decomposition"
+      | Some ((lid, next) :: rest) ->
+        Hashtbl.replace outgoing node rest;
+        walk next ((lid, next) :: acc)
+  in
+  let steps = walk src [] in
+  (* Loop erasure: when a step returns to a node already on the kept
+     path, discard the cycle (everything after the earlier visit,
+     including the returning step itself). *)
+  let rev_steps = ref [] in
+  List.iter
+    (fun (lid, node) ->
+      if node = src then rev_steps := []
+      else if List.exists (fun (_, n) -> n = node) !rev_steps then begin
+        let rec cut_back = function
+          | ((_, n) :: _) as kept when n = node -> kept
+          | _ :: rest -> cut_back rest
+          | [] -> assert false
+        in
+        rev_steps := cut_back !rev_steps
+      end
+      else rev_steps := (lid, node) :: !rev_steps)
+    steps;
+  let links = List.rev_map fst !rev_steps in
+  Path.of_links topo ~src links
+
+let link_disjoint_pair topo ~src ~dst ~weight =
+  if src = dst then invalid_arg "Disjoint: src = dst";
+  match Shortest.shortest_path topo ~src ~dst ~weight with
+  | None -> None
+  | Some p1 -> (
+    let arcs = arcs_of topo ~weight ~p1 in
+    let n = Topology.num_nodes topo in
+    let dist, pred = bellman_ford_arcs ~n ~arcs ~src in
+    if dist.(dst) = max_int then None
+    else begin
+      (* Recover P2's arc list. *)
+      let rec back node acc =
+        if node = src then acc
+        else
+          match pred.(node) with
+          | None -> acc
+          | Some a -> back a.from_ (a :: acc)
+      in
+      let p2_arcs = back dst [] in
+      (* Directed uses of each path; cancel opposite-direction pairs. *)
+      let uses = Hashtbl.create 16 in
+      let add from_ to_ lid =
+        match Hashtbl.find_opt uses lid with
+        | Some (f, t) when f = to_ && t = from_ -> Hashtbl.remove uses lid
+        | _ -> Hashtbl.replace uses lid (from_, to_)
+      in
+      let nodes = p1.Path.nodes in
+      Array.iteri (fun i lid -> add nodes.(i) nodes.(i + 1) lid) p1.Path.links;
+      List.iter (fun a -> add a.from_ a.to_ a.link_id) p2_arcs;
+      (* Decompose the union into two walks from src. *)
+      let outgoing = Hashtbl.create 16 in
+      Hashtbl.iter
+        (fun lid (f, t) ->
+          let cur = Option.value ~default:[] (Hashtbl.find_opt outgoing f) in
+          Hashtbl.replace outgoing f ((lid, t) :: cur))
+        uses;
+      match
+        let a = extract_path topo ~src ~dst outgoing in
+        let b = extract_path topo ~src ~dst outgoing in
+        (a, b)
+      with
+      | a, b ->
+        let wa = Kshortest.path_weight topo weight a
+        and wb = Kshortest.path_weight topo weight b in
+        if wa <= wb then Some (a, b) else Some (b, a)
+      | exception Failure _ -> None
+    end)
+
+(* Tarjan bridge finding: a link (u, v) is a bridge iff low(v) > disc(u)
+   in a DFS of the multigraph; parallel links are never bridges, which
+   the "skip only the tree edge itself" rule handles naturally. *)
+let bridges topo =
+  let n = Topology.num_nodes topo in
+  let disc = Array.make n (-1) in
+  let low = Array.make n max_int in
+  let timer = ref 0 in
+  let found = ref [] in
+  let rec dfs u ~via =
+    disc.(u) <- !timer;
+    low.(u) <- !timer;
+    incr timer;
+    List.iter
+      (fun (lid, peer) ->
+        if lid <> via then
+          if disc.(peer) < 0 then begin
+            dfs peer ~via:lid;
+            if low.(peer) < low.(u) then low.(u) <- low.(peer);
+            if low.(peer) > disc.(u) then found := lid :: !found
+          end
+          else if disc.(peer) < low.(u) then low.(u) <- disc.(peer))
+      (Topology.neighbours topo u)
+  in
+  for u = 0 to n - 1 do
+    if disc.(u) < 0 then dfs u ~via:(-1)
+  done;
+  List.sort_uniq Int.compare !found

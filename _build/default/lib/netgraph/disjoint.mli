@@ -1,0 +1,19 @@
+(** Shortest pairs of link-disjoint paths (Bhandari's algorithm).
+
+    The network operator in the paper pre-installs partially disjoint
+    routes; this module computes the fully link-disjoint alternative,
+    which examples use as a contrast to the paper's deliberately
+    overlapping path set. *)
+
+val link_disjoint_pair :
+  Topology.t -> src:int -> dst:int -> weight:Shortest.weight
+  -> (Path.t * Path.t) option
+(** A minimum-total-weight pair of link-disjoint simple paths, or [None]
+    when no such pair exists.  The shorter path comes first.  Node
+    overlap is permitted (link-disjoint, not node-disjoint).  Raises
+    [Invalid_argument] when [src = dst]. *)
+
+val bridges : Topology.t -> int list
+(** Link ids whose failure disconnects some pair of currently-connected
+    nodes (Tarjan's bridge-finding via DFS low-links) — the single points
+    of failure that multipath routing cannot route around.  Sorted. *)

@@ -1,0 +1,68 @@
+let path_weight topo weight p =
+  Array.fold_left
+    (fun acc lid -> acc + weight (Topology.link topo lid))
+    0 p.Path.links
+
+(* Candidate pool ordered by (weight, node sequence); a sorted list is
+   ample at these sizes. *)
+module Cand = struct
+  let compare (w1, p1) (w2, p2) =
+    match Int.compare w1 w2 with 0 -> Path.compare p1 p2 | c -> c
+
+  let insert c pool = List.sort_uniq compare (c :: pool)
+end
+
+let yen topo ~src ~dst ~k ~weight =
+  if k < 0 then invalid_arg "Kshortest.yen: k < 0";
+  if src = dst then invalid_arg "Kshortest.yen: src = dst";
+  match Shortest.shortest_path topo ~src ~dst ~weight with
+  | None -> []
+  | Some first ->
+    let accepted = ref [ first ] in
+    let pool = ref [] in
+    let continue = ref (k > 1) in
+    while !continue && List.length !accepted < k do
+      let prev = List.hd !accepted in
+      (* For each prefix of the most recently accepted path, look for a
+         deviation ("spur") that avoids the next links of all accepted
+         paths sharing that prefix, and all prefix nodes. *)
+      let prev_nodes = prev.Path.nodes in
+      for spur_idx = 0 to Array.length prev_nodes - 2 do
+        let spur_node = prev_nodes.(spur_idx) in
+        let root_nodes = Array.sub prev_nodes 0 (spur_idx + 1) in
+        let root_links = Array.sub prev.Path.links 0 spur_idx in
+        let banned_links = Hashtbl.create 8 in
+        List.iter
+          (fun (p : Path.t) ->
+            if
+              Array.length p.Path.nodes > spur_idx
+              && Array.sub p.Path.nodes 0 (spur_idx + 1) = root_nodes
+            then Hashtbl.replace banned_links p.Path.links.(spur_idx) ())
+          !accepted;
+        let banned_nodes = Hashtbl.create 8 in
+        Array.iteri
+          (fun i nid -> if i < spur_idx then Hashtbl.replace banned_nodes nid ())
+          root_nodes;
+        let spur =
+          Shortest.shortest_path topo ~src:spur_node ~dst ~weight
+            ~avoid_links:(Hashtbl.mem banned_links)
+            ~avoid_nodes:(Hashtbl.mem banned_nodes)
+        in
+        match spur with
+        | None -> ()
+        | Some tail ->
+          let links = Array.append root_links tail.Path.links in
+          (match Path.of_links topo ~src (Array.to_list links) with
+          | candidate ->
+            if not (List.exists (Path.equal candidate) !accepted) then
+              pool :=
+                Cand.insert (path_weight topo weight candidate, candidate) !pool
+          | exception Invalid_argument _ -> () (* spur rejoined the root *))
+      done;
+      match !pool with
+      | [] -> continue := false
+      | (_, best) :: rest ->
+        pool := rest;
+        accepted := best :: !accepted
+    done;
+    List.rev !accepted

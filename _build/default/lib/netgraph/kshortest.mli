@@ -1,0 +1,16 @@
+(** Yen's k-shortest simple paths.
+
+    The demo's operator "offers a selection of forwarding paths"; this is
+    the standard way to enumerate candidate routes between a node pair in
+    increasing length order.  Runtime is [O(k n (m + n log n))] — fine for
+    the small topologies studied here. *)
+
+val yen :
+  Topology.t -> src:int -> dst:int -> k:int -> weight:Shortest.weight
+  -> Path.t list
+(** Up to [k] loop-free paths in non-decreasing weight order (fewer when
+    the graph has fewer simple paths).  Ties are broken deterministically
+    by node sequence.  Raises [Invalid_argument] when [k < 0] or
+    [src = dst]. *)
+
+val path_weight : Topology.t -> Shortest.weight -> Path.t -> int

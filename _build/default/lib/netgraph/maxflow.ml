@@ -1,0 +1,126 @@
+type arc = {
+  target : int;
+  link_id : int;
+  mutable cap : int; (* residual capacity *)
+  mutable rev : int; (* index of the reverse arc in [adj.(target)] *)
+}
+
+type residual = { adj : arc array array }
+
+let build topo =
+  let n = Topology.num_nodes topo in
+  let tmp = Array.make n [] in
+  let add u v lid cap =
+    let fwd = { target = v; link_id = lid; cap; rev = 0 } in
+    let bwd = { target = u; link_id = lid; cap = 0; rev = 0 } in
+    tmp.(u) <- fwd :: tmp.(u);
+    tmp.(v) <- bwd :: tmp.(v);
+    (fwd, bwd)
+  in
+  let pairs = ref [] in
+  Array.iter
+    (fun (l : Topology.link) ->
+      (* Full duplex: an independent directed arc per direction. *)
+      pairs := add l.u l.v l.id l.capacity_bps :: !pairs;
+      pairs := add l.v l.u l.id l.capacity_bps :: !pairs)
+    (Topology.links topo);
+  let adj = Array.map (fun lst -> Array.of_list (List.rev lst)) tmp in
+  (* Fix up reverse-arc indices now that positions are final. *)
+  let index_of node arc =
+    let found = ref (-1) in
+    Array.iteri (fun i a -> if a == arc then found := i) adj.(node);
+    !found
+  in
+  List.iter
+    (fun (fwd, bwd) ->
+      let fi = index_of bwd.target fwd and bi = index_of fwd.target bwd in
+      fwd.rev <- bi;
+      bwd.rev <- fi)
+    !pairs;
+  { adj }
+
+let bfs r ~src ~dst =
+  let n = Array.length r.adj in
+  let prev = Array.make n None in
+  let visited = Array.make n false in
+  visited.(src) <- true;
+  let q = Queue.create () in
+  Queue.add src q;
+  let found = ref false in
+  while (not !found) && not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Array.iteri
+      (fun ai arc ->
+        if arc.cap > 0 && not visited.(arc.target) then begin
+          visited.(arc.target) <- true;
+          prev.(arc.target) <- Some (u, ai);
+          if arc.target = dst then found := true else Queue.add arc.target q
+        end)
+      r.adj.(u)
+  done;
+  if !found then Some prev else None
+
+let augment r prev ~src ~dst =
+  (* Find bottleneck then push. *)
+  let rec bottleneck node acc =
+    if node = src then acc
+    else
+      match prev.(node) with
+      | None -> assert false
+      | Some (u, ai) -> bottleneck u (min acc r.adj.(u).(ai).cap)
+  in
+  let delta = bottleneck dst max_int in
+  let rec push node =
+    if node <> src then
+      match prev.(node) with
+      | None -> assert false
+      | Some (u, ai) ->
+        let arc = r.adj.(u).(ai) in
+        arc.cap <- arc.cap - delta;
+        let back = r.adj.(arc.target).(arc.rev) in
+        back.cap <- back.cap + delta;
+        push u
+  in
+  push dst;
+  delta
+
+let run topo ~src ~dst =
+  if src = dst then invalid_arg "Maxflow: src = dst";
+  let r = build topo in
+  let total = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match bfs r ~src ~dst with
+    | None -> continue := false
+    | Some prev -> total := !total + augment r prev ~src ~dst
+  done;
+  (r, !total)
+
+let max_flow topo ~src ~dst = snd (run topo ~src ~dst)
+
+let min_cut topo ~src ~dst =
+  let r, _ = run topo ~src ~dst in
+  let n = Array.length r.adj in
+  let reach = Array.make n false in
+  reach.(src) <- true;
+  let q = Queue.create () in
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Array.iter
+      (fun arc ->
+        if arc.cap > 0 && not reach.(arc.target) then begin
+          reach.(arc.target) <- true;
+          Queue.add arc.target q
+        end)
+      r.adj.(u)
+  done;
+  let cut = Hashtbl.create 8 in
+  Array.iteri
+    (fun u arcs ->
+      if reach.(u) then
+        Array.iter
+          (fun arc -> if not reach.(arc.target) then Hashtbl.replace cut arc.link_id ())
+          arcs)
+    r.adj;
+  Hashtbl.fold (fun lid () acc -> lid :: acc) cut [] |> List.sort Int.compare

@@ -1,0 +1,17 @@
+(** Maximum flow (Edmonds–Karp).
+
+    Gives the single-commodity capacity between two nodes — an upper
+    bound on what any multipath transport could ever carry, and the
+    reference the paper's 90 Mbps optimum is naturally compared against
+    (the LP optimum is lower because MPTCP is restricted to three fixed
+    paths, while max-flow may split arbitrarily). *)
+
+val max_flow : Topology.t -> src:int -> dst:int -> int
+(** Maximum s-d flow in bits per second, treating every undirected link
+    as usable at full capacity in each direction independently, matching
+    the full-duplex simulator model.  Raises [Invalid_argument] when
+    [src = dst]. *)
+
+val min_cut : Topology.t -> src:int -> dst:int -> int list
+(** Link ids of a minimum s-d cut (the saturated frontier found by the
+    final residual search). *)

@@ -1,0 +1,76 @@
+type t = { nodes : int array; links : int array }
+
+let of_nodes topo node_list =
+  let nodes = Array.of_list node_list in
+  let n = Array.length nodes in
+  if n < 2 then invalid_arg "Path.of_nodes: need at least two nodes";
+  let seen = Hashtbl.create n in
+  Array.iter
+    (fun v ->
+      if Hashtbl.mem seen v then
+        invalid_arg "Path.of_nodes: repeated node (paths must be simple)";
+      Hashtbl.add seen v ())
+    nodes;
+  let links =
+    Array.init (n - 1) (fun i ->
+        match Topology.find_link topo ~u:nodes.(i) ~v:nodes.(i + 1) with
+        | Some l -> l.Topology.id
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Path.of_nodes: no link %s -- %s"
+               (Topology.node_name topo nodes.(i))
+               (Topology.node_name topo nodes.(i + 1))))
+  in
+  { nodes; links }
+
+let of_names topo names = of_nodes topo (List.map (Topology.node_id topo) names)
+
+let of_links topo ~src link_ids =
+  let rec walk at acc = function
+    | [] -> List.rev acc
+    | lid :: rest ->
+      let l = Topology.link topo lid in
+      let next = Topology.other_end l at in
+      walk next (next :: acc) rest
+  in
+  let nodes = src :: walk src [] link_ids in
+  let p = { nodes = Array.of_list nodes; links = Array.of_list link_ids } in
+  if Array.length p.nodes < 2 then
+    invalid_arg "Path.of_links: need at least one link";
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun v ->
+      if Hashtbl.mem seen v then invalid_arg "Path.of_links: repeated node";
+      Hashtbl.add seen v ())
+    p.nodes;
+  p
+
+let src p = p.nodes.(0)
+let dst p = p.nodes.(Array.length p.nodes - 1)
+let hop_count p = Array.length p.links
+let mem_link p lid = Array.exists (fun l -> l = lid) p.links
+
+let one_way_delay topo p =
+  Array.fold_left
+    (fun acc lid -> Engine.Time.add acc (Topology.link topo lid).Topology.delay)
+    Engine.Time.zero p.links
+
+let bottleneck_bps topo p =
+  Array.fold_left
+    (fun acc lid -> min acc (Topology.link topo lid).Topology.capacity_bps)
+    max_int p.links
+
+let shared_links p q =
+  Array.to_list p.links |> List.filter (fun lid -> mem_link q lid)
+
+let disjoint p q = shared_links p q = []
+
+let equal p q = p.nodes = q.nodes && p.links = q.links
+let compare p q = Stdlib.compare (p.nodes, p.links) (q.nodes, q.links)
+
+let pp topo fmt p =
+  Format.pp_print_string fmt
+    (String.concat " > "
+       (Array.to_list (Array.map (Topology.node_name topo) p.nodes)))
+
+let to_string topo p = Format.asprintf "%a" (pp topo) p

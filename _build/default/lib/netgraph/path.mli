@@ -1,0 +1,44 @@
+(** Forwarding paths and overlap analysis.
+
+    A path is a loop-free node sequence together with the links it
+    traverses.  The paper's subject is paths that are only {e partially}
+    disjoint, so this module also quantifies how two paths overlap. *)
+
+type t = private {
+  nodes : int array;  (** node sequence, length >= 2 *)
+  links : int array;  (** link ids, length = |nodes| - 1 *)
+}
+
+val of_nodes : Topology.t -> int list -> t
+(** Resolves consecutive node pairs to links (first matching link when
+    parallel links exist).  Raises [Invalid_argument] when a hop has no
+    link, the path is shorter than two nodes, or a node repeats. *)
+
+val of_names : Topology.t -> string list -> t
+(** Convenience wrapper over {!of_nodes} using node names. *)
+
+val of_links : Topology.t -> src:int -> int list -> t
+(** Builds a path from [src] along the given link ids. *)
+
+val src : t -> int
+val dst : t -> int
+val hop_count : t -> int
+val mem_link : t -> int -> bool
+
+val one_way_delay : Topology.t -> t -> Engine.Time.t
+(** Sum of link propagation delays (excludes transmission time). *)
+
+val bottleneck_bps : Topology.t -> t -> int
+(** Smallest link capacity along the path. *)
+
+val shared_links : t -> t -> int list
+(** Link ids common to both paths, in the first path's order. *)
+
+val disjoint : t -> t -> bool
+(** [true] when the paths share no link (node sharing is allowed, as in
+    the paper's network, where all paths meet at [s] and [d]). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Topology.t -> Format.formatter -> t -> unit
+val to_string : Topology.t -> t -> string

@@ -1,0 +1,87 @@
+type weight = Topology.link -> int
+
+let hops (_ : Topology.link) = 1
+let delay_ns (l : Topology.link) = l.Topology.delay
+
+let no_filter _ = false
+
+let dijkstra ?(avoid_links = no_filter) ?(avoid_nodes = no_filter) topo ~src
+    ~weight =
+  let n = Topology.num_nodes topo in
+  let dist = Array.make n max_int in
+  let via = Array.make n (-1) in
+  let done_ = Array.make n false in
+  let heap : int Engine.Heap.t = Engine.Heap.create () in
+  dist.(src) <- 0;
+  Engine.Heap.push heap ~key:0 ~tie:src src;
+  let rec drain () =
+    match Engine.Heap.pop heap with
+    | None -> ()
+    | Some (d, _, u) ->
+      if not done_.(u) && d = dist.(u) then begin
+        done_.(u) <- true;
+        List.iter
+          (fun (lid, peer) ->
+            if not (avoid_links lid) && not (avoid_nodes peer) then begin
+              let l = Topology.link topo lid in
+              let w = weight l in
+              if w < 0 then invalid_arg "Shortest.dijkstra: negative weight";
+              let nd = d + w in
+              if nd < dist.(peer) then begin
+                dist.(peer) <- nd;
+                via.(peer) <- lid;
+                Engine.Heap.push heap ~key:nd ~tie:peer peer
+              end
+            end)
+          (Topology.neighbours topo u)
+      end;
+      drain ()
+  in
+  if not (avoid_nodes src) then drain ();
+  (dist, via)
+
+let walk_back topo ~src ~dst via =
+  let rec go node acc =
+    if node = src then Some acc
+    else
+      let lid = via.(node) in
+      if lid < 0 then None
+      else
+        let l = Topology.link topo lid in
+        go (Topology.other_end l node) (lid :: acc)
+  in
+  go dst []
+
+let shortest_path ?avoid_links ?avoid_nodes topo ~src ~dst ~weight =
+  let dist, via = dijkstra ?avoid_links ?avoid_nodes topo ~src ~weight in
+  if dist.(dst) = max_int then None
+  else
+    match walk_back topo ~src ~dst via with
+    | None -> None
+    | Some [] -> None (* src = dst *)
+    | Some links -> Some (Path.of_links topo ~src links)
+
+let bellman_ford topo ~src ~weight =
+  let n = Topology.num_nodes topo in
+  let dist = Array.make n max_int in
+  dist.(src) <- 0;
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds <= n do
+    changed := false;
+    incr rounds;
+    Array.iter
+      (fun l ->
+        let w = weight l in
+        if w < 0 then invalid_arg "Shortest.bellman_ford: negative weight";
+        let relax a b =
+          if dist.(a) <> max_int && dist.(a) + w < dist.(b) then begin
+            dist.(b) <- dist.(a) + w;
+            changed := true
+          end
+        in
+        relax l.Topology.u l.Topology.v;
+        relax l.Topology.v l.Topology.u)
+      (Topology.links topo)
+  done;
+  dist

@@ -1,0 +1,28 @@
+(** Single-source shortest paths. *)
+
+type weight = Topology.link -> int
+(** Non-negative arc weight.  Common choices: {!hops} and {!delay_ns}. *)
+
+val hops : weight
+val delay_ns : weight
+
+val dijkstra :
+  ?avoid_links:(int -> bool) ->
+  ?avoid_nodes:(int -> bool) ->
+  Topology.t -> src:int -> weight:weight -> int array * int array
+(** [dijkstra t ~src ~weight] returns [(dist, via)] where [dist.(n)] is
+    the shortest distance to [n] ([max_int] when unreachable) and
+    [via.(n)] the link id used to enter [n] ([-1] for [src] and
+    unreachable nodes).  [avoid_*] prune links/nodes (used by Yen's
+    algorithm).  Raises [Invalid_argument] on a negative weight. *)
+
+val shortest_path :
+  ?avoid_links:(int -> bool) ->
+  ?avoid_nodes:(int -> bool) ->
+  Topology.t -> src:int -> dst:int -> weight:weight -> Path.t option
+
+val bellman_ford :
+  Topology.t -> src:int -> weight:weight -> int array
+(** Distances by Bellman–Ford; an independent oracle for {!dijkstra} in
+    tests.  Weights must still be non-negative (undirected links cannot
+    carry negative weights without creating negative cycles). *)

@@ -1,0 +1,93 @@
+type link = {
+  id : int;
+  u : int;
+  v : int;
+  capacity_bps : int;
+  delay : Engine.Time.t;
+}
+
+type t = {
+  names : string array;
+  links_arr : link array;
+  adj : (int * int) list array; (* node -> (link id, peer) in insertion order *)
+  by_name : (string, int) Hashtbl.t;
+}
+
+type builder = {
+  mutable b_names : string list; (* reversed *)
+  mutable b_count : int;
+  mutable b_links : link list; (* reversed *)
+  mutable b_nlinks : int;
+  seen : (string, int) Hashtbl.t;
+}
+
+let builder () =
+  { b_names = []; b_count = 0; b_links = []; b_nlinks = 0;
+    seen = Hashtbl.create 16 }
+
+let add_node b name =
+  if Hashtbl.mem b.seen name then
+    invalid_arg (Printf.sprintf "Topology.add_node: duplicate node %S" name);
+  let id = b.b_count in
+  Hashtbl.add b.seen name id;
+  b.b_names <- name :: b.b_names;
+  b.b_count <- id + 1;
+  id
+
+let add_link b ~u ~v ~capacity_bps ~delay =
+  if u = v then invalid_arg "Topology.add_link: self-loop";
+  if u < 0 || u >= b.b_count || v < 0 || v >= b.b_count then
+    invalid_arg "Topology.add_link: unknown node";
+  if capacity_bps <= 0 then
+    invalid_arg "Topology.add_link: capacity must be positive";
+  if Engine.Time.( < ) delay Engine.Time.zero then
+    invalid_arg "Topology.add_link: negative delay";
+  let id = b.b_nlinks in
+  b.b_links <- { id; u; v; capacity_bps; delay } :: b.b_links;
+  b.b_nlinks <- id + 1;
+  id
+
+let build b =
+  let names = Array.of_list (List.rev b.b_names) in
+  let links_arr = Array.of_list (List.rev b.b_links) in
+  let adj = Array.make (Array.length names) [] in
+  (* Build adjacency in insertion order. *)
+  Array.iter
+    (fun l ->
+      adj.(l.u) <- (l.id, l.v) :: adj.(l.u);
+      adj.(l.v) <- (l.id, l.u) :: adj.(l.v))
+    links_arr;
+  Array.iteri (fun i lst -> adj.(i) <- List.rev lst) adj;
+  let by_name = Hashtbl.copy b.seen in
+  { names; links_arr; adj; by_name }
+
+let mbps n = n * 1_000_000
+let num_nodes t = Array.length t.names
+let num_links t = Array.length t.links_arr
+let node_name t n = t.names.(n)
+let node_id t name = Hashtbl.find t.by_name name
+let link t i = t.links_arr.(i)
+let links t = t.links_arr
+let neighbours t n = t.adj.(n)
+
+let find_link t ~u ~v =
+  let rec scan = function
+    | [] -> None
+    | (lid, peer) :: rest -> if peer = v then Some t.links_arr.(lid) else scan rest
+  in
+  if u < 0 || u >= num_nodes t then None else scan t.adj.(u)
+
+let other_end l n =
+  if l.u = n then l.v
+  else if l.v = n then l.u
+  else invalid_arg "Topology.other_end: node not an endpoint"
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>topology: %d nodes, %d links" (num_nodes t)
+    (num_links t);
+  Array.iter
+    (fun l ->
+      Format.fprintf fmt "@,  %s -- %s  %d bps, %a" t.names.(l.u) t.names.(l.v)
+        l.capacity_bps Engine.Time.pp l.delay)
+    t.links_arr;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,65 @@
+(** Capacitated network topologies.
+
+    An undirected multigraph: nodes are dense integer ids with
+    human-readable names, links carry a capacity (bits per second) and a
+    one-way propagation delay.  Links are undirected here — the simulator
+    ({!Netsim}) instantiates an independent queue per direction, matching
+    full-duplex Ethernet/veth semantics. *)
+
+type t
+
+type link = {
+  id : int;
+  u : int;
+  v : int;
+  capacity_bps : int;
+  delay : Engine.Time.t;
+}
+
+(** {1 Construction} *)
+
+type builder
+
+val builder : unit -> builder
+
+val add_node : builder -> string -> int
+(** Registers a node and returns its id.  Names must be unique; raises
+    [Invalid_argument] on duplicates. *)
+
+val add_link :
+  builder -> u:int -> v:int -> capacity_bps:int -> delay:Engine.Time.t -> int
+(** Adds an undirected link and returns its id.  Self-loops, unknown
+    nodes, and non-positive capacities are rejected. *)
+
+val build : builder -> t
+(** Freezes the builder into an immutable topology. *)
+
+val mbps : int -> int
+(** [mbps n] is [n] megabits per second expressed in bits per second. *)
+
+(** {1 Access} *)
+
+val num_nodes : t -> int
+val num_links : t -> int
+val node_name : t -> int -> string
+
+val node_id : t -> string -> int
+(** Raises [Not_found] for unknown names. *)
+
+val link : t -> int -> link
+
+val links : t -> link array
+(** The backing array; callers must not mutate it. *)
+
+val neighbours : t -> int -> (int * int) list
+(** [neighbours t n] is the list of [(link_id, peer_node)] incident to
+    [n], in insertion order. *)
+
+val find_link : t -> u:int -> v:int -> link option
+(** First link joining the two nodes, in either orientation. *)
+
+val other_end : link -> int -> int
+(** [other_end l n] is the endpoint of [l] that is not [n].  Raises
+    [Invalid_argument] when [n] is not an endpoint. *)
+
+val pp : Format.formatter -> t -> unit

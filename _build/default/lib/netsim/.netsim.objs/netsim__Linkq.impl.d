@@ -1,0 +1,1 @@
+lib/netsim/linkq.ml: Engine Packet Qdisc Queue

@@ -1,0 +1,1 @@
+lib/netsim/linkq.mli: Engine Packet Qdisc

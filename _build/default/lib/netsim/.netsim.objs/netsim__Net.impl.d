@@ -1,0 +1,1 @@
+lib/netsim/net.ml: Array Engine Hashtbl Linkq List Netgraph Packet Qdisc

@@ -1,0 +1,1 @@
+lib/netsim/net.mli: Engine Linkq Netgraph Packet Qdisc

@@ -1,0 +1,1 @@
+lib/netsim/qdisc.ml: Engine Float

@@ -1,0 +1,131 @@
+type stats = {
+  mutable enqueued : int;
+  mutable dropped : int;
+  mutable delivered : int;
+  mutable bytes_delivered : int;
+  mutable busy_ns : int;
+  mutable lost_down : int;
+  mutable marked : int;
+}
+
+type t = {
+  sched : Engine.Sched.t;
+  rng : Engine.Rng.t;
+  rate_bps : int;
+  delay : Engine.Time.t;
+  jitter : Engine.Time.t;
+  qdisc : Qdisc.t;
+  qstate : Qdisc.state;
+  limit_pkts : int;
+  deliver : Packet.t -> unit;
+  queue : (Packet.t * Engine.Time.t) Queue.t; (* with enqueue timestamp *)
+  mutable queued_bytes : int;
+  mutable busy : bool;
+  mutable up : bool;
+  stats : stats;
+}
+
+let create ~sched ~rng ~rate_bps ~delay ?(jitter = Engine.Time.zero) ~qdisc
+    ~limit_pkts ~deliver () =
+  if rate_bps <= 0 then invalid_arg "Linkq.create: rate must be positive";
+  if limit_pkts < 1 then invalid_arg "Linkq.create: limit must be >= 1";
+  if Engine.Time.( < ) jitter Engine.Time.zero then
+    invalid_arg "Linkq.create: negative jitter";
+  {
+    sched; rng; rate_bps; delay; jitter; qdisc;
+    qstate = Qdisc.make_state qdisc;
+    limit_pkts; deliver;
+    queue = Queue.create ();
+    queued_bytes = 0;
+    busy = false;
+    up = true;
+    stats =
+      { enqueued = 0; dropped = 0; delivered = 0; bytes_delivered = 0;
+        busy_ns = 0; lost_down = 0; marked = 0 };
+  }
+
+let rec start_tx t =
+  match Queue.take_opt t.queue with
+  | None -> t.busy <- false
+  | Some (p, enqueued_at) ->
+    let now = Engine.Sched.now t.sched in
+    t.queued_bytes <- t.queued_bytes - p.Packet.size;
+    (* CoDel inspects the head packet's sojourn time and may discard it
+       (and keep discarding) before anything is serialized. *)
+    if
+      Qdisc.dequeue_drop t.qdisc t.qstate
+        ~sojourn:(Engine.Time.diff now enqueued_at) ~now
+    then begin
+      t.stats.dropped <- t.stats.dropped + 1;
+      start_tx t
+    end
+    else begin
+    t.busy <- true;
+    let tx = Engine.Time.tx_time ~bits:(Packet.wire_bits p) ~rate_bps:t.rate_bps in
+    t.stats.busy_ns <- t.stats.busy_ns + tx;
+    ignore
+      (Engine.Sched.after t.sched tx (fun () ->
+           (* Last bit on the wire: arrival is one propagation delay
+              later; the serializer is free immediately.  A packet in
+              flight when the link goes down never arrives. *)
+           let prop =
+             if t.jitter = Engine.Time.zero then t.delay
+             else
+               Engine.Time.add t.delay
+                 (Engine.Rng.uniform_time t.rng ~lo:Engine.Time.zero
+                    ~hi:t.jitter)
+           in
+           ignore
+             (Engine.Sched.after t.sched prop (fun () ->
+                  if t.up then begin
+                    t.stats.delivered <- t.stats.delivered + 1;
+                    t.stats.bytes_delivered <-
+                      t.stats.bytes_delivered + p.Packet.size;
+                    t.deliver p
+                  end
+                  else t.stats.lost_down <- t.stats.lost_down + 1));
+           start_tx t))
+    end
+
+let enqueue t p =
+  (* The buffer limit counts queued packets only; the one in the
+     serializer has already left the queue (tc semantics). *)
+  if not t.up then t.stats.lost_down <- t.stats.lost_down + 1
+  else begin
+    let admit () =
+      t.stats.enqueued <- t.stats.enqueued + 1;
+      Queue.add (p, Engine.Sched.now t.sched) t.queue;
+      t.queued_bytes <- t.queued_bytes + p.Packet.size;
+      if not t.busy then start_tx t
+    in
+    match
+      Qdisc.decide t.qdisc t.qstate ~queue_pkts:(Queue.length t.queue)
+        ~limit_pkts:t.limit_pkts
+        ~ecn_capable:(p.Packet.ecn <> Packet.Not_ect)
+        ~rng:t.rng
+    with
+    | Qdisc.Admit -> admit ()
+    | Qdisc.Mark ->
+      p.Packet.ecn <- Packet.Ce;
+      t.stats.marked <- t.stats.marked + 1;
+      admit ()
+    | Qdisc.Drop -> t.stats.dropped <- t.stats.dropped + 1
+  end
+
+let queue_pkts t = Queue.length t.queue
+let queued_bytes t = t.queued_bytes
+let stats t = t.stats
+let rate_bps t = t.rate_bps
+
+let set_up t up =
+  t.up <- up;
+  if not up then begin
+    t.stats.lost_down <- t.stats.lost_down + Queue.length t.queue;
+    Queue.clear t.queue;
+    t.queued_bytes <- 0
+  end
+
+let is_up t = t.up
+
+let utilisation t ~now =
+  if now <= 0 then 0.0 else float_of_int t.stats.busy_ns /. float_of_int now

@@ -1,0 +1,58 @@
+(** One direction of a link: a FIFO buffer draining into a fixed-rate
+    serializer followed by a propagation delay.
+
+    This is the element whose tail-drop behaviour creates the TCP
+    sawtooth the paper's argument rests on, so its timing is exact: a
+    packet finishing transmission at [t] arrives at the far end at
+    [t + delay], and the next packet starts serializing at [t]. *)
+
+type stats = {
+  mutable enqueued : int;
+  mutable dropped : int;
+  mutable delivered : int;
+  mutable bytes_delivered : int;
+  mutable busy_ns : int;  (** cumulative transmission time, for utilisation *)
+  mutable lost_down : int;
+      (** packets destroyed because the link was down (on arrival at the
+          queue, or mid-flight when the link went down) *)
+  mutable marked : int;
+      (** packets marked Congestion Experienced instead of dropped *)
+}
+
+type t
+
+val create :
+  sched:Engine.Sched.t ->
+  rng:Engine.Rng.t ->
+  rate_bps:int ->
+  delay:Engine.Time.t ->
+  ?jitter:Engine.Time.t ->
+  qdisc:Qdisc.t ->
+  limit_pkts:int ->
+  deliver:(Packet.t -> unit) ->
+  unit -> t
+(** [deliver] runs at the receiving end of the link, [delay] (plus a
+    uniform draw from [\[0, jitter\]], default 0) after each packet's
+    last bit leaves the serializer.  Jitter can reorder packets — as a
+    wireless or load-balanced hop would. *)
+
+val enqueue : t -> Packet.t -> unit
+(** Admits (or drops, per qdisc) one packet. *)
+
+val queue_pkts : t -> int
+(** Packets buffered, excluding the one in transmission. *)
+
+val queued_bytes : t -> int
+val stats : t -> stats
+val rate_bps : t -> int
+
+val utilisation : t -> now:Engine.Time.t -> float
+(** Fraction of wall time the serializer has been busy so far. *)
+
+val set_up : t -> bool -> unit
+(** Fail or restore the link direction.  While down, arriving packets are
+    destroyed (counted in [lost_down]), queued packets are flushed, and
+    packets already past the serializer never reach the far end —
+    modelling a cable cut. *)
+
+val is_up : t -> bool

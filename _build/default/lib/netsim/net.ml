@@ -1,0 +1,117 @@
+type dir = Fwd | Rev
+
+type config = { qdisc : Qdisc.t; limit_pkts : int; delay_jitter : Engine.Time.t }
+
+let default_config =
+  { qdisc = Qdisc.Drop_tail; limit_pkts = 40; delay_jitter = Engine.Time.zero }
+
+type t = {
+  sched : Engine.Sched.t;
+  topo : Netgraph.Topology.t;
+  mutable linkqs : Linkq.t array array; (* link id -> [| fwd; rev |] *)
+  tables : (Packet.addr * Packet.tag, int) Hashtbl.t array; (* node -> link *)
+  hosts : (Packet.t -> unit) option array;
+  taps : (Packet.t -> unit) list array;
+  mutable next_id : int;
+  mutable no_route : int;
+}
+
+let dir_index = function Fwd -> 0 | Rev -> 1
+
+let rec receive t ~node p =
+  List.iter (fun f -> f p) t.taps.(node);
+  if p.Packet.dst = node then
+    match t.hosts.(node) with
+    | Some h -> h p
+    | None -> () (* destination without a host: silently sink *)
+  else forward t ~node p
+
+and forward t ~node p =
+  match Hashtbl.find_opt t.tables.(node) (p.Packet.dst, p.Packet.tag) with
+  | None -> t.no_route <- t.no_route + 1
+  | Some lid ->
+    let l = Netgraph.Topology.link t.topo lid in
+    let d = if l.Netgraph.Topology.u = node then 0 else 1 in
+    Linkq.enqueue t.linkqs.(lid).(d) p
+
+let create ~sched ~rng ?(config = default_config) topo =
+  let n = Netgraph.Topology.num_nodes topo in
+  let t =
+    {
+      sched;
+      topo;
+      linkqs = [||];
+      tables = Array.init n (fun _ -> Hashtbl.create 8);
+      hosts = Array.make n None;
+      taps = Array.make n [];
+      next_id = 0;
+      no_route = 0;
+    }
+  in
+  let make_q (l : Netgraph.Topology.link) ~to_node =
+    Linkq.create ~sched ~rng:(Engine.Rng.split rng)
+      ~rate_bps:l.Netgraph.Topology.capacity_bps
+      ~delay:l.Netgraph.Topology.delay ~jitter:config.delay_jitter
+      ~qdisc:config.qdisc
+      ~limit_pkts:config.limit_pkts
+      ~deliver:(fun p -> receive t ~node:to_node p)
+      ()
+  in
+  t.linkqs <-
+    Array.map
+      (fun (l : Netgraph.Topology.link) ->
+        [| make_q l ~to_node:l.Netgraph.Topology.v;
+           make_q l ~to_node:l.Netgraph.Topology.u |])
+      (Netgraph.Topology.links topo);
+  t
+
+let sched t = t.sched
+let topology t = t.topo
+
+let fresh_packet_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+let install_route t ~node ~dst ~tag ~link =
+  let l = Netgraph.Topology.link t.topo link in
+  if l.Netgraph.Topology.u <> node && l.Netgraph.Topology.v <> node then
+    invalid_arg "Net.install_route: node is not an endpoint of link";
+  Hashtbl.replace t.tables.(node) (dst, tag) link
+
+let install_path t ~tag path =
+  let nodes = path.Netgraph.Path.nodes and links = path.Netgraph.Path.links in
+  let dst = Netgraph.Path.dst path and src = Netgraph.Path.src path in
+  Array.iteri
+    (fun i lid ->
+      install_route t ~node:nodes.(i) ~dst ~tag ~link:lid;
+      install_route t ~node:nodes.(i + 1) ~dst:src ~tag ~link:lid)
+    links
+
+let route t ~node ~dst ~tag = Hashtbl.find_opt t.tables.(node) (dst, tag)
+
+let attach_host t ~node h =
+  match t.hosts.(node) with
+  | Some _ -> invalid_arg "Net.attach_host: host already attached"
+  | None -> t.hosts.(node) <- Some h
+
+let add_tap t ~node f = t.taps.(node) <- t.taps.(node) @ [ f ]
+
+let inject t ~at p =
+  if p.Packet.dst = at then receive t ~node:at p else forward t ~node:at p
+
+let linkq t ~link ~dir = t.linkqs.(link).(dir_index dir)
+
+let set_link_up t ~link up =
+  Linkq.set_up t.linkqs.(link).(0) up;
+  Linkq.set_up t.linkqs.(link).(1) up
+
+let link_is_up t ~link = Linkq.is_up t.linkqs.(link).(0)
+
+let no_route_drops t = t.no_route
+
+let total_drops t =
+  Array.fold_left
+    (fun acc qs ->
+      acc + (Linkq.stats qs.(0)).Linkq.dropped + (Linkq.stats qs.(1)).Linkq.dropped)
+    0 t.linkqs

@@ -1,0 +1,79 @@
+(** The simulated network: topology + per-direction link queues +
+    tag-based forwarding — the role Mininet played in the paper.
+
+    Forwarding is deterministic on [(destination, tag)], the tagging
+    scheme of the paper's modified [ndiffports] path manager: routes are
+    pre-installed per tag with {!install_path}, and every packet of a
+    subflow carries that subflow's tag. *)
+
+type dir = Fwd | Rev
+(** [Fwd] is the [u -> v] orientation of a {!Netgraph.Topology.link}. *)
+
+type config = {
+  qdisc : Qdisc.t;
+  limit_pkts : int;  (** buffer size per link direction, in packets *)
+  delay_jitter : Engine.Time.t;
+      (** extra uniform per-packet propagation jitter on every link
+          direction (0 = exact timing; can reorder packets) *)
+}
+
+val default_config : config
+(** Drop-tail, 40-packet buffers (about one bandwidth-delay product for
+    the paper's 100 Mbps / few-ms network). *)
+
+type t
+
+val create :
+  sched:Engine.Sched.t -> rng:Engine.Rng.t -> ?config:config
+  -> Netgraph.Topology.t -> t
+
+val sched : t -> Engine.Sched.t
+val topology : t -> Netgraph.Topology.t
+
+val fresh_packet_id : t -> int
+(** Allocates a unique wire id for a new packet. *)
+
+(** {1 Routing} *)
+
+val install_route :
+  t -> node:int -> dst:Packet.addr -> tag:Packet.tag -> link:int -> unit
+(** At [node], packets for [dst] carrying [tag] exit via [link].  Raises
+    [Invalid_argument] when [node] is not an endpoint of [link].
+    Re-installation overwrites. *)
+
+val install_path : t -> tag:Packet.tag -> Netgraph.Path.t -> unit
+(** Installs forwarding for the path's destination at every node along
+    the path, {e and} the reverse route (towards the path's source, same
+    tag) so acknowledgements retrace the same links. *)
+
+val route : t -> node:int -> dst:Packet.addr -> tag:Packet.tag -> int option
+(** The installed outgoing link, if any. *)
+
+(** {1 Hosts and taps} *)
+
+val attach_host : t -> node:int -> (Packet.t -> unit) -> unit
+(** Handler for packets addressed to [node].  One host per node; raises
+    [Invalid_argument] on double attachment. *)
+
+val add_tap : t -> node:int -> (Packet.t -> unit) -> unit
+(** Observes every packet arriving at [node] (whether delivered locally
+    or forwarded on) — the simulator's tshark. *)
+
+(** {1 Sending} *)
+
+val inject : t -> at:int -> Packet.t -> unit
+(** Hands a packet to the network at node [at].  Without a route it is
+    counted in {!no_route_drops} and discarded. *)
+
+(** {1 Introspection} *)
+
+val linkq : t -> link:int -> dir:dir -> Linkq.t
+
+val set_link_up : t -> link:int -> bool -> unit
+(** Fail or restore both directions of a link (see {!Linkq.set_up}). *)
+
+val link_is_up : t -> link:int -> bool
+val no_route_drops : t -> int
+
+val total_drops : t -> int
+(** Queue drops summed over every link direction. *)

@@ -1,0 +1,72 @@
+type t = {
+  mutable running : bool;
+  mutable packets : int;
+  mutable bytes : int;
+}
+
+let stop t = t.running <- false
+let packets_sent t = t.packets
+let bytes_sent t = t.bytes
+
+let interval ~pkt_bytes ~rate_bps =
+  Engine.Time.tx_time ~bits:(pkt_bytes * 8) ~rate_bps
+
+let send net t ~src ~dst ~tag ~pkt_bytes =
+  let sched = Net.sched net in
+  let p =
+    Packet.make_plain ~id:(Net.fresh_packet_id net) ~src ~dst ~tag
+      ~born:(Engine.Sched.now sched) ~size:pkt_bytes
+  in
+  t.packets <- t.packets + 1;
+  t.bytes <- t.bytes + pkt_bytes;
+  Net.inject net ~at:src p
+
+let cbr ~net ~src ~dst ~tag ~rate_bps ?(pkt_bytes = 1500)
+    ?(start = Engine.Time.zero) ?stop_at () =
+  if rate_bps <= 0 then invalid_arg "Traffic.cbr: rate must be positive";
+  let sched = Net.sched net in
+  let t = { running = true; packets = 0; bytes = 0 } in
+  let gap = interval ~pkt_bytes ~rate_bps in
+  let expired () =
+    match stop_at with
+    | None -> false
+    | Some horizon -> Engine.Time.( >= ) (Engine.Sched.now sched) horizon
+  in
+  let rec tick () =
+    if t.running && not (expired ()) then begin
+      send net t ~src ~dst ~tag ~pkt_bytes;
+      ignore (Engine.Sched.after sched gap tick)
+    end
+  in
+  ignore (Engine.Sched.at sched start tick);
+  t
+
+let on_off ~net ~rng ~src ~dst ~tag ~rate_bps ~mean_on ~mean_off
+    ?(pkt_bytes = 1500) ?(start = Engine.Time.zero) ?stop_at () =
+  if rate_bps <= 0 then invalid_arg "Traffic.on_off: rate must be positive";
+  let sched = Net.sched net in
+  let t = { running = true; packets = 0; bytes = 0 } in
+  let gap = interval ~pkt_bytes ~rate_bps in
+  let expired () =
+    match stop_at with
+    | None -> false
+    | Some horizon -> Engine.Time.( >= ) (Engine.Sched.now sched) horizon
+  in
+  let draw mean =
+    Engine.Time.of_float_s
+      (Engine.Rng.exponential rng ~mean:(Engine.Time.to_float_s mean))
+  in
+  let rec burst until =
+    if t.running && not (expired ()) then
+      if Engine.Time.( < ) (Engine.Sched.now sched) until then begin
+        send net t ~src ~dst ~tag ~pkt_bytes;
+        ignore (Engine.Sched.after sched gap (fun () -> burst until))
+      end
+      else
+        ignore (Engine.Sched.after sched (draw mean_off) start_burst)
+  and start_burst () =
+    if t.running && not (expired ()) then
+      burst (Engine.Time.add (Engine.Sched.now sched) (draw mean_on))
+  in
+  ignore (Engine.Sched.at sched start start_burst);
+  t

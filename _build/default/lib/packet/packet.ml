@@ -1,0 +1,83 @@
+type addr = int
+type tag = int
+type dss = { dseq : int; dlen : int }
+type tcp_kind = Syn | Syn_ack | Data | Ack | Fin
+
+type tcp = {
+  conn : int;
+  subflow : int;
+  kind : tcp_kind;
+  seq : int;
+  payload : int;
+  ack : int;
+  sack : (int * int) list;
+  ece : bool;
+  dss : dss option;
+  data_ack : int;
+}
+
+type body = Tcp of tcp | Plain
+
+type ecn = Not_ect | Ect | Ce
+
+type t = {
+  id : int;
+  src : addr;
+  dst : addr;
+  tag : tag;
+  size : int;
+  body : body;
+  mutable ecn : ecn;
+  born : Engine.Time.t;
+}
+
+let max_sack_blocks = 3
+let header_bytes = 52
+let default_mss = 1448
+let wire_bits p = p.size * 8
+
+let is_data p =
+  match p.body with
+  | Tcp { kind = Data; payload; _ } -> payload > 0
+  | Tcp _ | Plain -> false
+
+let tcp_exn p =
+  match p.body with
+  | Tcp tcp -> tcp
+  | Plain -> invalid_arg "Packet.tcp_exn: not a TCP packet"
+
+let make_tcp ~id ~src ~dst ~tag ~born ?(ecn = Not_ect) tcp =
+  if tcp.payload < 0 then invalid_arg "Packet.make_tcp: negative payload";
+  if List.length tcp.sack > max_sack_blocks then
+    invalid_arg "Packet.make_tcp: too many SACK blocks";
+  (match tcp.dss with
+  | Some { dlen; _ } when dlen <> tcp.payload ->
+    invalid_arg "Packet.make_tcp: DSS length must match payload"
+  | Some _ | None -> ());
+  { id; src; dst; tag; size = header_bytes + tcp.payload; body = Tcp tcp;
+    ecn; born }
+
+let make_plain ~id ~src ~dst ~tag ~born ~size =
+  if size < 1 then invalid_arg "Packet.make_plain: size must be >= 1";
+  { id; src; dst; tag; size; body = Plain; ecn = Not_ect; born }
+
+let pp_kind fmt = function
+  | Syn -> Format.pp_print_string fmt "SYN"
+  | Syn_ack -> Format.pp_print_string fmt "SYN-ACK"
+  | Data -> Format.pp_print_string fmt "DATA"
+  | Ack -> Format.pp_print_string fmt "ACK"
+  | Fin -> Format.pp_print_string fmt "FIN"
+
+let pp fmt p =
+  match p.body with
+  | Plain ->
+    Format.fprintf fmt "#%d %d->%d tag=%d plain %dB" p.id p.src p.dst p.tag
+      p.size
+  | Tcp tcp ->
+    Format.fprintf fmt "#%d %d->%d tag=%d %a c%d.s%d seq=%d len=%d ack=%d%a"
+      p.id p.src p.dst p.tag pp_kind tcp.kind tcp.conn tcp.subflow tcp.seq
+      tcp.payload tcp.ack
+      (fun fmt -> function
+        | None -> ()
+        | Some { dseq; dlen } -> Format.fprintf fmt " dss=%d+%d" dseq dlen)
+      tcp.dss

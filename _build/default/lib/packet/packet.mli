@@ -1,0 +1,94 @@
+(** Simulated wire format.
+
+    Models exactly the header fields the reproduction needs: enough TCP to
+    run a real congestion-control loop, the MPTCP data-sequence mapping
+    (DSS), and the path {e tag} — the short routing identifier from the
+    paper (Motiwala et al.'s path splicing / ECMP-style selector) that
+    pins each subflow to its pre-installed route. *)
+
+type addr = int
+(** Node id in the topology. *)
+
+type tag = int
+(** Path selector carried by every packet of a subflow.  Forwarding is
+    deterministic per (destination, tag). *)
+
+(** MPTCP Data Sequence Signal: maps this segment's payload into the
+    connection-level byte stream. *)
+type dss = { dseq : int; dlen : int }
+
+type tcp_kind =
+  | Syn
+  | Syn_ack
+  | Data
+  | Ack
+  | Fin
+
+type tcp = {
+  conn : int;       (** connection id, unique per simulation *)
+  subflow : int;    (** subflow index within the connection *)
+  kind : tcp_kind;
+  seq : int;        (** subflow-level sequence of the first payload byte *)
+  payload : int;    (** payload length in bytes (0 for pure ACKs) *)
+  ack : int;        (** cumulative subflow-level acknowledgement *)
+  sack : (int * int) list;
+      (** SACK blocks [(start, end_)] above [ack], at most
+          {!max_sack_blocks}, most recently changed first (RFC 2018) *)
+  ece : bool;       (** ECN Echo: the receiver saw Congestion Experienced *)
+  dss : dss option; (** present on MPTCP data segments *)
+  data_ack : int;   (** cumulative connection-level acknowledgement *)
+}
+
+val max_sack_blocks : int
+(** 3, as fits a TCP option block alongside timestamps. *)
+
+type body =
+  | Tcp of tcp
+  | Plain  (** cross-traffic payload (CBR / on-off generators) *)
+
+(** Explicit Congestion Notification (RFC 3168), reduced to what the
+    transport needs: data packets advertise ECN capability and may be
+    marked by a queue; ACKs echo the mark until the sender reacts. *)
+type ecn =
+  | Not_ect   (** not ECN-capable (cross traffic, handshakes) *)
+  | Ect       (** ECN-capable transport, unmarked *)
+  | Ce        (** congestion experienced: marked by a router *)
+
+type t = {
+  id : int;         (** unique wire id, for tracing *)
+  src : addr;
+  dst : addr;
+  tag : tag;
+  size : int;       (** total wire size in bytes, headers included *)
+  body : body;
+  mutable ecn : ecn;     (** mutable: queues mark packets in flight *)
+  born : Engine.Time.t;  (** when the packet entered the network *)
+}
+
+val header_bytes : int
+(** Per-segment overhead modelled on IPv4 (20) + TCP (20) + MPTCP DSS
+    option (12): 52 bytes. *)
+
+val default_mss : int
+(** 1448 payload bytes, so a full data segment is 1500 B on the wire. *)
+
+val wire_bits : t -> int
+
+val is_data : t -> bool
+(** [true] for TCP segments carrying payload. *)
+
+val tcp_exn : t -> tcp
+(** Raises [Invalid_argument] on non-TCP packets. *)
+
+val make_tcp :
+  id:int -> src:addr -> dst:addr -> tag:tag -> born:Engine.Time.t
+  -> ?ecn:ecn -> tcp -> t
+(** Builds a TCP packet, deriving [size] from kind and payload.
+    [ecn] defaults to [Not_ect]. *)
+
+val make_plain :
+  id:int -> src:addr -> dst:addr -> tag:tag -> born:Engine.Time.t
+  -> size:int -> t
+(** Cross-traffic packet of explicit wire [size] (>= 1 byte). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/tcp/endpoint.ml: Hashtbl Netsim Packet

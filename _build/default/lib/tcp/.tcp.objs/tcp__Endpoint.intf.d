@@ -1,0 +1,1 @@
+lib/tcp/endpoint.mli: Netsim Packet

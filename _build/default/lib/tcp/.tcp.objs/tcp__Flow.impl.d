@@ -1,0 +1,1 @@
+lib/tcp/flow.ml: Cc_cubic Endpoint Engine Netsim Packet Receiver Sender

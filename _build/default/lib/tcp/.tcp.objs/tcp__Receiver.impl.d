@@ -1,0 +1,1 @@
+lib/tcp/receiver.ml: Engine Int List Map Packet

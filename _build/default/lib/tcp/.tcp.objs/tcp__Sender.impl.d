@@ -1,0 +1,1 @@
+lib/tcp/sender.ml: Cc Engine Float Int List Map Packet Rtt

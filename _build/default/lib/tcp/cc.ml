@@ -1,0 +1,42 @@
+type sibling = {
+  cwnd : float;
+  srtt_s : float;
+  in_slow_start : bool;
+  loss_interval_bytes : int;
+  established : bool;
+}
+
+type ctx = {
+  now_s : unit -> float;
+  mss : int;
+  get_cwnd : unit -> float;
+  set_cwnd : float -> unit;
+  get_ssthresh : unit -> float;
+  set_ssthresh : float -> unit;
+  srtt_s : unit -> float;
+  siblings : unit -> sibling array;
+  self_index : unit -> int;
+}
+
+type instance = {
+  name : string;
+  on_ack : acked:int -> unit;
+  on_loss : unit -> unit;
+  on_rto : unit -> unit;
+}
+
+type factory = ctx -> instance
+
+let min_cwnd = 2.0
+
+let in_slow_start ctx = ctx.get_cwnd () < ctx.get_ssthresh ()
+
+let slow_start_ack ctx ~acked =
+  let cwnd = ctx.get_cwnd () in
+  let ssthresh = ctx.get_ssthresh () in
+  if cwnd < ssthresh then begin
+    let grown = cwnd +. (float_of_int acked /. float_of_int ctx.mss) in
+    ctx.set_cwnd (Float.min grown ssthresh);
+    true
+  end
+  else false

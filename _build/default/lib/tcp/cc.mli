@@ -1,0 +1,57 @@
+(** Pluggable congestion control.
+
+    A congestion controller owns the window variables of one subflow; the
+    sender machine calls it on every cumulative ACK, fast-retransmit loss
+    and timeout.  Coupled (MPTCP) controllers additionally read the live
+    state of their sibling subflows through {!ctx.siblings} — that
+    coupling is exactly what distinguishes LIA/OLIA from running plain
+    CUBIC per path, the comparison at the heart of the paper. *)
+
+(** Read-only snapshot of one subflow, as seen by a coupled controller. *)
+type sibling = {
+  cwnd : float;       (** congestion window, MSS units *)
+  srtt_s : float;     (** smoothed RTT in seconds (estimate before data) *)
+  in_slow_start : bool;
+  loss_interval_bytes : int;
+      (** OLIA's l_p: bytes acknowledged in the current inter-loss
+          interval, or in the previous one if that was larger *)
+  established : bool; (** has sent at least one segment *)
+}
+
+type ctx = {
+  now_s : unit -> float;        (** simulated seconds *)
+  mss : int;
+  get_cwnd : unit -> float;
+  set_cwnd : float -> unit;     (** clamped to [\[min_cwnd, +inf)] by the sender *)
+  get_ssthresh : unit -> float;
+  set_ssthresh : float -> unit;
+  srtt_s : unit -> float;       (** this subflow's smoothed RTT, seconds *)
+  siblings : unit -> sibling array;
+      (** all subflows of the owning connection, self included; a
+          single-path flow sees an array of length 1 *)
+  self_index : unit -> int;     (** this subflow's slot in [siblings ()] *)
+}
+
+type instance = {
+  name : string;
+  on_ack : acked:int -> unit;
+      (** [acked] bytes newly acknowledged by a cumulative ACK *)
+  on_loss : unit -> unit;
+      (** entering fast recovery (3 dup-ACKs): apply the multiplicative
+          decrease to cwnd and ssthresh *)
+  on_rto : unit -> unit;
+      (** retransmission timeout: collapse the window *)
+}
+
+type factory = ctx -> instance
+(** Controllers are created per subflow, after the context is wired. *)
+
+val min_cwnd : float
+(** 2 MSS, the floor Linux applies after any decrease. *)
+
+val slow_start_ack : ctx -> acked:int -> bool
+(** Shared helper: when [cwnd < ssthresh], grow by one MSS per MSS acked
+    (capped at ssthresh) and return [true]; otherwise return [false] and
+    leave the window to the caller's congestion-avoidance law. *)
+
+val in_slow_start : ctx -> bool

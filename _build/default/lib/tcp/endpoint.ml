@@ -1,0 +1,33 @@
+type t = {
+  net : Netsim.Net.t;
+  node : int;
+  handlers : (int * int, Packet.t -> unit) Hashtbl.t;
+  mutable plain : (Packet.t -> unit) option;
+  mutable unmatched : int;
+}
+
+let create net ~node =
+  let t = { net; node; handlers = Hashtbl.create 8; plain = None;
+            unmatched = 0 } in
+  Netsim.Net.attach_host net ~node (fun p ->
+      match p.Packet.body with
+      | Packet.Plain -> (
+        match t.plain with Some f -> f p | None -> ())
+      | Packet.Tcp tcp -> (
+        match Hashtbl.find_opt t.handlers (tcp.Packet.conn, tcp.Packet.subflow)
+        with
+        | Some f -> f p
+        | None -> t.unmatched <- t.unmatched + 1));
+  t
+
+let node t = t.node
+let net t = t.net
+
+let register t ~conn ~subflow f =
+  if Hashtbl.mem t.handlers (conn, subflow) then
+    invalid_arg "Endpoint.register: already registered";
+  Hashtbl.replace t.handlers (conn, subflow) f
+
+let unregister t ~conn ~subflow = Hashtbl.remove t.handlers (conn, subflow)
+let on_plain t f = t.plain <- Some f
+let unmatched t = t.unmatched

@@ -1,0 +1,167 @@
+module Imap = Map.Make (Int)
+
+type t = {
+  sched : Engine.Sched.t;
+  conn : int;
+  subflow : int;
+  addr : Packet.addr;
+  peer : Packet.addr;
+  tag : Packet.tag;
+  fresh_id : unit -> int;
+  transmit : Packet.t -> unit;
+  on_deliver : seq:int -> len:int -> dss:Packet.dss option -> unit;
+  data_ack : unit -> int;
+  delayed_ack : bool;
+  ack_delay : Engine.Time.t;
+  mutable pending_segs : int; (* in-order segments not yet acknowledged *)
+  mutable ack_timer : Engine.Sched.timer option;
+  mutable acks_sent : int;
+  mutable rcv_nxt : int;
+  mutable ooo : (int * Packet.dss option) Imap.t; (* seq -> len, dss *)
+  mutable last_sacked : int; (* start of the block holding the newest arrival *)
+  mutable ce_pending : bool; (* echo Congestion Experienced on the next ACK *)
+  mutable segments : int;
+  mutable duplicates : int;
+}
+
+let create ~sched ~conn ~subflow ~addr ~peer ~tag ~fresh_id ~transmit
+    ~on_deliver ~data_ack ?(delayed_ack = false)
+    ?(ack_delay = Engine.Time.ms 40) () =
+  { sched; conn; subflow; addr; peer; tag; fresh_id; transmit; on_deliver;
+    data_ack; delayed_ack; ack_delay; pending_segs = 0; ack_timer = None;
+    acks_sent = 0; rcv_nxt = 0; ooo = Imap.empty; last_sacked = -1;
+    ce_pending = false; segments = 0; duplicates = 0 }
+
+(* Merge the out-of-order store into contiguous byte ranges and emit up
+   to [Packet.max_sack_blocks], the block containing the newest arrival
+   first (RFC 2018 section 4). *)
+let sack_blocks t =
+  let ranges =
+    Imap.fold
+      (fun seq (len, _) acc ->
+        match acc with
+        | (s, e) :: rest when seq <= e -> (s, max e (seq + len)) :: rest
+        | _ -> (seq, seq + len) :: acc)
+      t.ooo []
+    |> List.rev
+  in
+  let newest, others =
+    List.partition (fun (s, e) -> s <= t.last_sacked && t.last_sacked < e)
+      ranges
+  in
+  let ordered = newest @ others in
+  let rec take n = function
+    | [] -> []
+    | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+  in
+  take Packet.max_sack_blocks ordered
+
+let send_ack_now t =
+  t.pending_segs <- 0;
+  let ece = t.ce_pending in
+  t.ce_pending <- false;
+  (match t.ack_timer with
+  | Some timer ->
+    Engine.Sched.cancel timer;
+    t.ack_timer <- None
+  | None -> ());
+  t.acks_sent <- t.acks_sent + 1;
+  let tcp =
+    {
+      Packet.conn = t.conn;
+      subflow = t.subflow;
+      kind = Packet.Ack;
+      seq = 0;
+      payload = 0;
+      ack = t.rcv_nxt;
+      sack = sack_blocks t;
+      ece;
+      dss = None;
+      data_ack = t.data_ack ();
+    }
+  in
+  let p =
+    Packet.make_tcp ~id:(t.fresh_id ()) ~src:t.addr ~dst:t.peer ~tag:t.tag
+      ~born:(Engine.Sched.now t.sched) tcp
+  in
+  t.transmit p
+
+(* Delayed-ACK policy: an immediate ACK for anything out of the ordinary
+   (gap, duplicate), otherwise at most one unacknowledged segment. *)
+let ack_for_in_order t =
+  if not t.delayed_ack then send_ack_now t
+  else begin
+    t.pending_segs <- t.pending_segs + 1;
+    if t.pending_segs >= 2 then send_ack_now t
+    else if t.ack_timer = None then
+      t.ack_timer <-
+        Some
+          (Engine.Sched.after t.sched t.ack_delay (fun () ->
+               t.ack_timer <- None;
+               if t.pending_segs > 0 then send_ack_now t))
+  end
+
+let rec drain t =
+  match Imap.min_binding_opt t.ooo with
+  | Some (seq, (len, dss)) when seq <= t.rcv_nxt ->
+    t.ooo <- Imap.remove seq t.ooo;
+    if seq + len > t.rcv_nxt then begin
+      t.on_deliver ~seq ~len ~dss;
+      t.rcv_nxt <- seq + len
+    end;
+    drain t
+  | Some _ | None -> ()
+
+let send_syn_ack t =
+  let tcp =
+    {
+      Packet.conn = t.conn;
+      subflow = t.subflow;
+      kind = Packet.Syn_ack;
+      seq = 0;
+      payload = 0;
+      ack = 0;
+      sack = [];
+      ece = false;
+      dss = None;
+      data_ack = 0;
+    }
+  in
+  t.transmit
+    (Packet.make_tcp ~id:(t.fresh_id ()) ~src:t.addr ~dst:t.peer ~tag:t.tag
+       ~born:(Engine.Sched.now t.sched) tcp)
+
+let handle_data t p =
+  let tcp = Packet.tcp_exn p in
+  if p.Packet.ecn = Packet.Ce then t.ce_pending <- true;
+  if tcp.Packet.kind = Packet.Syn then send_syn_ack t
+  else begin
+  t.segments <- t.segments + 1;
+  let seq = tcp.Packet.seq and len = tcp.Packet.payload in
+  if len > 0 then
+    if seq = t.rcv_nxt then begin
+      t.on_deliver ~seq ~len ~dss:tcp.Packet.dss;
+      t.rcv_nxt <- seq + len;
+      let had_gap = not (Imap.is_empty t.ooo) in
+      drain t;
+      (* Filling a gap must be acknowledged at once so the sender exits
+         recovery promptly. *)
+      if had_gap then send_ack_now t else ack_for_in_order t
+    end
+    else if seq > t.rcv_nxt then begin
+      t.ooo <- Imap.add seq (len, tcp.Packet.dss) t.ooo;
+      t.last_sacked <- seq;
+      send_ack_now t
+    end
+    else begin
+      t.duplicates <- t.duplicates + 1;
+      send_ack_now t
+    end
+  else send_ack_now t
+  end
+
+let acks_sent t = t.acks_sent
+let rcv_nxt t = t.rcv_nxt
+let out_of_order t = Imap.cardinal t.ooo
+let segments_received t = t.segments
+let duplicates t = t.duplicates

@@ -1,0 +1,45 @@
+(** TCP receiver (one subflow).
+
+    Cumulative ACKs with out-of-order buffering: every arriving data
+    segment triggers an immediate ACK carrying [rcv_nxt] (duplicate ACKs
+    are what drive the sender's fast retransmit).  In-order payload is
+    handed, with its DSS mapping, to the connection layer for
+    data-sequence reassembly. *)
+
+type t
+
+val create :
+  sched:Engine.Sched.t ->
+  conn:int ->
+  subflow:int ->
+  addr:Packet.addr ->       (* this receiver's node *)
+  peer:Packet.addr ->
+  tag:Packet.tag ->
+  fresh_id:(unit -> int) ->
+  transmit:(Packet.t -> unit) ->
+  on_deliver:(seq:int -> len:int -> dss:Packet.dss option -> unit) ->
+  data_ack:(unit -> int) ->
+  ?delayed_ack:bool ->
+  ?ack_delay:Engine.Time.t ->
+  unit -> t
+(** [on_deliver] fires once per segment, in subflow-sequence order;
+    [data_ack ()] supplies the connection-level cumulative ACK stamped on
+    every outgoing ACK.
+
+    With [delayed_ack] (default [false]: one ACK per segment, the
+    simulator's calibrated behaviour), in-order segments are acknowledged
+    every second segment or after [ack_delay] (default 40 ms, the Linux
+    quick-ack ballpark), whichever comes first; out-of-order and
+    duplicate segments are always acknowledged immediately, as fast
+    retransmit requires (RFC 5681 section 4.2). *)
+
+val acks_sent : t -> int
+
+val handle_data : t -> Packet.t -> unit
+
+val rcv_nxt : t -> int
+val out_of_order : t -> int
+(** Segments currently buffered out of order. *)
+
+val segments_received : t -> int
+val duplicates : t -> int

@@ -1,0 +1,546 @@
+type chunk = { dss : Packet.dss option; len : int }
+type source = max_len:int -> chunk option
+
+type config = {
+  mss : int;
+  initial_cwnd : float;
+  initial_ssthresh : float;
+  dupack_threshold : int;
+  sack : bool;
+  handshake : bool;
+  ecn : bool;
+  initial_rto : Engine.Time.t;
+  min_rto : Engine.Time.t;
+  max_rto : Engine.Time.t;
+}
+
+let default_config =
+  {
+    mss = Packet.default_mss;
+    initial_cwnd = 10.0;
+    initial_ssthresh = 1e9;
+    dupack_threshold = 3;
+    sack = true;
+    handshake = false;
+    ecn = false;
+    initial_rto = Engine.Time.s 1;
+    min_rto = Engine.Time.ms 200;
+    max_rto = Engine.Time.s 60;
+  }
+
+type stats = {
+  mutable segments_sent : int;
+  mutable retransmits : int;
+  mutable timeouts : int;
+  mutable fast_recoveries : int;
+  mutable bytes_acked : int;
+}
+
+type conn_state = Closed | Syn_sent | Established
+
+type seg = {
+  seq : int;
+  len : int;
+  dss : Packet.dss option;
+  mutable sent_at : Engine.Time.t;
+  mutable retx : int;
+  mutable sacked : bool;
+  mutable lost : bool;
+      (* presumed lost: excluded from pipe until retransmitted *)
+  mutable rtx_epoch : int; (* recovery epoch of the last hole retransmit *)
+}
+
+module Imap = Map.Make (Int)
+
+type t = {
+  sched : Engine.Sched.t;
+  config : config;
+  conn : int;
+  subflow : int;
+  src : Packet.addr;
+  dst : Packet.addr;
+  tag : Packet.tag;
+  fresh_id : unit -> int;
+  transmit : Packet.t -> unit;
+  source : source;
+  rtt : Rtt.t;
+  mutable cc : Cc.instance option; (* set right after creation *)
+  mutable cwnd : float;
+  mutable ssthresh : float;
+  mutable outstanding : seg Imap.t;
+  mutable snd_una : int;
+  mutable snd_nxt : int;
+  mutable snd_max : int;
+  mutable dupacks : int;
+  mutable in_recovery : bool;
+  mutable recover : int;
+  mutable inflation : float; (* MSS; dup-ACK inflation (non-SACK mode) *)
+  mutable recovery_epoch : int;
+  mutable highest_sacked : int; (* end of the highest SACKed range seen *)
+  mutable rto_timer : Engine.Sched.timer option;
+  mutable established : bool;
+  mutable conn_state : conn_state;
+  mutable syn_sent_at : Engine.Time.t;
+  mutable syn_retx : int;
+  mutable first_send : Engine.Time.t option;
+  (* OLIA loss intervals: bytes acked since the last loss event, and in
+     the previous inter-loss interval. *)
+  mutable interval_cur : int;
+  mutable interval_prev : int;
+  mutable ecn_react_until : int; (* no second ECN response before this seq *)
+  stats : stats;
+}
+
+let cc_exn t =
+  match t.cc with
+  | Some cc -> cc
+  | None -> assert false
+
+let default_srtt_s = 0.01 (* before any sample: 10 ms, a LAN-scale guess *)
+
+let srtt_s t =
+  match Rtt.srtt t.rtt with
+  | Some v -> Engine.Time.to_float_s v
+  | None -> default_srtt_s
+
+let sibling_view t =
+  {
+    Cc.cwnd = t.cwnd;
+    srtt_s = srtt_s t;
+    in_slow_start = t.cwnd < t.ssthresh;
+    loss_interval_bytes = max t.interval_cur t.interval_prev;
+    established = t.established;
+  }
+
+let create ~sched ~config ~conn ~subflow ~src ~dst ~tag ~fresh_id ~transmit
+    ~source ~cc ?siblings ?self_index () =
+  let t =
+    {
+      sched; config; conn; subflow; src; dst; tag; fresh_id; transmit; source;
+      rtt =
+        Rtt.create ~initial_rto:config.initial_rto ~min_rto:config.min_rto
+          ~max_rto:config.max_rto ();
+      cc = None;
+      cwnd = config.initial_cwnd;
+      ssthresh = config.initial_ssthresh;
+      outstanding = Imap.empty;
+      snd_una = 0;
+      snd_nxt = 0;
+      snd_max = 0;
+      dupacks = 0;
+      in_recovery = false;
+      recover = 0;
+      inflation = 0.0;
+      recovery_epoch = 0;
+      highest_sacked = 0;
+      rto_timer = None;
+      established = false;
+      conn_state = (if config.handshake then Closed else Established);
+      syn_sent_at = Engine.Time.zero;
+      syn_retx = 0;
+      first_send = None;
+      interval_cur = 0;
+      interval_prev = 0;
+      ecn_react_until = 0;
+      stats =
+        { segments_sent = 0; retransmits = 0; timeouts = 0;
+          fast_recoveries = 0; bytes_acked = 0 };
+    }
+  in
+  let siblings =
+    match siblings with Some f -> f | None -> fun () -> [| sibling_view t |]
+  in
+  let self_index = match self_index with Some f -> f | None -> fun () -> 0 in
+  let ctx =
+    {
+      Cc.now_s = (fun () -> Engine.Time.to_float_s (Engine.Sched.now sched));
+      mss = config.mss;
+      get_cwnd = (fun () -> t.cwnd);
+      set_cwnd = (fun w -> t.cwnd <- Float.max 1.0 w);
+      get_ssthresh = (fun () -> t.ssthresh);
+      set_ssthresh = (fun w -> t.ssthresh <- Float.max Cc.min_cwnd w);
+      srtt_s = (fun () -> srtt_s t);
+      siblings;
+      self_index;
+    }
+  in
+  t.cc <- Some (cc ctx);
+  t
+
+(* --- SACK scoreboard --- *)
+
+let process_sack t blocks =
+  List.iter
+    (fun (s, e) ->
+      if e > s then begin
+        if e > t.highest_sacked then t.highest_sacked <- e;
+        Imap.iter
+          (fun seq seg ->
+            if (not seg.sacked) && seq >= s && seq + seg.len <= e then
+              seg.sacked <- true)
+          t.outstanding
+      end)
+    blocks
+
+(* RFC 6675-flavoured pipe: bytes believed in flight.  SACKed segments
+   have arrived; segments marked lost are out of the network until their
+   retransmission (which clears the mark) puts them back. *)
+let pipe t =
+  Imap.fold
+    (fun _ seg acc ->
+      if seg.sacked || seg.lost then acc else acc + seg.len)
+    t.outstanding 0
+
+(* Mark as lost every unsacked segment with SACKed data wholly above it
+   that has not already been retransmitted in this recovery (RFC 6675
+   IsLost, simplified to the one-block criterion). *)
+let mark_lost_holes t =
+  Imap.iter
+    (fun seq seg ->
+      if
+        (not seg.sacked)
+        && seg.rtx_epoch < t.recovery_epoch
+        && seq + seg.len <= t.highest_sacked
+      then seg.lost <- true)
+    t.outstanding
+
+(* Next retransmission candidate under SACK: the lowest lost segment not
+   yet retransmitted in this recovery. *)
+let next_hole t =
+  let found = ref None in
+  (try
+     Imap.iter
+       (fun _ seg ->
+         if
+           seg.lost && (not seg.sacked)
+           && seg.rtx_epoch < t.recovery_epoch
+         then begin
+           found := Some seg;
+           raise Exit
+         end)
+       t.outstanding
+   with Exit -> ());
+  !found
+
+(* --- timers --- *)
+
+let cancel_rto t =
+  match t.rto_timer with
+  | Some timer ->
+    Engine.Sched.cancel timer;
+    t.rto_timer <- None
+  | None -> ()
+
+let rec arm_rto t =
+  cancel_rto t;
+  if t.conn_state = Syn_sent || not (Imap.is_empty t.outstanding) then
+    t.rto_timer <-
+      Some (Engine.Sched.after t.sched (Rtt.rto t.rtt) (fun () -> on_rto t))
+
+and send_syn t ~is_retx =
+  let now = Engine.Sched.now t.sched in
+  t.conn_state <- Syn_sent;
+  t.syn_sent_at <- now;
+  if is_retx then t.syn_retx <- t.syn_retx + 1;
+  let tcp =
+    {
+      Packet.conn = t.conn;
+      subflow = t.subflow;
+      kind = Packet.Syn;
+      seq = 0;
+      payload = 0;
+      ack = 0;
+      sack = [];
+      ece = false;
+      dss = None;
+      data_ack = 0;
+    }
+  in
+  t.transmit
+    (Packet.make_tcp ~id:(t.fresh_id ()) ~src:t.src ~dst:t.dst ~tag:t.tag
+       ~born:now tcp);
+  arm_rto t
+
+(* --- transmission --- *)
+
+and send_seg t seg ~is_retx =
+  let now = Engine.Sched.now t.sched in
+  if t.first_send = None then t.first_send <- Some now;
+  t.established <- true;
+  seg.sent_at <- now;
+  seg.lost <- false;
+  if is_retx then begin
+    seg.retx <- seg.retx + 1;
+    t.stats.retransmits <- t.stats.retransmits + 1
+  end;
+  t.stats.segments_sent <- t.stats.segments_sent + 1;
+  let tcp =
+    {
+      Packet.conn = t.conn;
+      subflow = t.subflow;
+      kind = Packet.Data;
+      seq = seg.seq;
+      payload = seg.len;
+      ack = 0;
+      sack = [];
+      ece = false;
+      dss = seg.dss;
+      data_ack = 0;
+    }
+  in
+  let p =
+    Packet.make_tcp ~id:(t.fresh_id ()) ~src:t.src ~dst:t.dst ~tag:t.tag
+      ~born:now
+      ~ecn:(if t.config.ecn then Packet.Ect else Packet.Not_ect)
+      tcp
+  in
+  t.transmit p;
+  if t.rto_timer = None then arm_rto t
+
+and window_bytes t =
+  let w = (t.cwnd +. t.inflation) *. float_of_int t.config.mss in
+  int_of_float w
+
+and in_flight t = if t.config.sack then pipe t else t.snd_nxt - t.snd_una
+
+and try_send t =
+  (* With handshake modelling on, no data moves before the SYN exchange
+     completes. *)
+  if t.conn_state <> Established then begin
+    if t.conn_state = Closed then send_syn t ~is_retx:false
+  end
+  else try_send_established t
+
+and try_send_established t =
+  let budget = ref 1000 in
+  let continue = ref true in
+  while !continue && !budget > 0 do
+    decr budget;
+    if in_flight t >= window_bytes t then continue := false
+    else begin
+      (* Highest priority: SACK hole retransmission during recovery. *)
+      let hole =
+        if t.config.sack && t.in_recovery then next_hole t else None
+      in
+      match hole with
+      | Some seg ->
+        seg.rtx_epoch <- t.recovery_epoch;
+        send_seg t seg ~is_retx:true
+      | None ->
+        if t.snd_nxt < t.snd_max then begin
+          (* Go-back-N resend of an already-mapped segment (post-RTO);
+             skip segments the scoreboard knows have arrived. *)
+          match Imap.find_opt t.snd_nxt t.outstanding with
+          | Some seg ->
+            if seg.sacked then t.snd_nxt <- seg.seq + seg.len
+            else begin
+              send_seg t seg ~is_retx:true;
+              t.snd_nxt <- seg.seq + seg.len
+            end
+          | None -> (
+            (* Hole created by an odd partial ACK: skip to the next known
+               segment boundary. *)
+            match
+              Imap.find_first_opt (fun s -> s > t.snd_nxt) t.outstanding
+            with
+            | Some (s, _) -> t.snd_nxt <- s
+            | None -> t.snd_nxt <- t.snd_max)
+        end
+        else begin
+          match t.source ~max_len:t.config.mss with
+          | None -> continue := false
+          | Some { dss; len } ->
+            if len <= 0 || len > t.config.mss then
+              invalid_arg "Sender: source returned an invalid chunk length";
+            let seg =
+              { seq = t.snd_nxt; len; dss; sent_at = Engine.Time.zero;
+                retx = 0; sacked = false; lost = false; rtx_epoch = -1 }
+            in
+            t.outstanding <- Imap.add seg.seq seg t.outstanding;
+            send_seg t seg ~is_retx:false;
+            t.snd_nxt <- seg.seq + seg.len;
+            t.snd_max <- max t.snd_max t.snd_nxt
+        end
+    end
+  done
+
+(* --- loss events --- *)
+
+and loss_event t =
+  t.interval_prev <- t.interval_cur;
+  t.interval_cur <- 0
+
+and on_rto t =
+  t.rto_timer <- None;
+  if t.conn_state = Syn_sent then begin
+    (* Lost SYN or SYN-ACK: back off and retry. *)
+    t.stats.timeouts <- t.stats.timeouts + 1;
+    Rtt.backoff t.rtt;
+    send_syn t ~is_retx:true
+  end
+  else if not (Imap.is_empty t.outstanding) then begin
+    t.stats.timeouts <- t.stats.timeouts + 1;
+    loss_event t;
+    (cc_exn t).Cc.on_rto ();
+    Rtt.backoff t.rtt;
+    t.in_recovery <- false;
+    t.inflation <- 0.0;
+    t.dupacks <- 0;
+    (* Everything unacknowledged and unSACKed is presumed lost; rewind
+       and let the (collapsed) window re-send, skipping SACKed segments
+       (RFC 6675 section 5.1). *)
+    Imap.iter (fun _ seg -> if not seg.sacked then seg.lost <- true)
+      t.outstanding;
+    t.snd_nxt <- t.snd_una;
+    arm_rto t;
+    try_send t
+  end
+
+let retransmit_at t seq =
+  match Imap.find_opt seq t.outstanding with
+  | Some seg -> send_seg t seg ~is_retx:true
+  | None -> ()
+
+let enter_recovery t =
+  t.in_recovery <- true;
+  t.recover <- t.snd_max;
+  t.recovery_epoch <- t.recovery_epoch + 1;
+  t.stats.fast_recoveries <- t.stats.fast_recoveries + 1;
+  loss_event t;
+  (cc_exn t).Cc.on_loss ();
+  if t.config.sack then begin
+    mark_lost_holes t;
+    (* The segment at snd_una is the surest hole: the duplicate ACKs
+       prove data above it arrived. *)
+    (match Imap.min_binding_opt t.outstanding with
+    | Some (_, seg) when not seg.sacked -> seg.lost <- true
+    | Some _ | None -> ());
+    match next_hole t with
+    | Some seg ->
+      seg.rtx_epoch <- t.recovery_epoch;
+      send_seg t seg ~is_retx:true
+    | None -> ()
+  end
+  else begin
+    t.inflation <- float_of_int t.config.dupack_threshold;
+    retransmit_at t t.snd_una
+  end;
+  arm_rto t
+
+let sacked_segments t =
+  Imap.fold (fun _ seg acc -> if seg.sacked then acc + 1 else acc)
+    t.outstanding 0
+
+(* ECN response (RFC 3168 section 6.1.2): treat an ECN Echo like a loss
+   for the congestion controller, at most once per window of data. *)
+let react_to_ece t (tcp : Packet.tcp) =
+  if
+    t.config.ecn && tcp.Packet.ece && (not t.in_recovery)
+    && t.snd_una >= t.ecn_react_until
+  then begin
+    loss_event t;
+    (cc_exn t).Cc.on_loss ();
+    t.ecn_react_until <- t.snd_nxt
+  end
+
+let handle_ack t (tcp : Packet.tcp) =
+  react_to_ece t tcp;
+  if tcp.Packet.kind = Packet.Syn_ack then begin
+    if t.conn_state = Syn_sent then begin
+      if t.syn_retx = 0 then
+        Rtt.sample t.rtt
+          (Engine.Time.diff (Engine.Sched.now t.sched) t.syn_sent_at);
+      t.conn_state <- Established;
+      cancel_rto t;
+      try_send t
+    end
+  end
+  else begin
+  if t.config.sack then begin
+    process_sack t tcp.Packet.sack;
+    if t.in_recovery then mark_lost_holes t
+  end;
+  let a = tcp.Packet.ack in
+  if a > t.snd_una then begin
+    let newly = a - t.snd_una in
+    t.stats.bytes_acked <- t.stats.bytes_acked + newly;
+    t.interval_cur <- t.interval_cur + newly;
+    (* Remove covered segments; RTT sample from the newest segment that
+       was never retransmitted (Karn's rule). *)
+    let sample = ref None in
+    let rec drop () =
+      match Imap.min_binding_opt t.outstanding with
+      | Some (seq, seg) when seq + seg.len <= a ->
+        if seg.retx = 0 then sample := Some seg.sent_at;
+        t.outstanding <- Imap.remove seq t.outstanding;
+        drop ()
+      | Some _ | None -> ()
+    in
+    drop ();
+    (match !sample with
+    | Some sent_at ->
+      Rtt.sample t.rtt (Engine.Time.diff (Engine.Sched.now t.sched) sent_at)
+    | None -> ());
+    t.snd_una <- a;
+    if t.snd_nxt < a then t.snd_nxt <- a;
+    t.dupacks <- 0;
+    if t.in_recovery then begin
+      if a >= t.recover then begin
+        (* Full ACK: recovery complete; deflate the window. *)
+        t.in_recovery <- false;
+        t.inflation <- 0.0
+      end
+      else if not t.config.sack then
+        (* Partial ACK (RFC 6582): retransmit the next hole, stay in
+           recovery.  Under SACK the hole logic in try_send covers it. *)
+        retransmit_at t a
+    end
+    else (cc_exn t).Cc.on_ack ~acked:newly;
+    if Imap.is_empty t.outstanding then cancel_rto t else arm_rto t;
+    try_send t
+  end
+  else if not (Imap.is_empty t.outstanding) then begin
+    (* Duplicate ACK. *)
+    t.dupacks <- t.dupacks + 1;
+    if t.in_recovery then begin
+      if not t.config.sack then t.inflation <- t.inflation +. 1.0;
+      try_send t
+    end
+    else if
+      t.dupacks = t.config.dupack_threshold
+      || (t.config.sack && sacked_segments t >= t.config.dupack_threshold
+          && t.dupacks >= 1)
+    then begin
+      enter_recovery t;
+      try_send t
+    end
+  end
+  end
+
+let kick t = try_send t
+
+let penalize t =
+  if not t.in_recovery then begin
+    loss_event t;
+    (cc_exn t).Cc.on_loss ()
+  end
+let cwnd t = t.cwnd
+let ssthresh t = t.ssthresh
+let in_recovery t = t.in_recovery
+let in_flight_bytes t = t.snd_nxt - t.snd_una
+let srtt t = Rtt.srtt t.rtt
+let rto t = Rtt.rto t.rtt
+let stats t = t.stats
+let cc_name t = (cc_exn t).Cc.name
+let is_established t = t.conn_state = Established
+let syn_retransmits t = t.syn_retx
+let mss t = t.config.mss
+let tag t = t.tag
+
+let throughput_bps t ~now =
+  match t.first_send with
+  | None -> 0.0
+  | Some t0 ->
+    let dt = Engine.Time.to_float_s (Engine.Time.diff now t0) in
+    if dt <= 0.0 then 0.0
+    else float_of_int (t.stats.bytes_acked * 8) /. dt

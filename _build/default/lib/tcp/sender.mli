@@ -1,0 +1,123 @@
+(** TCP sender state machine (one subflow).
+
+    Implements the loss-recovery mechanics of a NewReno sender — the
+    machinery shared by every congestion-control algorithm in the paper:
+
+    - window-clocked transmission ([cwnd] + dup-ACK inflation);
+    - three duplicate ACKs trigger fast retransmit and fast recovery,
+      with NewReno partial-ACK retransmission (RFC 6582);
+    - retransmission timeout collapses to go-back-N from [snd_una] with
+      exponential backoff (RFC 6298), honouring Karn's rule for RTT
+      samples;
+    - window growth/decrease is delegated to a {!Cc.instance}, so CUBIC,
+      Reno and the coupled MPTCP algorithms plug in unchanged.
+
+    The sender pulls data: whenever the window opens it asks its
+    {!source} for the next chunk, which is how the MPTCP scheduler
+    decides which subflow carries which data-sequence range. *)
+
+type chunk = {
+  dss : Packet.dss option;  (** MPTCP mapping; [None] for plain TCP *)
+  len : int;                (** payload bytes, 1..mss *)
+}
+
+type source = max_len:int -> chunk option
+(** [source ~max_len] returns the next chunk for this subflow (at most
+    [max_len] bytes), or [None] when the application/scheduler has
+    nothing for it right now.  A subflow refused data is re-activated
+    with {!kick}. *)
+
+type config = {
+  mss : int;
+  initial_cwnd : float;      (** MSS; Linux IW10 default *)
+  initial_ssthresh : float;  (** effectively infinite by default *)
+  dupack_threshold : int;
+  sack : bool;
+      (** SACK-based loss recovery (RFC 2018/6675): the receiver's SACK
+          blocks feed a scoreboard, recovery retransmits only true holes,
+          and post-RTO go-back-N skips delivered segments.  Default
+          [true], matching the Linux stack the paper measured; [false]
+          selects plain NewReno with dup-ACK window inflation. *)
+  handshake : bool;
+      (** model the SYN / SYN-ACK exchange: the subflow sends nothing
+          until the handshake completes (one RTT, with RTO-backed SYN
+          retransmission), and the SYN round-trip primes the RTT
+          estimator.  Default [false]: subflows start established, the
+          calibrated behaviour of the reproduction experiments. *)
+  ecn : bool;
+      (** send data as ECN-capable (ECT) and respond to ECN Echo like a
+          loss, at most once per window (RFC 3168).  Pairs with an
+          ECN-enabled RED queue ({!Netsim.Qdisc.default_red_ecn}).
+          Default [false]. *)
+  initial_rto : Engine.Time.t;
+  min_rto : Engine.Time.t;
+  max_rto : Engine.Time.t;
+}
+
+val default_config : config
+
+type stats = {
+  mutable segments_sent : int;
+  mutable retransmits : int;
+  mutable timeouts : int;
+  mutable fast_recoveries : int;
+  mutable bytes_acked : int;
+}
+
+type t
+
+val create :
+  sched:Engine.Sched.t ->
+  config:config ->
+  conn:int ->
+  subflow:int ->
+  src:Packet.addr ->
+  dst:Packet.addr ->
+  tag:Packet.tag ->
+  fresh_id:(unit -> int) ->
+  transmit:(Packet.t -> unit) ->
+  source:source ->
+  cc:Cc.factory ->
+  ?siblings:(unit -> Cc.sibling array) ->
+  ?self_index:(unit -> int) ->
+  unit -> t
+(** [siblings]/[self_index] give coupled controllers their view of the
+    owning connection; they default to "this subflow alone". *)
+
+val handle_ack : t -> Packet.tcp -> unit
+(** Feed an arriving ACK (or SYN-ACK) for this subflow. *)
+
+val is_established : t -> bool
+(** [true] once the handshake completed (always, when [handshake] is
+    off). *)
+
+val syn_retransmits : t -> int
+
+val kick : t -> unit
+(** Attempt to transmit now (new data became available, or the scheduler
+    re-assigned this subflow). *)
+
+val penalize : t -> unit
+(** Apply the congestion controller's loss decrease without entering
+    recovery — MPTCP's penalization of a subflow that is blocking the
+    connection-level window (Raiciu et al., NSDI 2012).  No-op while the
+    subflow is already in recovery. *)
+
+val cwnd : t -> float
+(** Congestion window in MSS units. *)
+
+val ssthresh : t -> float
+val in_recovery : t -> bool
+val in_flight_bytes : t -> int
+val srtt : t -> Engine.Time.t option
+val rto : t -> Engine.Time.t
+val stats : t -> stats
+val cc_name : t -> string
+val mss : t -> int
+val tag : t -> Packet.tag
+
+val sibling_view : t -> Cc.sibling
+(** Snapshot used by coupled congestion control on sibling subflows. *)
+
+val throughput_bps : t -> now:Engine.Time.t -> float
+(** Average acknowledged goodput since the first transmission. *)

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Engine Float Heap List Option QCheck QCheck_alcotest Rng Sched Time

@@ -1,0 +1,1 @@
+test/test_measure.ml: Alcotest Array Engine Float Gen List Measure Netgraph Netsim Packet QCheck QCheck_alcotest String

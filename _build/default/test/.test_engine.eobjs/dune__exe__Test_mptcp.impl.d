@@ -1,0 +1,1 @@
+test/test_mptcp.ml: Alcotest Array Core Engine Float Gen List Measure Mptcp Netgraph Netsim Packet Printf QCheck QCheck_alcotest Tcp

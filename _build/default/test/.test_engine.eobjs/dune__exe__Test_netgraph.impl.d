@@ -1,0 +1,1 @@
+test/test_netgraph.ml: Alcotest Array Constraints Core Disjoint Engine Generate Kshortest List Lp Maxflow Netgraph Path QCheck QCheck_alcotest Shortest Topology

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Engine List Netgraph Netsim Packet Printf QCheck QCheck_alcotest Tcp

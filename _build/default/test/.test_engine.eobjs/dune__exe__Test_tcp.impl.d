@@ -1,0 +1,1 @@
+test/test_tcp.ml: Alcotest Array Engine Float Gen List Measure Netgraph Netsim Packet Printf QCheck QCheck_alcotest Tcp

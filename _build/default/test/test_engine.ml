@@ -1,0 +1,296 @@
+(* Tests for the discrete-event engine: time arithmetic, the binary heap,
+   the scheduler's ordering/cancellation semantics, and the RNG. *)
+
+open Engine
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Time --- *)
+
+let time_units () =
+  check_int "us" 1_000 (Time.us 1);
+  check_int "ms" 1_000_000 (Time.ms 1);
+  check_int "s" 1_000_000_000 (Time.s 1);
+  check_int "composition" (Time.s 2) (Time.add (Time.ms 1999) (Time.us 1000))
+
+let time_float_roundtrip () =
+  check_int "of_float_s" (Time.ms 1500) (Time.of_float_s 1.5);
+  Alcotest.(check (float 1e-12)) "to_float_s" 0.25 (Time.to_float_s (Time.ms 250));
+  check_int "rounding" 1 (Time.of_float_s 1e-9);
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Time.of_float_s: negative or non-finite") (fun () ->
+      ignore (Time.of_float_s (-1.0)))
+
+let time_scale () =
+  check_int "scale by 2" (Time.ms 20) (Time.scale (Time.ms 10) 2.0);
+  check_int "scale by 0.5" (Time.ms 5) (Time.scale (Time.ms 10) 0.5);
+  check_int "scale rounds" 1 (Time.scale 1 0.6)
+
+let time_tx_exact () =
+  (* 1500 B at 100 Mbps is exactly 120 us. *)
+  check_int "1500B@100M" (Time.us 120)
+    (Time.tx_time ~bits:12000 ~rate_bps:100_000_000);
+  (* Rounding must be up: 1 bit at 3 bps = ceil(1e9/3). *)
+  check_int "round up" 333_333_334 (Time.tx_time ~bits:1 ~rate_bps:3);
+  Alcotest.check_raises "zero rate"
+    (Invalid_argument "Time.tx_time: rate must be positive") (fun () ->
+      ignore (Time.tx_time ~bits:1 ~rate_bps:0))
+
+let time_pp () =
+  Alcotest.(check string) "ns" "999ns" (Time.to_string 999);
+  Alcotest.(check string) "ms" "1.5ms" (Time.to_string (Time.us 1500));
+  Alcotest.(check string) "s" "2.5s" (Time.to_string (Time.ms 2500))
+
+(* --- Heap --- *)
+
+let heap_basic () =
+  let h = Heap.create () in
+  check_bool "empty" true (Heap.is_empty h);
+  Heap.push h ~key:5 ~tie:0 "five";
+  Heap.push h ~key:1 ~tie:0 "one";
+  Heap.push h ~key:3 ~tie:0 "three";
+  check_int "length" 3 (Heap.length h);
+  (match Heap.peek h with
+  | Some (1, _, "one") -> ()
+  | _ -> Alcotest.fail "peek should be the minimum");
+  let order = List.filter_map (fun () -> Option.map (fun (_, _, v) -> v)
+      (Heap.pop h)) [ (); (); () ] in
+  Alcotest.(check (list string)) "sorted" [ "one"; "three"; "five" ] order;
+  check_bool "drained" true (Heap.pop h = None)
+
+let heap_fifo_ties () =
+  let h = Heap.create () in
+  List.iteri (fun i v -> Heap.push h ~key:7 ~tie:i v) [ "a"; "b"; "c" ];
+  let popped = List.init 3 (fun _ ->
+      match Heap.pop h with Some (_, _, v) -> v | None -> "?") in
+  Alcotest.(check (list string)) "FIFO among equal keys" [ "a"; "b"; "c" ]
+    popped
+
+let heap_clear () =
+  let h = Heap.create () in
+  Heap.push h ~key:1 ~tie:0 0;
+  Heap.clear h;
+  check_bool "cleared" true (Heap.is_empty h)
+
+let heap_qcheck_sorted =
+  QCheck.Test.make ~name:"heap pops keys in non-decreasing order" ~count:200
+    QCheck.(list (int_bound 10_000))
+    (fun keys ->
+      let h = Heap.create () in
+      List.iteri (fun i k -> Heap.push h ~key:k ~tie:i k) keys;
+      let rec drain prev =
+        match Heap.pop h with
+        | None -> true
+        | Some (k, _, _) -> k >= prev && drain k
+      in
+      drain min_int)
+
+let heap_qcheck_conserves =
+  QCheck.Test.make ~name:"heap returns exactly the pushed multiset" ~count:200
+    QCheck.(list small_int)
+    (fun keys ->
+      let h = Heap.create () in
+      List.iteri (fun i k -> Heap.push h ~key:k ~tie:i k) keys;
+      let rec drain acc =
+        match Heap.pop h with
+        | None -> acc
+        | Some (k, _, _) -> drain (k :: acc)
+      in
+      List.sort compare (drain []) = List.sort compare keys)
+
+(* --- Sched --- *)
+
+let sched_ordering () =
+  let s = Sched.create () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  ignore (Sched.at s (Time.ms 30) (note "c"));
+  ignore (Sched.at s (Time.ms 10) (note "a"));
+  ignore (Sched.at s (Time.ms 20) (note "b"));
+  Sched.run s;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ]
+    (List.rev !log);
+  check_int "clock at last event" (Time.ms 30) (Sched.now s);
+  check_int "fired" 3 (Sched.events_processed s)
+
+let sched_same_time_fifo () =
+  let s = Sched.create () in
+  let log = ref [] in
+  List.iter
+    (fun tag -> ignore (Sched.at s (Time.ms 5) (fun () -> log := tag :: !log)))
+    [ "x"; "y"; "z" ];
+  Sched.run s;
+  Alcotest.(check (list string)) "insertion order" [ "x"; "y"; "z" ]
+    (List.rev !log)
+
+let sched_cancel () =
+  let s = Sched.create () in
+  let fired = ref false in
+  let t = Sched.at s (Time.ms 1) (fun () -> fired := true) in
+  check_bool "pending" true (Sched.pending t);
+  Sched.cancel t;
+  Sched.run s;
+  check_bool "cancelled event must not fire" false !fired;
+  check_bool "not pending" false (Sched.pending t)
+
+let sched_until () =
+  let s = Sched.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    ignore (Sched.after s (Time.ms 10) tick)
+  in
+  ignore (Sched.at s Time.zero tick);
+  Sched.run ~until:(Time.ms 95) s;
+  check_int "ticks in [0, 95ms]" 10 !count;
+  check_int "clock advanced to horizon" (Time.ms 95) (Sched.now s);
+  Sched.run ~until:(Time.ms 100) s;
+  check_int "one more tick at 100ms" 11 !count
+
+let sched_nested_scheduling () =
+  let s = Sched.create () in
+  let log = ref [] in
+  ignore
+    (Sched.at s (Time.ms 1) (fun () ->
+         log := "outer" :: !log;
+         ignore
+           (Sched.after s Time.zero (fun () -> log := "inner" :: !log))));
+  ignore (Sched.at s (Time.ms 2) (fun () -> log := "later" :: !log));
+  Sched.run s;
+  Alcotest.(check (list string)) "inner runs before later"
+    [ "outer"; "inner"; "later" ] (List.rev !log)
+
+let sched_cancel_from_callback () =
+  (* A callback may cancel a later event; the cancelled event must not
+     fire even though it was already queued. *)
+  let s = Sched.create () in
+  let fired = ref [] in
+  let victim = Sched.at s (Time.ms 10) (fun () -> fired := "victim" :: !fired) in
+  ignore
+    (Sched.at s (Time.ms 5) (fun () ->
+         fired := "killer" :: !fired;
+         Sched.cancel victim));
+  Sched.run s;
+  Alcotest.(check (list string)) "victim never fires" [ "killer" ]
+    (List.rev !fired);
+  check_int "only one event counted" 1 (Sched.events_processed s)
+
+let sched_queue_length () =
+  let s = Sched.create () in
+  ignore (Sched.at s (Time.ms 1) (fun () -> ()));
+  ignore (Sched.at s (Time.ms 2) (fun () -> ()));
+  check_int "two pending" 2 (Sched.queue_length s);
+  Sched.run s;
+  check_int "drained" 0 (Sched.queue_length s)
+
+let sched_past_rejected () =
+  let s = Sched.create () in
+  ignore (Sched.at s (Time.ms 5) (fun () -> ()));
+  Sched.run s;
+  check_bool "raises on past" true
+    (try ignore (Sched.at s (Time.ms 1) (fun () -> ())); false
+     with Invalid_argument _ -> true)
+
+(* --- Rng --- *)
+
+let rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check_bool "same stream" true (Rng.bits64 a = Rng.bits64 b)
+  done;
+  let c = Rng.create 43 in
+  check_bool "different seed differs" true (Rng.bits64 (Rng.create 42) <> Rng.bits64 c)
+
+let rng_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 10 in
+    check_bool "int in range" true (v >= 0 && v < 10);
+    let f = Rng.float r 2.5 in
+    check_bool "float in range" true (f >= 0.0 && f < 2.5)
+  done;
+  Alcotest.check_raises "bad bound"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int r 0))
+
+let rng_uniformity () =
+  (* chi-square-ish sanity: all 10 buckets within 3x of expectation. *)
+  let r = Rng.create 123 in
+  let buckets = Array.make 10 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    let i = Rng.int r 10 in
+    buckets.(i) <- buckets.(i) + 1
+  done;
+  Array.iter
+    (fun c -> check_bool "bucket roughly uniform" true (c > 700 && c < 1300))
+    buckets
+
+let rng_exponential_mean () =
+  let r = Rng.create 99 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential r ~mean:3.0
+  done;
+  let m = !sum /. float_of_int n in
+  check_bool "sample mean near 3.0" true (Float.abs (m -. 3.0) < 0.15)
+
+let rng_split_independent () =
+  let r = Rng.create 5 in
+  let a = Rng.split r in
+  let b = Rng.split r in
+  check_bool "split streams differ" true (Rng.bits64 a <> Rng.bits64 b)
+
+let rng_uniform_time () =
+  let r = Rng.create 1 in
+  for _ = 1 to 100 do
+    let v = Rng.uniform_time r ~lo:(Time.ms 1) ~hi:(Time.ms 2) in
+    check_bool "in closed range" true (v >= Time.ms 1 && v <= Time.ms 2)
+  done
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "time",
+        [
+          Alcotest.test_case "unit constructors" `Quick time_units;
+          Alcotest.test_case "float round trip" `Quick time_float_roundtrip;
+          Alcotest.test_case "scale" `Quick time_scale;
+          Alcotest.test_case "tx_time exact and rounded up" `Quick time_tx_exact;
+          Alcotest.test_case "pretty printing" `Quick time_pp;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "push/pop basic" `Quick heap_basic;
+          Alcotest.test_case "FIFO tie-break" `Quick heap_fifo_ties;
+          Alcotest.test_case "clear" `Quick heap_clear;
+          QCheck_alcotest.to_alcotest heap_qcheck_sorted;
+          QCheck_alcotest.to_alcotest heap_qcheck_conserves;
+        ] );
+      ( "sched",
+        [
+          Alcotest.test_case "events fire in time order" `Quick sched_ordering;
+          Alcotest.test_case "same-time events are FIFO" `Quick
+            sched_same_time_fifo;
+          Alcotest.test_case "cancel prevents firing" `Quick sched_cancel;
+          Alcotest.test_case "run ~until stops at horizon" `Quick sched_until;
+          Alcotest.test_case "zero-delay nested events" `Quick
+            sched_nested_scheduling;
+          Alcotest.test_case "scheduling in the past rejected" `Quick
+            sched_past_rejected;
+          Alcotest.test_case "cancel from a callback" `Quick
+            sched_cancel_from_callback;
+          Alcotest.test_case "queue length" `Quick sched_queue_length;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick rng_deterministic;
+          Alcotest.test_case "bounds" `Quick rng_bounds;
+          Alcotest.test_case "rough uniformity" `Quick rng_uniformity;
+          Alcotest.test_case "exponential mean" `Quick rng_exponential_mean;
+          Alcotest.test_case "split independence" `Quick rng_split_independent;
+          Alcotest.test_case "uniform_time range" `Quick rng_uniform_time;
+        ] );
+    ]

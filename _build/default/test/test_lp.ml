@@ -1,0 +1,245 @@
+(* Tests for the simplex solver, cross-checked against the brute-force
+   vertex enumerator and against textbook instances — including the
+   paper's own Fig. 1c LP. *)
+
+let feps = 1e-6
+
+let check_optimal ?(eps = feps) ~expected_obj result =
+  match result with
+  | Lp.Simplex.Optimal { objective; x; _ } ->
+    Alcotest.(check (float eps)) "objective" expected_obj objective;
+    x
+  | Lp.Simplex.Unbounded -> Alcotest.fail "unexpected: unbounded"
+  | Lp.Simplex.Infeasible -> Alcotest.fail "unexpected: infeasible"
+
+let paper_lp () =
+  let a = [| [| 1.; 1.; 0. |]; [| 1.; 0.; 1. |]; [| 0.; 1.; 1. |] |] in
+  let b = [| 40.; 60.; 80. |] in
+  let c = [| 1.; 1.; 1. |] in
+  let x = check_optimal ~expected_obj:90.0 (Lp.Simplex.solve ~c ~a ~b) in
+  Alcotest.(check (float feps)) "x1" 10.0 x.(0);
+  Alcotest.(check (float feps)) "x2" 30.0 x.(1);
+  Alcotest.(check (float feps)) "x3" 50.0 x.(2)
+
+let paper_lp_duals () =
+  (* All three bottlenecks bind with shadow price 1/2: relaxing any one
+     by 1 Mbps buys 0.5 Mbps of total throughput. *)
+  let a = [| [| 1.; 1.; 0. |]; [| 1.; 0.; 1. |]; [| 0.; 1.; 1. |] |] in
+  let b = [| 40.; 60.; 80. |] in
+  let c = [| 1.; 1.; 1. |] in
+  match Lp.Simplex.solve ~c ~a ~b with
+  | Lp.Simplex.Optimal { dual; _ } ->
+    Array.iter (fun y -> Alcotest.(check (float feps)) "dual" 0.5 y) dual
+  | _ -> Alcotest.fail "expected optimal"
+
+let textbook_2d () =
+  (* max 3x + 5y st x <= 4; 2y <= 12; 3x + 2y <= 18 -> 36 at (2, 6). *)
+  let a = [| [| 1.; 0. |]; [| 0.; 2. |]; [| 3.; 2. |] |] in
+  let b = [| 4.; 12.; 18. |] in
+  let c = [| 3.; 5. |] in
+  let x = check_optimal ~expected_obj:36.0 (Lp.Simplex.solve ~c ~a ~b) in
+  Alcotest.(check (float feps)) "x" 2.0 x.(0);
+  Alcotest.(check (float feps)) "y" 6.0 x.(1)
+
+let degenerate_ok () =
+  (* Redundant constraint repeated: classic degeneracy; Bland must still
+     terminate at the optimum. *)
+  let a = [| [| 1.; 1. |]; [| 1.; 1. |]; [| 1.; 0. |] |] in
+  let b = [| 10.; 10.; 4. |] in
+  let c = [| 2.; 1. |] in
+  let x = check_optimal ~expected_obj:14.0 (Lp.Simplex.solve ~c ~a ~b) in
+  Alcotest.(check (float feps)) "x" 4.0 x.(0)
+
+let unbounded_detected () =
+  let a = [| [| 1.; -1. |] |] and b = [| 1. |] and c = [| 0.; 1. |] in
+  match Lp.Simplex.solve ~c ~a ~b with
+  | Lp.Simplex.Unbounded -> ()
+  | r -> Alcotest.failf "expected unbounded, got %a" Lp.Simplex.pp_result r
+
+let infeasible_detected () =
+  (* x1 <= -1 with x1 >= 0 is empty. *)
+  let a = [| [| 1. |] |] and b = [| -1. |] and c = [| 1. |] in
+  match Lp.Simplex.solve ~c ~a ~b with
+  | Lp.Simplex.Infeasible -> ()
+  | r -> Alcotest.failf "expected infeasible, got %a" Lp.Simplex.pp_result r
+
+let negative_rhs_feasible () =
+  (* -x <= -2 means x >= 2; max -x should give -2 (phase 1 exercised). *)
+  let a = [| [| -1. |]; [| 1. |] |] in
+  let b = [| -2.; 10. |] in
+  let c = [| -1. |] in
+  let x = check_optimal ~expected_obj:(-2.0) (Lp.Simplex.solve ~c ~a ~b) in
+  Alcotest.(check (float feps)) "x" 2.0 x.(0)
+
+let equality_via_opposing_rows () =
+  (* x >= 2 and x <= 2 pin x exactly; phase 1 must find the point and
+     phase 2 must report it for both objectives. *)
+  let a = [| [| -1. |]; [| 1. |] |] in
+  let b = [| -2.; 2. |] in
+  let x = check_optimal ~expected_obj:2.0 (Lp.Simplex.solve ~c:[| 1. |] ~a ~b) in
+  Alcotest.(check (float feps)) "x pinned" 2.0 x.(0);
+  let x' = check_optimal ~expected_obj:(-2.0) (Lp.Simplex.solve ~c:[| -1. |] ~a ~b) in
+  Alcotest.(check (float feps)) "x pinned (min)" 2.0 x'.(0)
+
+let infeasible_bounds () =
+  (* x >= 5 and x <= 3: phase 1 cannot drive the artificials out. *)
+  let a = [| [| -1. |]; [| 1. |] |] in
+  let b = [| -5.; 3. |] in
+  match Lp.Simplex.solve ~c:[| 1. |] ~a ~b with
+  | Lp.Simplex.Infeasible -> ()
+  | r -> Alcotest.failf "expected infeasible, got %a" Lp.Simplex.pp_result r
+
+let redundant_ge_rows () =
+  (* The same >= constraint twice: one artificial ends phase 1 basic at
+     level zero and must be neutralised, not corrupt phase 2. *)
+  let a = [| [| -1.; 0. |]; [| -1.; 0. |]; [| 1.; 1. |] |] in
+  let b = [| -1.; -1.; 4. |] in
+  let x = check_optimal ~expected_obj:4.0
+      (Lp.Simplex.solve ~c:[| 1.; 1. |] ~a ~b) in
+  Alcotest.(check bool) "x1 >= 1 respected" true (x.(0) >= 1.0 -. feps)
+
+let no_constraints () =
+  (match Lp.Simplex.solve ~c:[| 1. |] ~a:[||] ~b:[||] with
+  | Lp.Simplex.Unbounded -> ()
+  | _ -> Alcotest.fail "positive cost with no constraints is unbounded");
+  match Lp.Simplex.solve ~c:[| -1. |] ~a:[||] ~b:[||] with
+  | Lp.Simplex.Optimal { objective; _ } ->
+    Alcotest.(check (float feps)) "objective" 0.0 objective
+  | _ -> Alcotest.fail "negative cost with no constraints is optimal at 0"
+
+let dimension_mismatch () =
+  Alcotest.check_raises "b wrong length"
+    (Invalid_argument "Simplex.solve: |b| must equal the number of rows of a")
+    (fun () -> ignore (Lp.Simplex.solve ~c:[| 1. |] ~a:[| [| 1. |] |] ~b:[||]))
+
+let non_finite_rejected () =
+  Alcotest.check_raises "nan coefficient"
+    (Invalid_argument "Simplex.solve: non-finite coefficient") (fun () ->
+      ignore (Lp.Simplex.solve ~c:[| Float.nan |] ~a:[| [| 1. |] |] ~b:[| 1. |]))
+
+let feasible_checker () =
+  let a = [| [| 1.; 1. |] |] and b = [| 5. |] in
+  Alcotest.(check bool) "inside" true
+    (Lp.Simplex.feasible ~a ~b ~x:[| 2.; 2. |] ~eps:1e-9);
+  Alcotest.(check bool) "outside" false
+    (Lp.Simplex.feasible ~a ~b ~x:[| 4.; 2. |] ~eps:1e-9);
+  Alcotest.(check bool) "negative var" false
+    (Lp.Simplex.feasible ~a ~b ~x:[| -1.; 0. |] ~eps:1e-9)
+
+(* Enumerator agreement on random small LPs with b >= 0 (so 0 is feasible
+   and both solvers must agree on the optimum or on unboundedness). *)
+let gen_lp =
+  QCheck.Gen.(
+    let dim = 2 -- 3 in
+    let rows = 1 -- 4 in
+    dim >>= fun n ->
+    rows >>= fun m ->
+    let coeff = float_range (-3.0) 5.0 in
+    let rhs = float_range 0.0 10.0 in
+    let row = array_repeat n coeff in
+    triple (array_repeat n (float_range (-2.0) 4.0)) (array_repeat m row)
+      (array_repeat m rhs))
+
+let arbitrary_lp = QCheck.make gen_lp
+
+let qcheck_vs_enumerate =
+  QCheck.Test.make ~name:"simplex agrees with vertex enumeration" ~count:300
+    arbitrary_lp (fun (c, a, b) ->
+      match Lp.Simplex.solve ~c ~a ~b with
+      | Lp.Simplex.Infeasible -> false (* b >= 0 means 0 is feasible *)
+      | Lp.Simplex.Unbounded -> true (* enumeration cannot confirm cheaply *)
+      | Lp.Simplex.Optimal { objective; x; _ } ->
+        Lp.Simplex.feasible ~a ~b ~x ~eps:1e-6
+        &&
+        (match Lp.Enumerate.best_vertex ~c ~a ~b with
+        | None -> false
+        | Some (best, _) -> Float.abs (best -. objective) < 1e-5))
+
+let qcheck_duals_bound =
+  (* Weak duality: for a maximization with optimal primal, y.b equals the
+     objective (strong duality) within tolerance. *)
+  QCheck.Test.make ~name:"strong duality holds at the optimum" ~count:300
+    arbitrary_lp (fun (c, a, b) ->
+      match Lp.Simplex.solve ~c ~a ~b with
+      | Lp.Simplex.Optimal { objective; dual; _ } ->
+        let yb = ref 0.0 in
+        Array.iteri (fun i y -> yb := !yb +. (y *. b.(i))) dual;
+        Float.abs (!yb -. objective) < 1e-5
+      | Lp.Simplex.Unbounded | Lp.Simplex.Infeasible -> true)
+
+let enumerate_paper () =
+  let a = [| [| 1.; 1.; 0. |]; [| 1.; 0.; 1. |]; [| 0.; 1.; 1. |] |] in
+  let b = [| 40.; 60.; 80. |] in
+  let c = [| 1.; 1.; 1. |] in
+  match Lp.Enumerate.best_vertex ~c ~a ~b with
+  | Some (obj, x) ->
+    Alcotest.(check (float feps)) "objective" 90.0 obj;
+    Alcotest.(check (float feps)) "x1" 10.0 x.(0)
+  | None -> Alcotest.fail "expected a vertex"
+
+let feasible_vertices_paper () =
+  (* Fig. 1c's polytope: unit cube-like region with 3 pair constraints.
+     Its corners include the origin, the single-path maxima and the
+     optimum (10, 30, 50). *)
+  let a = [| [| 1.; 1.; 0. |]; [| 1.; 0.; 1. |]; [| 0.; 1.; 1. |] |] in
+  let b = [| 40.; 60.; 80. |] in
+  let vs = Lp.Enumerate.feasible_vertices ~a ~b in
+  let has v = List.exists (fun u -> u = v) vs in
+  Alcotest.(check bool) "origin" true (has [| 0.; 0.; 0. |]);
+  Alcotest.(check bool) "x1 axis max" true (has [| 40.; 0.; 0. |]);
+  Alcotest.(check bool) "x3 axis max" true (has [| 0.; 0.; 60. |]);
+  Alcotest.(check bool) "the optimum is a vertex" true
+    (has [| 10.; 30.; 50. |]);
+  (* Every vertex is feasible, and none exceeds the optimum total. *)
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "feasible" true
+        (Lp.Simplex.feasible ~a ~b ~x:v ~eps:1e-6);
+      Alcotest.(check bool) "below the optimum" true
+        (v.(0) +. v.(1) +. v.(2) <= 90.0 +. 1e-6))
+    vs
+
+let feasible_vertices_square () =
+  (* x, y <= 1: the unit square has exactly 4 vertices. *)
+  let a = [| [| 1.; 0. |]; [| 0.; 1. |] |] in
+  let b = [| 1.; 1. |] in
+  let vs = Lp.Enumerate.feasible_vertices ~a ~b in
+  Alcotest.(check int) "four corners" 4 (List.length vs)
+
+let () =
+  Alcotest.run "lp"
+    [
+      ( "simplex",
+        [
+          Alcotest.test_case "paper Fig. 1c LP" `Quick paper_lp;
+          Alcotest.test_case "paper LP shadow prices" `Quick paper_lp_duals;
+          Alcotest.test_case "textbook 2d" `Quick textbook_2d;
+          Alcotest.test_case "degenerate instance terminates" `Quick
+            degenerate_ok;
+          Alcotest.test_case "unbounded detected" `Quick unbounded_detected;
+          Alcotest.test_case "infeasible detected" `Quick infeasible_detected;
+          Alcotest.test_case "negative rhs via phase 1" `Quick
+            negative_rhs_feasible;
+          Alcotest.test_case "equality via opposing rows" `Quick
+            equality_via_opposing_rows;
+          Alcotest.test_case "infeasible bounds" `Quick infeasible_bounds;
+          Alcotest.test_case "redundant >= rows neutralised" `Quick
+            redundant_ge_rows;
+          Alcotest.test_case "no constraints" `Quick no_constraints;
+          Alcotest.test_case "dimension mismatch rejected" `Quick
+            dimension_mismatch;
+          Alcotest.test_case "non-finite rejected" `Quick non_finite_rejected;
+          Alcotest.test_case "feasibility checker" `Quick feasible_checker;
+        ] );
+      ( "cross-check",
+        [
+          Alcotest.test_case "enumerator on the paper LP" `Quick
+            enumerate_paper;
+          QCheck_alcotest.to_alcotest qcheck_vs_enumerate;
+          QCheck_alcotest.to_alcotest qcheck_duals_bound;
+          Alcotest.test_case "Fig. 1c polytope vertices" `Quick
+            feasible_vertices_paper;
+          Alcotest.test_case "unit square vertices" `Quick
+            feasible_vertices_square;
+        ] );
+    ]

@@ -1,0 +1,115 @@
+(* Tests for the wire-format model: sizes, constructors, validation and
+   pretty-printing. *)
+
+let data_tcp ?(payload = Packet.default_mss) ?(dss = None) () =
+  {
+    Packet.conn = 1;
+    subflow = 0;
+    kind = Packet.Data;
+    seq = 1000;
+    payload;
+    ack = 0;
+    sack = [];
+    ece = false;
+    dss;
+    data_ack = 0;
+  }
+
+let sizes () =
+  Alcotest.(check int) "header" 52 Packet.header_bytes;
+  Alcotest.(check int) "mss" 1448 Packet.default_mss;
+  let p =
+    Packet.make_tcp ~id:1 ~src:0 ~dst:1 ~tag:1 ~born:0 (data_tcp ())
+  in
+  Alcotest.(check int) "full segment is 1500B on the wire" 1500 p.Packet.size;
+  Alcotest.(check int) "wire bits" 12000 (Packet.wire_bits p);
+  let ack =
+    Packet.make_tcp ~id:2 ~src:1 ~dst:0 ~tag:1 ~born:0
+      { (data_tcp ~payload:0 ()) with Packet.kind = Packet.Ack; ack = 2448 }
+  in
+  Alcotest.(check int) "pure ACK is header-only" 52 ack.Packet.size
+
+let is_data () =
+  let d = Packet.make_tcp ~id:1 ~src:0 ~dst:1 ~tag:1 ~born:0 (data_tcp ()) in
+  Alcotest.(check bool) "data" true (Packet.is_data d);
+  let a =
+    Packet.make_tcp ~id:2 ~src:1 ~dst:0 ~tag:1 ~born:0
+      { (data_tcp ~payload:0 ()) with Packet.kind = Packet.Ack }
+  in
+  Alcotest.(check bool) "ack is not data" false (Packet.is_data a);
+  let plain = Packet.make_plain ~id:3 ~src:0 ~dst:1 ~tag:9 ~born:0 ~size:1500 in
+  Alcotest.(check bool) "plain is not data" false (Packet.is_data plain)
+
+let dss_consistency () =
+  Alcotest.(check bool) "mismatched DSS rejected" true
+    (try
+       ignore
+         (Packet.make_tcp ~id:1 ~src:0 ~dst:1 ~tag:1 ~born:0
+            (data_tcp ~payload:100
+               ~dss:(Some { Packet.dseq = 0; dlen = 99 })
+               ()));
+       false
+     with Invalid_argument _ -> true);
+  let ok =
+    Packet.make_tcp ~id:1 ~src:0 ~dst:1 ~tag:1 ~born:0
+      (data_tcp ~payload:100 ~dss:(Some { Packet.dseq = 500; dlen = 100 }) ())
+  in
+  match (Packet.tcp_exn ok).Packet.dss with
+  | Some { Packet.dseq = 500; dlen = 100 } -> ()
+  | _ -> Alcotest.fail "DSS not preserved"
+
+let negative_payload () =
+  Alcotest.(check bool) "negative payload rejected" true
+    (try
+       ignore
+         (Packet.make_tcp ~id:1 ~src:0 ~dst:1 ~tag:1 ~born:0
+            (data_tcp ~payload:(-1) ()));
+       false
+     with Invalid_argument _ -> true)
+
+let plain_validation () =
+  Alcotest.(check bool) "zero-size plain rejected" true
+    (try
+       ignore (Packet.make_plain ~id:1 ~src:0 ~dst:1 ~tag:1 ~born:0 ~size:0);
+       false
+     with Invalid_argument _ -> true)
+
+let tcp_exn_on_plain () =
+  let p = Packet.make_plain ~id:1 ~src:0 ~dst:1 ~tag:1 ~born:0 ~size:100 in
+  Alcotest.check_raises "tcp_exn on plain"
+    (Invalid_argument "Packet.tcp_exn: not a TCP packet") (fun () ->
+      ignore (Packet.tcp_exn p))
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let pretty_printing () =
+  let d =
+    Packet.make_tcp ~id:7 ~src:0 ~dst:5 ~tag:2 ~born:0
+      (data_tcp ~dss:(Some { Packet.dseq = 42; dlen = Packet.default_mss }) ())
+  in
+  let s = Format.asprintf "%a" Packet.pp d in
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool)
+        (Printf.sprintf "pp mentions %S" fragment)
+        true (contains ~needle:fragment s))
+    [ "DATA"; "tag=2"; "dss=42" ]
+
+let () =
+  Alcotest.run "packet"
+    [
+      ( "packet",
+        [
+          Alcotest.test_case "wire sizes" `Quick sizes;
+          Alcotest.test_case "is_data" `Quick is_data;
+          Alcotest.test_case "DSS consistency enforced" `Quick dss_consistency;
+          Alcotest.test_case "negative payload rejected" `Quick
+            negative_payload;
+          Alcotest.test_case "plain size validation" `Quick plain_validation;
+          Alcotest.test_case "tcp_exn on plain raises" `Quick tcp_exn_on_plain;
+          Alcotest.test_case "pretty printing" `Quick pretty_printing;
+        ] );
+    ]

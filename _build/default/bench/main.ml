@@ -9,19 +9,50 @@
         scheduler, single-path baselines);
      4. Bechamel micro-benchmarks of the hot components.
 
+   Independent simulations run on a `--jobs N` domain pool (default:
+   `Domain.recommended_domain_count`); every grid is printed from
+   order-preserved results, so the output is byte-identical to a serial
+   run.  A machine-readable summary (micro-benchmark estimates plus the
+   wall clock of each phase) is written to `BENCH_results.json` so
+   successive revisions leave a perf trajectory.
+
    `dune exec bench/main.exe -- --quick` trims the sweeps for CI use. *)
 
 let quick = Array.exists (fun a -> a = "--quick" || a = "-q") Sys.argv
 
-(* `--csv-dir DIR` writes each regenerated dataset as CSV next to the
-   terminal output, for external plotting. *)
-let csv_dir =
+let flag_value names =
   let rec find i =
-    if i >= Array.length Sys.argv - 1 then None
-    else if Sys.argv.(i) = "--csv-dir" then Some Sys.argv.(i + 1)
+    if i >= Array.length Sys.argv then None
+    else if List.mem Sys.argv.(i) names then
+      if i = Array.length Sys.argv - 1 then (
+        Printf.eprintf "bench: %s expects a value\n" Sys.argv.(i);
+        exit 2)
+      else Some Sys.argv.(i + 1)
     else find (i + 1)
   in
   find 1
+
+(* `--csv-dir DIR` writes each regenerated dataset as CSV next to the
+   terminal output, for external plotting. *)
+let csv_dir = flag_value [ "--csv-dir" ]
+
+let jobs =
+  match flag_value [ "--jobs"; "-j" ] with
+  | None -> Core.Runner.default_jobs ()
+  | Some v -> (
+    match int_of_string_opt v with
+    | Some j when j >= 1 -> j
+    | Some _ | None ->
+      Printf.eprintf "bench: --jobs expects a positive integer, got %S\n" v;
+      exit 2)
+
+let bench_json =
+  match flag_value [ "--bench-json" ] with
+  | Some p -> p
+  | None -> "BENCH_results.json"
+
+(* `open Bechamel` below shadows `Measure`; keep a handle on ours. *)
+let write_text_file = Measure.Render.write_file
 
 let write_csv name content =
   match csv_dir with
@@ -33,6 +64,15 @@ let write_csv name content =
 
 let hr title =
   Printf.printf "\n%s\n=== %s ===\n" (String.make 72 '=') title
+
+(* Wall clock per phase, for BENCH_results.json. *)
+let phase_times : (string * float) list ref = ref []
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  phase_times := (name, Unix.gettimeofday () -. t0) :: !phase_times;
+  r
 
 (* ------------------------------------------------------------------ *)
 (* 1. Figures                                                          *)
@@ -56,19 +96,24 @@ let show_figure (f : Core.Figures.figure) =
       (Core.Scenario.per_path_tail_mbps r)
 
 let figures () =
+  let figs = Core.Figures.all ~seed:1 ~jobs () in
   List.iter
     (fun (f : Core.Figures.figure) ->
       show_figure f;
       if f.Core.Figures.csv <> "" then
         write_csv ("fig" ^ f.Core.Figures.id ^ ".csv") f.Core.Figures.csv)
-    (Core.Figures.all ~seed:1 ());
+    figs;
   hr "paper vs measured (figure summary)";
   Printf.printf
     "Fig 1c | LP optimum          | paper: 90 Mbps at (10,30,50) | \
      measured: exact (simplex + enumeration agree)\n";
-  let f2a = Core.Figures.fig2a ~seed:1 () in
-  let f2b = Core.Figures.fig2b ~seed:1 () in
-  match (f2a.Core.Figures.result, f2b.Core.Figures.result) with
+  let result_of id =
+    List.find_map
+      (fun (f : Core.Figures.figure) ->
+        if f.Core.Figures.id = id then f.Core.Figures.result else None)
+      figs
+  in
+  match (result_of "2a", result_of "2b") with
   | Some ra, Some rb ->
     Printf.printf
       "Fig 2a | CUBIC finds optimum | paper: yes, ~3 s, then unstable | \
@@ -94,7 +139,7 @@ let table1 () =
   hr "Table 1: convergence by congestion control x default path";
   let seeds = if quick then [ 1 ] else [ 1; 2; 3 ] in
   let duration = Engine.Time.s (if quick then 8 else 20) in
-  let rows = Core.Summary.sweep ~seeds ~duration () in
+  let rows = Core.Summary.sweep ~seeds ~duration ~jobs () in
   Format.printf "%a@." Core.Summary.pp_table rows;
   write_csv "table1_sweep.csv" (Core.Summary.to_csv rows);
   Printf.printf
@@ -130,18 +175,29 @@ let describe r =
 let ablation_buffers () =
   hr "Ablation: buffer size (drop-tail, packets per link direction)";
   let buffers = if quick then [ 16; 40 ] else [ 8; 16; 24; 40 ] in
+  let ccs = Mptcp.Algorithm.[ Cubic; Lia; Olia ] in
+  let grid =
+    List.concat_map (fun limit -> List.map (fun cc -> (limit, cc)) ccs) buffers
+  in
+  let descs =
+    Core.Runner.map ~jobs
+      (fun (limit, cc) ->
+        let net_config =
+          { Netsim.Net.qdisc = Netsim.Qdisc.Drop_tail; limit_pkts = limit;
+      delay_jitter = Engine.Time.zero }
+        in
+        describe (run_paper ~cc ~net_config ()))
+      grid
+  in
+  let tagged = List.combine grid descs in
   List.iter
     (fun limit ->
       Printf.printf "buffer %2d pkts:\n" limit;
       List.iter
-        (fun cc ->
-          let net_config =
-            { Netsim.Net.qdisc = Netsim.Qdisc.Drop_tail; limit_pkts = limit;
-        delay_jitter = Engine.Time.zero }
-          in
-          let r = run_paper ~cc ~net_config () in
-          Printf.printf "  %-6s %s\n" (Mptcp.Algorithm.name cc) (describe r))
-        Mptcp.Algorithm.[ Cubic; Lia; Olia ])
+        (fun ((l, cc), desc) ->
+          if l = limit then
+            Printf.printf "  %-6s %s\n" (Mptcp.Algorithm.name cc) desc)
+        tagged)
     buffers;
   Printf.printf
     "(the paper's qualitative picture needs shallow buffers; at 40 pkts \
@@ -149,25 +205,39 @@ let ablation_buffers () =
 
 let ablation_qdisc () =
   hr "Ablation: queue discipline (16-packet buffers)";
-  List.iter
-    (fun (name, qdisc, ecn) ->
-      Printf.printf "%s:\n" name;
-      List.iter
-        (fun cc ->
-          let net_config =
-            { Netsim.Net.qdisc; limit_pkts = 16;
-              delay_jitter = Engine.Time.zero }
-          in
-          let sender_config =
-            { Tcp.Sender.default_config with Tcp.Sender.ecn }
-          in
-          let r = run_paper ~cc ~net_config ~sender_config () in
-          Printf.printf "  %-6s %s\n" (Mptcp.Algorithm.name cc) (describe r))
-        Mptcp.Algorithm.[ Cubic; Lia; Olia ])
+  let disciplines =
     [ ("drop-tail", Netsim.Qdisc.Drop_tail, false);
       ("RED", Netsim.Qdisc.Red Netsim.Qdisc.default_red, false);
       ("RED + ECN", Netsim.Qdisc.Red Netsim.Qdisc.default_red_ecn, true);
-      ("CoDel", Netsim.Qdisc.Codel Netsim.Qdisc.default_codel, false) ];
+      ("CoDel", Netsim.Qdisc.Codel Netsim.Qdisc.default_codel, false) ]
+  in
+  let ccs = Mptcp.Algorithm.[ Cubic; Lia; Olia ] in
+  let grid =
+    List.concat_map (fun d -> List.map (fun cc -> (d, cc)) ccs) disciplines
+  in
+  let descs =
+    Core.Runner.map ~jobs
+      (fun ((_, qdisc, ecn), cc) ->
+        let net_config =
+          { Netsim.Net.qdisc; limit_pkts = 16;
+            delay_jitter = Engine.Time.zero }
+        in
+        let sender_config =
+          { Tcp.Sender.default_config with Tcp.Sender.ecn }
+        in
+        describe (run_paper ~cc ~net_config ~sender_config ()))
+      grid
+  in
+  let tagged = List.combine grid descs in
+  List.iter
+    (fun (name, _, _) ->
+      Printf.printf "%s:\n" name;
+      List.iter
+        (fun (((n, _, _), cc), desc) ->
+          if n = name then
+            Printf.printf "  %-6s %s\n" (Mptcp.Algorithm.name cc) desc)
+        tagged)
+    disciplines;
   Printf.printf
     "(16-packet buffers drain in under CoDel's 5 ms target, so CoDel \
      never fires here and matches drop-tail; its effect shows on deep \
@@ -175,13 +245,18 @@ let ablation_qdisc () =
 
 let ablation_scheduler () =
   hr "Ablation: subflow scheduler (CUBIC)";
-  List.iter
-    (fun scheduler ->
-      let r = run_paper ~scheduler () in
+  let policies = Mptcp.Scheduler.[ Min_rtt; Round_robin; Redundant ] in
+  let descs =
+    Core.Runner.map ~jobs
+      (fun scheduler -> describe (run_paper ~scheduler ()))
+      policies
+  in
+  List.iter2
+    (fun scheduler desc ->
       Printf.printf "  %-10s %s\n"
         (Mptcp.Scheduler.policy_name scheduler)
-        (describe r))
-    Mptcp.Scheduler.[ Min_rtt; Round_robin; Redundant ];
+        desc)
+    policies descs;
   Printf.printf
     "(the chart numbers are wire rates; under `redundant' every byte \
      travels all three paths, so application goodput is roughly a third \
@@ -193,7 +268,7 @@ let scaling_experiment () =
   let rows =
     Core.Scaling.sweep ~ns
       ~duration:(Engine.Time.s (if quick then 8 else 15))
-      ()
+      ~jobs ()
   in
   Format.printf "%a@." Core.Scaling.pp_table rows;
   write_csv "scaling.csv" (Core.Scaling.to_csv rows);
@@ -203,27 +278,40 @@ let scaling_experiment () =
 
 let ablation_delayed_ack () =
   hr "Ablation: delayed ACKs (receiver acks every 2nd segment / 40 ms)";
+  let ccs = Mptcp.Algorithm.[ Cubic; Lia; Olia ] in
+  let grid =
+    List.concat_map
+      (fun delayed -> List.map (fun cc -> (delayed, cc)) ccs)
+      [ false; true ]
+  in
+  let descs =
+    Core.Runner.map ~jobs
+      (fun (delayed, cc) ->
+        let topo = Core.Paper_net.topology () in
+        let paths = Core.Paper_net.tagged_paths ~default:2 topo in
+        let spec =
+          Core.Scenario.make ~topo ~paths ~cc ~delayed_ack:delayed
+            ~duration:(Engine.Time.s 12) ~sampling:(Engine.Time.ms 100) ()
+        in
+        describe (Core.Scenario.run spec))
+      grid
+  in
+  let tagged = List.combine grid descs in
   List.iter
     (fun delayed ->
       Printf.printf "%s:
 " (if delayed then "delayed" else "per-segment");
       List.iter
-        (fun cc ->
-          let topo = Core.Paper_net.topology () in
-          let paths = Core.Paper_net.tagged_paths ~default:2 topo in
-          let spec =
-            Core.Scenario.make ~topo ~paths ~cc ~delayed_ack:delayed
-              ~duration:(Engine.Time.s 12) ~sampling:(Engine.Time.ms 100) ()
-          in
-          let r = Core.Scenario.run spec in
-          Printf.printf "  %-6s %s
-" (Mptcp.Algorithm.name cc) (describe r))
-        Mptcp.Algorithm.[ Cubic; Lia; Olia ])
+        (fun ((d, cc), desc) ->
+          if d = delayed then
+            Printf.printf "  %-6s %s
+" (Mptcp.Algorithm.name cc) desc)
+        tagged)
     [ false; true ]
 
 let ablation_hol_buffer () =
   hr "Ablation: scheduler under a 64 KB send buffer, asymmetric RTTs";
-  let run ?(reinjection = false) policy =
+  let run (policy, reinjection) =
     let b = Netgraph.Topology.builder () in
     let a = Netgraph.Topology.add_node b "a" in
     let fast = Netgraph.Topology.add_node b "fast" in
@@ -265,15 +353,20 @@ let ablation_hol_buffer () =
       /. 1e6,
       Mptcp.Connection.reinjections conn )
   in
-  List.iter
-    (fun (label, policy, reinjection) ->
-      let goodput, reinjected = run ~reinjection policy in
+  let cases =
+    [ ("minrtt", Mptcp.Scheduler.Min_rtt, false);
+      ("roundrobin", Mptcp.Scheduler.Round_robin, false);
+      ("roundrobin + reinject", Mptcp.Scheduler.Round_robin, true) ]
+  in
+  let outcomes =
+    Core.Runner.map ~jobs (fun (_, policy, r) -> run (policy, r)) cases
+  in
+  List.iter2
+    (fun (label, _, _) (goodput, reinjected) ->
       Printf.printf "  %-24s goodput %5.1f Mbps%s\n" label goodput
         (if reinjected > 0 then Printf.sprintf " (%d reinjections)" reinjected
          else ""))
-    [ ("minrtt", Mptcp.Scheduler.Min_rtt, false);
-      ("roundrobin", Mptcp.Scheduler.Round_robin, false);
-      ("roundrobin + reinject", Mptcp.Scheduler.Round_robin, true) ];
+    cases outcomes;
   Printf.printf
     "(chunks mapped to the 100 ms path stall the 64 KB data-sequence      window: head-of-line blocking; the default min-RTT scheduler avoids      it)
 "
@@ -281,23 +374,30 @@ let ablation_hol_buffer () =
 let baseline_single_path () =
   hr "Baseline: single-path TCP on each of the three paths (CUBIC)";
   let topo = Core.Paper_net.topology () in
+  let paths = Core.Paper_net.paths topo in
+  let rates =
+    Core.Runner.map ~jobs
+      (fun path ->
+        let sched = Engine.Sched.create () in
+        let rng = Engine.Rng.create 1 in
+        let net =
+          Netsim.Net.create ~sched ~rng
+            ~config:Core.Scenario.default_net_config topo
+        in
+        Netsim.Net.install_path net ~tag:1 path;
+        let src = Tcp.Endpoint.create net ~node:(Netgraph.Path.src path) in
+        let dst = Tcp.Endpoint.create net ~node:(Netgraph.Path.dst path) in
+        let flow = Tcp.Flow.start ~src ~dst ~tag:1 ~conn:1 () in
+        Engine.Sched.run ~until:(Engine.Time.s 8) sched;
+        Tcp.Flow.goodput_bps flow ~now:(Engine.Sched.now sched) /. 1e6)
+      paths
+  in
   List.iteri
-    (fun i path ->
-      let sched = Engine.Sched.create () in
-      let rng = Engine.Rng.create 1 in
-      let net =
-        Netsim.Net.create ~sched ~rng ~config:Core.Scenario.default_net_config
-          topo
-      in
-      Netsim.Net.install_path net ~tag:1 path;
-      let src = Tcp.Endpoint.create net ~node:(Netgraph.Path.src path) in
-      let dst = Tcp.Endpoint.create net ~node:(Netgraph.Path.dst path) in
-      let flow = Tcp.Flow.start ~src ~dst ~tag:1 ~conn:1 () in
-      Engine.Sched.run ~until:(Engine.Time.s 8) sched;
+    (fun i (path, mbps) ->
       Printf.printf "  path %d alone: %.1f Mbps (bottleneck %d Mbps)\n" (i + 1)
-        (Tcp.Flow.goodput_bps flow ~now:(Engine.Sched.now sched) /. 1e6)
+        mbps
         (Netgraph.Path.bottleneck_bps topo path / 1_000_000))
-    (Core.Paper_net.paths topo);
+    (List.combine paths rates);
   Printf.printf
     "(MPTCP's 90 Mbps optimum more than doubles the best single path)\n"
 
@@ -335,9 +435,11 @@ let two_connections_fairness () =
         /. 1e6)
       conns
   in
-  List.iter
-    (fun cc ->
-      match run cc with
+  let ccs = Mptcp.Algorithm.[ Cubic; Lia; Olia ] in
+  let outcomes = Core.Runner.map ~jobs run ccs in
+  List.iter2
+    (fun cc rates ->
+      match rates with
       | [ c1; c2 ] ->
         Printf.printf
           "  %-6s conn1 %5.1f + conn2 %5.1f = %5.1f Mbps (jain %.3f)
@@ -345,7 +447,7 @@ let two_connections_fairness () =
           (Mptcp.Algorithm.name cc) c1 c2 (c1 +. c2)
           (Measure.Converge.jain_fairness [| c1; c2 |])
       | _ -> ())
-    Mptcp.Algorithm.[ Cubic; Lia; Olia ];
+    ccs outcomes;
   Printf.printf
     "(the LP optimum is still 90 Mbps; fairness between the two      connections is the new question)
 "
@@ -368,6 +470,18 @@ let bench_heap =
        ignore (Engine.Heap.pop h)
      done)
 
+let bench_heap_compact =
+  Test.make ~name:"heap push+compact 1k"
+    (Staged.stage @@ fun () ->
+     let h = Engine.Heap.create () in
+     for i = 0 to 999 do
+       Engine.Heap.push h ~key:(i * 7919 mod 1000) ~tie:i i
+     done;
+     Engine.Heap.compact h ~keep:(fun v -> v land 7 = 0);
+     while not (Engine.Heap.is_empty h) do
+       ignore (Engine.Heap.pop h)
+     done)
+
 let bench_sched =
   Test.make ~name:"sched 1k events"
     (Staged.stage @@ fun () ->
@@ -376,6 +490,33 @@ let bench_sched =
        ignore (Engine.Sched.at s (Engine.Time.us i) (fun () -> ()))
      done;
      Engine.Sched.run s)
+
+let bench_sched_cancel =
+  (* The retransmit-timer pattern: almost everything scheduled is
+     cancelled before it fires; compaction keeps the queue at the live
+     population. *)
+  Test.make ~name:"sched 1k events, 90% cancelled"
+    (Staged.stage @@ fun () ->
+     let s = Engine.Sched.create () in
+     let timers =
+       List.init 1000 (fun i ->
+           Engine.Sched.at s (Engine.Time.us (i + 1)) (fun () -> ()))
+     in
+     List.iteri
+       (fun i tm -> if i mod 10 <> 0 then Engine.Sched.cancel tm)
+       timers;
+     Engine.Sched.run s)
+
+let bench_pool =
+  Test.make ~name:"pool map 8 jobs (2 domains)"
+    (Staged.stage @@ fun () ->
+     ignore
+       (Engine.Pool.map ~domains:2
+          (fun i ->
+            let acc = ref 0 in
+            for j = 0 to 9_999 do acc := !acc + ((i + j) land 1023) done;
+            !acc)
+          [ 1; 2; 3; 4; 5; 6; 7; 8 ]))
 
 let bench_simplex =
   let a = [| [| 1.; 1.; 0. |]; [| 1.; 0.; 1. |]; [| 0.; 1.; 1. |] |] in
@@ -437,7 +578,8 @@ let microbench () =
   hr "Bechamel micro-benchmarks (ns per run, OLS on the monotonic clock)";
   let tests =
     [
-      bench_heap; bench_sched; bench_simplex;
+      bench_heap; bench_heap_compact; bench_sched; bench_sched_cancel;
+      bench_pool; bench_simplex;
       bench_cc "cubic 1k acks" Tcp.Cc_cubic.factory;
       bench_cc "lia 1k acks" Mptcp.Cc_lia.factory;
       bench_cc "olia 1k acks" Mptcp.Cc_olia.factory;
@@ -454,6 +596,7 @@ let microbench () =
       ~quota:(Time.second (if quick then 0.2 else 0.5))
       ~stabilize:false ()
   in
+  let estimates = ref [] in
   List.iter
     (fun test ->
       List.iter
@@ -462,24 +605,60 @@ let microbench () =
           let est = Analyze.one ols instance raw in
           match Analyze.OLS.estimates est with
           | Some (t :: _) ->
-            Printf.printf "  %-26s %12.0f ns/run\n" (Test.Elt.name elt) t
+            estimates := (Test.Elt.name elt, t) :: !estimates;
+            Printf.printf "  %-32s %12.0f ns/run\n" (Test.Elt.name elt) t
           | Some [] | None ->
-            Printf.printf "  %-26s (no estimate)\n" (Test.Elt.name elt))
+            Printf.printf "  %-32s (no estimate)\n" (Test.Elt.name elt))
         (Test.elements test))
-    tests
+    tests;
+  List.rev !estimates
+
+(* ------------------------------------------------------------------ *)
+(* 5. Machine-readable results                                         *)
+(* ------------------------------------------------------------------ *)
+
+let write_bench_json ~microbench_ns ~total_s =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"schema\": 1,\n";
+  add "  \"quick\": %b,\n" quick;
+  add "  \"jobs\": %d,\n" jobs;
+  add "  \"recommended_domains\": %d,\n" (Core.Runner.default_jobs ());
+  add "  \"wall_clock_s\": {\n";
+  let phases = List.rev !phase_times in
+  List.iter
+    (fun (name, dt) -> add "    \"%s\": %.3f,\n" name dt)
+    phases;
+  add "    \"total\": %.3f\n" total_s;
+  add "  },\n";
+  add "  \"microbench_ns\": {\n";
+  let n = List.length microbench_ns in
+  List.iteri
+    (fun i (name, ns) ->
+      add "    \"%s\": %.1f%s\n" name ns (if i = n - 1 then "" else ","))
+    microbench_ns;
+  add "  }\n";
+  add "}\n";
+  write_text_file ~path:bench_json (Buffer.contents buf);
+  Printf.printf "[json] wrote %s\n" bench_json
 
 let () =
-  Printf.printf "MPTCP overlapping-paths reproduction - benchmark harness%s\n"
-    (if quick then " (quick mode)" else "");
-  figures ();
-  table1 ();
-  ablation_buffers ();
-  ablation_qdisc ();
-  ablation_scheduler ();
-  ablation_delayed_ack ();
-  ablation_hol_buffer ();
-  baseline_single_path ();
-  scaling_experiment ();
-  two_connections_fairness ();
-  microbench ();
+  Printf.printf
+    "MPTCP overlapping-paths reproduction - benchmark harness%s (jobs=%d)\n"
+    (if quick then " (quick mode)" else "")
+    jobs;
+  let t0 = Unix.gettimeofday () in
+  timed "figures" figures;
+  timed "table1" table1;
+  timed "ablation_buffers" ablation_buffers;
+  timed "ablation_qdisc" ablation_qdisc;
+  timed "ablation_scheduler" ablation_scheduler;
+  timed "ablation_delayed_ack" ablation_delayed_ack;
+  timed "ablation_hol_buffer" ablation_hol_buffer;
+  timed "baseline_single_path" baseline_single_path;
+  timed "scaling" scaling_experiment;
+  timed "two_connections" two_connections_fairness;
+  let microbench_ns = timed "microbench" microbench in
+  write_bench_json ~microbench_ns ~total_s:(Unix.gettimeofday () -. t0);
   hr "done"

@@ -53,6 +53,22 @@ let csv_t =
     & opt (some string) None
     & info [ "csv" ] ~docv:"PATH" ~doc:"Also write the time series as CSV.")
 
+let jobs_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for independent simulations (default: the \
+           machine's recommended domain count).  Results are identical \
+           for every value; 1 disables parallelism.")
+
+let check_jobs = function
+  | Some j when j < 1 ->
+    Format.eprintf "--jobs must be >= 1@.";
+    exit 2
+  | jobs -> jobs
+
 (* --- paths --- *)
 
 let paths_cmd =
@@ -180,10 +196,11 @@ let run_cmd =
 (* --- figures --- *)
 
 let figures_cmd =
-  let exec fig seed csv_dir =
+  let exec fig seed csv_dir jobs =
+    let jobs = check_jobs jobs in
     let figs =
       match fig with
-      | "all" -> Core.Figures.all ~seed ()
+      | "all" -> Core.Figures.all ~seed ?jobs ()
       | id -> (
         match Core.Figures.by_id id with
         | Some f -> [ f ~seed () ]
@@ -217,17 +234,18 @@ let figures_cmd =
   in
   Cmd.v
     (Cmd.info "figures" ~doc:"Regenerate the paper's figures")
-    Term.(const exec $ fig_t $ seed_t $ dir_t)
+    Term.(const exec $ fig_t $ seed_t $ dir_t $ jobs_t)
 
 (* --- scaling --- *)
 
 let scaling_cmd =
-  let exec max_n duration csv =
+  let exec max_n duration csv jobs =
+    let jobs = check_jobs jobs in
     let rows =
       Core.Scaling.sweep
         ~ns:(List.init (max_n - 1) (fun i -> i + 2))
         ~duration:(Engine.Time.of_float_s duration)
-        ()
+        ?jobs ()
     in
     Format.printf "%a@." Core.Scaling.pp_table rows;
     match csv with
@@ -251,17 +269,18 @@ let scaling_cmd =
     (Cmd.info "scaling"
        ~doc:
          "Generalise the paper's construction to n pairwise-overlapping           paths and measure achieved/optimal per algorithm")
-    Term.(const exec $ max_n_t $ duration_t $ csv_t)
+    Term.(const exec $ max_n_t $ duration_t $ csv_t $ jobs_t)
 
 (* --- sweep --- *)
 
 let sweep_cmd =
-  let exec duration seeds csv =
+  let exec duration seeds csv jobs =
+    let jobs = check_jobs jobs in
     let rows =
       Core.Summary.sweep
         ~seeds:(List.init seeds (fun i -> i + 1))
         ~duration:(Engine.Time.of_float_s duration)
-        ()
+        ?jobs ()
     in
     Format.printf "%a@." Core.Summary.pp_table rows;
     Format.printf
@@ -287,7 +306,7 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Convergence summary: congestion control x default path")
-    Term.(const exec $ duration_t $ seeds_t $ csv_t)
+    Term.(const exec $ duration_t $ seeds_t $ csv_t $ jobs_t)
 
 let () =
   let doc = "Reproduction of 'The Performance of MPTCP with Overlapping Paths'" in

@@ -1,1 +1,1 @@
-lib/core/figures.ml: Array Buffer Engine Format List Lp Measure Mptcp Netgraph Paper_net Printf Scenario String
+lib/core/figures.ml: Array Buffer Engine Format List Lp Measure Mptcp Netgraph Paper_net Printf Runner Scenario String

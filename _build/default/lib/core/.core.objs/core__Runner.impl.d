@@ -1,0 +1,1 @@
+lib/core/runner.ml: Engine List Mptcp Printf Scenario

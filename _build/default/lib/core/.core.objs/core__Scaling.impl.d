@@ -1,1 +1,1 @@
-lib/core/scaling.ml: Engine Format List Measure Mptcp Netgraph Printf Scenario
+lib/core/scaling.ml: Engine Format List Measure Mptcp Netgraph Printf Runner Scenario

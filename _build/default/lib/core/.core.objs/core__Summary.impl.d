@@ -1,1 +1,1 @@
-lib/core/summary.ml: Engine Float Format List Measure Mptcp Paper_net Printf Scenario
+lib/core/summary.ml: Engine Float Format List Measure Mptcp Paper_net Printf Runner Scenario

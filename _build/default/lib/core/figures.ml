@@ -165,8 +165,15 @@ let fig2c ?(seed = 1) () =
     in
     { f with chart = f.chart ^ cwnd_chart }
 
-let all ?(seed = 1) () =
-  [ fig1 (); fig1c (); fig2a ~seed (); fig2b ~seed (); fig2c ~seed () ]
+let all ?(seed = 1) ?jobs () =
+  Runner.run_jobs ?jobs
+    [
+      Runner.job ~label:"fig1" (fun () -> fig1 ());
+      Runner.job ~label:"fig1c" (fun () -> fig1c ());
+      Runner.job ~label:"fig2a" (fun () -> fig2a ~seed ());
+      Runner.job ~label:"fig2b" (fun () -> fig2b ~seed ());
+      Runner.job ~label:"fig2c" (fun () -> fig2c ~seed ());
+    ]
 
 let by_id = function
   | "1" | "1a" | "1b" -> Some (fun ?seed:_ () -> fig1 ())

@@ -27,7 +27,10 @@ val fig2a : ?seed:int -> unit -> figure
 val fig2b : ?seed:int -> unit -> figure
 val fig2c : ?seed:int -> unit -> figure
 
-val all : ?seed:int -> unit -> figure list
+val all : ?seed:int -> ?jobs:int -> unit -> figure list
+(** All five figures, generated as independent jobs on [?jobs] domains
+    (default {!Runner.default_jobs}); output is identical for every
+    [?jobs] value. *)
 
 val by_id : string -> (?seed:int -> unit -> figure) option
 (** Lookup by ["1"], ["1c"], ["2a"], ["2b"], ["2c"]. *)

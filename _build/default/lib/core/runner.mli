@@ -1,0 +1,33 @@
+(** Parallel execution of independent reproduction jobs.
+
+    Everything the harness regenerates — figures, the Table-1
+    convergence sweep, the scaling extension, the ablation grids — is a
+    list of jobs with no shared mutable state: each {!Scenario.run}
+    builds its own {!Engine.Sched} and {!Engine.Rng}, seeded only from
+    the spec.  [Runner] fans such lists out over an {!Engine.Pool} of
+    domains.  Because results come back in input order and every job is
+    self-seeded, output is bit-identical whatever [?jobs] is; [~jobs:1]
+    is exactly the serial path (no domain is spawned).
+
+    [?jobs] defaults to {!default_jobs} everywhere. *)
+
+type 'a job
+(** A named independent unit of work. *)
+
+val job : ?label:string -> (unit -> 'a) -> 'a job
+val label : 'a job -> string
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], at least 1. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving, exception-propagating parallel map
+    (see {!Engine.Pool.map}). *)
+
+val run_jobs : ?jobs:int -> 'a job list -> 'a list
+
+val scenarios : ?jobs:int -> Scenario.spec list -> Scenario.result list
+(** Runs each spec on its own domain slot. *)
+
+val scenario_jobs : Scenario.spec list -> Scenario.result job list
+(** Wraps specs as labelled jobs ("cc seed=n") for {!run_jobs}. *)

@@ -21,10 +21,13 @@ val sweep :
   ?ccs:Mptcp.Algorithm.t list ->
   ?duration:Engine.Time.t ->
   ?seed:int ->
+  ?jobs:int ->
   unit -> row list
 (** Defaults: n in 2..5, {CUBIC, LIA, OLIA}, 15 s runs, seed 1.
     Capacities follow {!Netgraph.Generate.spread_caps} (base 30, step 5
-    Mbps) so every pair has a distinct bottleneck. *)
+    Mbps) so every pair has a distinct bottleneck.  Each (n, cc) run is
+    an independent job executed on [?jobs] domains; rows are identical
+    for every [?jobs] value. *)
 
 val pp_table : Format.formatter -> row list -> unit
 val to_csv : row list -> string

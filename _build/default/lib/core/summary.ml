@@ -14,19 +14,16 @@ let mean = function
   | [] -> Float.nan
   | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
 
-let cell ~cc ~default_path ~seeds ~duration ~tolerance =
-  let runs =
-    List.map
-      (fun seed ->
-        let topo = Paper_net.topology () in
-        let paths = Paper_net.tagged_paths ~default:default_path topo in
-        let spec =
-          Scenario.make ~topo ~paths ~cc ~duration
-            ~sampling:(Engine.Time.ms 100) ~seed ()
-        in
-        Scenario.run spec)
-      seeds
-  in
+let cell_specs ~cc ~default_path ~seeds ~duration =
+  List.map
+    (fun seed ->
+      let topo = Paper_net.topology () in
+      let paths = Paper_net.tagged_paths ~default:default_path topo in
+      Scenario.make ~topo ~paths ~cc ~duration ~sampling:(Engine.Time.ms 100)
+        ~seed ())
+    seeds
+
+let cell_of_runs ~cc ~default_path ~tolerance runs =
   let times =
     List.filter_map (Scenario.time_to_optimum_s ~tolerance ~hold:3) runs
   in
@@ -35,7 +32,7 @@ let cell ~cc ~default_path ~seeds ~duration ~tolerance =
   {
     cc;
     default_path;
-    seeds = List.length seeds;
+    seeds = List.length runs;
     reached = List.length times;
     mean_time_to_opt_s = mean times;
     mean_tail_mbps = mean tails;
@@ -63,18 +60,37 @@ let cell ~cc ~default_path ~seeds ~duration ~tolerance =
            runs);
   }
 
+(* The grid is flattened to individual (cc, default, seed) scenario runs
+   — the unit of parallelism — then folded back into per-cell rows, so a
+   parallel sweep aggregates exactly the same runs in the same order as
+   a serial one. *)
 let sweep
     ?(ccs =
       Mptcp.Algorithm.[ Cubic; Lia; Olia; Balia; Ewtcp; Wvegas ])
     ?(defaults = [ 1; 2; 3 ]) ?(seeds = [ 1; 2; 3 ])
-    ?(duration = Engine.Time.s 20) ?(tolerance = 0.05) () =
-  List.concat_map
-    (fun cc ->
-      List.map
-        (fun default_path ->
-          cell ~cc ~default_path ~seeds ~duration ~tolerance)
-        defaults)
-    ccs
+    ?(duration = Engine.Time.s 20) ?(tolerance = 0.05) ?jobs () =
+  let cells =
+    List.concat_map
+      (fun cc -> List.map (fun default_path -> (cc, default_path)) defaults)
+      ccs
+  in
+  let specs =
+    List.concat_map
+      (fun (cc, default_path) -> cell_specs ~cc ~default_path ~seeds ~duration)
+      cells
+  in
+  let runs = Runner.scenarios ?jobs specs in
+  let per_cell = List.length seeds in
+  let rec chunk acc runs = function
+    | [] -> List.rev acc
+    | (cc, default_path) :: rest ->
+      let mine = List.filteri (fun i _ -> i < per_cell) runs in
+      let others = List.filteri (fun i _ -> i >= per_cell) runs in
+      chunk
+        (cell_of_runs ~cc ~default_path ~tolerance mine :: acc)
+        others rest
+  in
+  chunk [] runs cells
 
 let pp_table fmt rows =
   Format.fprintf fmt

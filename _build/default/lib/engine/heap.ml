@@ -2,12 +2,25 @@ type 'a entry = { key : int; tie : int; value : 'a }
 
 type 'a t = { mutable items : 'a entry array; mutable size : int }
 
-(* Slot 0 is the root.  Unused slots past [size] keep stale entries, which
-   is harmless because [size] bounds all accesses (it does retain values;
-   acceptable for the short-lived simulation objects stored here). *)
+(* Slot 0 is the root.  Slots at or past [size] hold the shared [nil]
+   sentinel, never a user entry: [pop], [clear] and [compact] overwrite
+   freed slots so the heap retains no values beyond their lifetime.  The
+   cast in [nil] is safe because [size] bounds every read — the
+   sentinel's [value] field is never inspected. *)
 
-let create ?capacity:_ () = { items = [||]; size = 0 }
+let nil : unit -> 'a entry =
+  let shared = { key = min_int; tie = 0; value = Obj.repr () } in
+  fun () -> Obj.magic shared
+
+let default_capacity = 256
+
+let create ?(capacity = default_capacity) () =
+  let capacity = max capacity 0 in
+  let items = if capacity = 0 then [||] else Array.make capacity (nil ()) in
+  { items; size = 0 }
+
 let length h = h.size
+let capacity h = Array.length h.items
 let is_empty h = h.size = 0
 let less a b = a.key < b.key || (a.key = b.key && a.tie < b.tie)
 
@@ -39,9 +52,8 @@ let rec sift_down items size i =
 let push h ~key ~tie value =
   let e = { key; tie; value } in
   let cap = Array.length h.items in
-  if cap = 0 then h.items <- Array.make 16 e
-  else if h.size = cap then begin
-    let fresh = Array.make (2 * cap) e in
+  if h.size = cap then begin
+    let fresh = Array.make (max 16 (2 * cap)) (nil ()) in
     Array.blit h.items 0 fresh 0 h.size;
     h.items <- fresh
   end;
@@ -58,6 +70,7 @@ let pop h =
       h.items.(0) <- h.items.(h.size);
       sift_down h.items h.size 0
     end;
+    h.items.(h.size) <- nil ();
     Some (root.key, root.tie, root.value)
   end
 
@@ -67,7 +80,28 @@ let peek h =
     let root = h.items.(0) in
     Some (root.key, root.tie, root.value)
 
-let clear h = h.size <- 0
+let clear h =
+  Array.fill h.items 0 h.size (nil ());
+  h.size <- 0
+
+let compact h ~keep =
+  let items = h.items in
+  let n = h.size in
+  let live = ref 0 in
+  for i = 0 to n - 1 do
+    let e = items.(i) in
+    if keep e.value then begin
+      items.(!live) <- e;
+      incr live
+    end
+  done;
+  Array.fill items !live (n - !live) (nil ());
+  h.size <- !live;
+  (* Floyd heapify: entries keep their (key, tie), so the pop order of
+     survivors is exactly what it would have been without compaction. *)
+  for i = (!live / 2) - 1 downto 0 do
+    sift_down items !live i
+  done
 
 let fold h ~init ~f =
   let acc = ref init in

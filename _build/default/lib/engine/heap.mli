@@ -9,10 +9,14 @@
 type 'a t
 
 val create : ?capacity:int -> unit -> 'a t
-(** Fresh empty heap.  [capacity] is the initial array size (default 256);
+(** Fresh empty heap with [capacity] slots preallocated (default 256);
     the heap grows as needed. *)
 
 val length : 'a t -> int
+
+val capacity : 'a t -> int
+(** Current number of allocated slots (>= {!length}). *)
+
 val is_empty : 'a t -> bool
 
 val push : 'a t -> key:int -> tie:int -> 'a -> unit
@@ -26,6 +30,14 @@ val peek : 'a t -> (int * int * 'a) option
 (** Returns the minimum without removing it. *)
 
 val clear : 'a t -> unit
+(** Empties the heap.  Freed slots are overwritten, so cleared (and
+    popped) values are not retained. *)
+
+val compact : 'a t -> keep:('a -> bool) -> unit
+(** [compact h ~keep] drops every entry whose value fails [keep], in
+    O(n).  Surviving entries keep their [(key, tie)] pair, so their pop
+    order is unchanged.  The scheduler uses this to purge cancelled
+    timers before they reach the root. *)
 
 val fold : 'a t -> init:'b -> f:('b -> key:int -> 'a -> 'b) -> 'b
 (** Folds over live entries in unspecified order (used for diagnostics). *)

@@ -1,0 +1,123 @@
+(* Fixed-size worker pool on OCaml 5 domains.
+
+   One mutex guards both the job queue and each map call's completion
+   state; workers block on [nonempty] and callers on a per-call
+   condition.  Jobs are plain thunks, so the pool itself is monomorphic
+   and every [run_list]/[map] call closes over its own (polymorphic)
+   result array. *)
+
+type job = Run of (unit -> unit) | Quit
+
+type t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  jobs : job Queue.t;
+  mutable workers : unit Domain.t array;
+  mutable live : bool;
+}
+
+let default_domains () = max 1 (Domain.recommended_domain_count ())
+
+let rec worker pool =
+  Mutex.lock pool.mutex;
+  while Queue.is_empty pool.jobs do
+    Condition.wait pool.nonempty pool.mutex
+  done;
+  let job = Queue.pop pool.jobs in
+  Mutex.unlock pool.mutex;
+  match job with
+  | Quit -> ()
+  | Run f ->
+    f ();
+    worker pool
+
+let create ?(domains = default_domains ()) () =
+  if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  let pool =
+    {
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      jobs = Queue.create ();
+      workers = [||];
+      live = true;
+    }
+  in
+  pool.workers <- Array.init domains (fun _ -> Domain.spawn (fun () -> worker pool));
+  pool
+
+let size pool = Array.length pool.workers
+
+let shutdown pool =
+  if pool.live then begin
+    pool.live <- false;
+    Mutex.lock pool.mutex;
+    Array.iter (fun _ -> Queue.add Quit pool.jobs) pool.workers;
+    Condition.broadcast pool.nonempty;
+    Mutex.unlock pool.mutex;
+    Array.iter Domain.join pool.workers
+  end
+
+let run_list pool thunks =
+  if not pool.live then invalid_arg "Pool.run_list: pool is shut down";
+  match thunks with
+  | [] -> []
+  | [ f ] -> [ f () ]
+  | _ ->
+    let thunks = Array.of_list thunks in
+    let n = Array.length thunks in
+    let results = Array.make n None in
+    (* Lowest input index wins when several jobs raise, so the propagated
+       exception does not depend on worker timing. *)
+    let error = ref None in
+    let remaining = ref n in
+    let finished = Condition.create () in
+    Mutex.lock pool.mutex;
+    for i = 0 to n - 1 do
+      let work () =
+        let outcome =
+          match thunks.(i) () with
+          | v -> Ok v
+          | exception e -> Error (e, Printexc.get_raw_backtrace ())
+        in
+        Mutex.lock pool.mutex;
+        (match outcome with
+        | Ok v -> results.(i) <- Some v
+        | Error err -> (
+          match !error with
+          | Some (j, _) when j < i -> ()
+          | Some _ | None -> error := Some (i, err)));
+        decr remaining;
+        if !remaining = 0 then Condition.broadcast finished;
+        Mutex.unlock pool.mutex
+      in
+      Queue.add (Run work) pool.jobs
+    done;
+    Condition.broadcast pool.nonempty;
+    while !remaining > 0 do
+      Condition.wait finished pool.mutex
+    done;
+    Mutex.unlock pool.mutex;
+    (match !error with
+    | Some (_, (e, bt)) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.to_list
+      (Array.map
+         (function Some v -> v | None -> assert false (* all jobs ran *))
+         results)
+
+let map_pool pool f xs = run_list pool (List.map (fun x -> fun () -> f x) xs)
+
+let map ?domains f xs =
+  let domains =
+    match domains with Some d -> d | None -> default_domains ()
+  in
+  if domains < 1 then invalid_arg "Pool.map: domains must be >= 1";
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ when domains = 1 -> List.map f xs
+  | _ ->
+    let pool = create ~domains:(min domains (List.length xs)) () in
+    Fun.protect
+      ~finally:(fun () -> shutdown pool)
+      (fun () -> map_pool pool f xs)

@@ -1,0 +1,47 @@
+(** Fixed-size worker pool on OCaml 5 domains.
+
+    The simulator itself is single-threaded and deterministic; what
+    parallelises is the layer above it, where dozens of independent
+    scenarios (figures, sweep cells, ablations) each own their private
+    {!Sched} and {!Rng}.  [Pool] runs such independent thunks across a
+    fixed set of domains with a mutex/condition work queue.
+
+    Results always come back in input order and the first (by input
+    index) exception is re-raised in the caller, so
+    [Pool.map ~domains:n f xs] is observationally [List.map f xs] as
+    long as [f] touches no shared mutable state — which makes parallel
+    sweeps bit-identical to serial ones.
+
+    Do not call [map]/[run_list] from inside a pool job: workers would
+    wait on themselves. *)
+
+type t
+(** A pool of worker domains sharing one job queue. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()], at least 1. *)
+
+val create : ?domains:int -> unit -> t
+(** Spawns [domains] workers (default {!default_domains}).  Raises
+    [Invalid_argument] when [domains < 1]. *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val run_list : t -> (unit -> 'a) list -> 'a list
+(** Runs every thunk on the pool, blocking until all finish.  Results
+    are in input order.  If any thunk raises, the exception of the
+    lowest-index failing thunk is re-raised (with its backtrace) after
+    all jobs have settled. *)
+
+val map_pool : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_pool pool f xs] is [run_list pool] over [fun () -> f x]. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** One-shot convenience: spawn a pool, map, shut it down.
+    [~domains:1] (and lists of length <= 1) short-circuits to
+    [List.map] with no domain spawned, so [--jobs 1] is exactly the
+    serial code path. *)
+
+val shutdown : t -> unit
+(** Joins all workers.  Idempotent.  The pool is unusable afterwards. *)

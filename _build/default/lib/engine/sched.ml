@@ -1,13 +1,24 @@
-type timer = { mutable alive : bool; action : unit -> unit }
-
 type t = {
   heap : timer Heap.t;
   mutable clock : Time.t;
   mutable seq : int;
   mutable fired : int;
+  mutable cancelled : int;
+  mutable dead_in_heap : int;
 }
 
-let create () = { heap = Heap.create (); clock = Time.zero; seq = 0; fired = 0 }
+and timer = { mutable alive : bool; action : unit -> unit; owner : t }
+
+let create () =
+  {
+    heap = Heap.create ();
+    clock = Time.zero;
+    seq = 0;
+    fired = 0;
+    cancelled = 0;
+    dead_in_heap = 0;
+  }
+
 let now t = t.clock
 
 let at t when_ f =
@@ -15,7 +26,7 @@ let at t when_ f =
     invalid_arg
       (Format.asprintf "Sched.at: %a is before now (%a)" Time.pp when_
          Time.pp t.clock);
-  let timer = { alive = true; action = f } in
+  let timer = { alive = true; action = f; owner = t } in
   t.seq <- t.seq + 1;
   Heap.push t.heap ~key:when_ ~tie:t.seq timer;
   timer
@@ -24,7 +35,24 @@ let after t delay f =
   if Time.( < ) delay Time.zero then invalid_arg "Sched.after: negative delay";
   at t (Time.add t.clock delay) f
 
-let cancel timer = timer.alive <- false
+let compact t =
+  Heap.compact t.heap ~keep:(fun tm -> tm.alive);
+  t.dead_in_heap <- 0
+
+(* Cancelled timers stay queued until they reach the root, so a workload
+   that cancels most of what it schedules (TCP retransmit timers are
+   rearmed on every ACK) would otherwise grow the heap with dead weight.
+   Compact once dead entries outnumber live ones; the O(n) rebuild then
+   amortises to O(1) per cancellation. *)
+let cancel tm =
+  if tm.alive then begin
+    tm.alive <- false;
+    let t = tm.owner in
+    t.cancelled <- t.cancelled + 1;
+    t.dead_in_heap <- t.dead_in_heap + 1;
+    if t.dead_in_heap * 2 > Heap.length t.heap then compact t
+  end
+
 let pending timer = timer.alive
 
 let fire t when_ timer =
@@ -39,6 +67,7 @@ let step t =
   match Heap.pop t.heap with
   | None -> false
   | Some (when_, _, timer) ->
+    if not timer.alive then t.dead_in_heap <- t.dead_in_heap - 1;
     fire t when_ timer;
     true
 
@@ -55,5 +84,12 @@ let run ?until t =
     done;
     if Time.( < ) t.clock horizon then t.clock <- horizon
 
-let queue_length t = Heap.length t.heap
+let queue_length t = Heap.length t.heap - t.dead_in_heap
 let events_processed t = t.fired
+let cancelled_count t = t.cancelled
+
+type stats = { pending : int; fired : int; cancelled : int }
+
+let stats t =
+  let fired = events_processed t and cancelled = cancelled_count t in
+  { pending = queue_length t; fired; cancelled }

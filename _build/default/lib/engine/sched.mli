@@ -24,7 +24,9 @@ val after : t -> Time.t -> (unit -> unit) -> timer
 
 val cancel : timer -> unit
 (** Prevents a pending event from firing.  Cancelling an already-fired or
-    already-cancelled timer is a no-op. *)
+    already-cancelled timer is a no-op.  Once cancelled timers outnumber
+    live ones the queue is compacted in place, so workloads that rearm
+    timers constantly (TCP retransmission) stay O(live events). *)
 
 val pending : timer -> bool
 (** [pending tm] is [true] until the timer fires or is cancelled. *)
@@ -38,5 +40,16 @@ val step : t -> bool
 (** Processes exactly one event; [false] when the queue is empty. *)
 
 val queue_length : t -> int
+(** Number of live (not yet fired, not cancelled) queued events. *)
+
 val events_processed : t -> int
 (** Total number of callbacks fired so far (diagnostics / benchmarks). *)
+
+val cancelled_count : t -> int
+(** Total number of timers cancelled over the scheduler's lifetime. *)
+
+type stats = { pending : int; fired : int; cancelled : int }
+
+val stats : t -> stats
+(** Snapshot of {!queue_length}, {!events_processed} and
+    {!cancelled_count} — cheap enough for per-event instrumentation. *)

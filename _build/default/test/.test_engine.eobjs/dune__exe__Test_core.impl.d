@@ -1,1 +1,1 @@
-test/test_core.ml: Alcotest Array Core Engine List Measure Mptcp Netgraph Printf String
+test/test_core.ml: Alcotest Array Core Engine Format List Measure Mptcp Netgraph Printf String

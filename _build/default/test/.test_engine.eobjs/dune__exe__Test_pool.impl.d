@@ -1,0 +1,1 @@
+test/test_pool.ml: Alcotest Engine List Pool Rng Sched Time

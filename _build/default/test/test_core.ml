@@ -311,6 +311,51 @@ let summary_single_cell () =
       (List.length (String.split_on_char '\n' (String.trim csv)) = 2)
   | _ -> Alcotest.fail "expected exactly one row"
 
+(* --- Runner / parallel determinism --- *)
+
+let runner_jobs_deterministic () =
+  (* The tentpole guarantee: a sweep split across 4 domains must render
+     byte-identically to the serial one — every scenario seeds its own
+     Sched/Rng from the spec alone. *)
+  let sweep jobs =
+    Core.Summary.sweep
+      ~ccs:Mptcp.Algorithm.[ Cubic; Lia ]
+      ~defaults:[ 1; 2 ] ~seeds:[ 1 ]
+      ~duration:(Engine.Time.s 2) ~jobs ()
+  in
+  let render rows = Format.asprintf "%a" Core.Summary.pp_table rows in
+  let serial = sweep 1 and parallel = sweep 4 in
+  Alcotest.(check string) "rendered tables identical" (render serial)
+    (render parallel);
+  Alcotest.(check string) "CSV identical" (Core.Summary.to_csv serial)
+    (Core.Summary.to_csv parallel)
+
+let runner_scenarios_deterministic () =
+  let specs = List.map (fun seed -> quick_spec ~seed ~duration:1 ()) [ 1; 2; 3; 4 ] in
+  let summaries jobs =
+    Core.Runner.scenarios ~jobs specs
+    |> List.map (fun r ->
+           ( r.Core.Scenario.events_processed,
+             r.Core.Scenario.delivered_bytes,
+             Format.asprintf "%a" Core.Scenario.pp_summary r ))
+  in
+  Alcotest.(check bool) "jobs:1 = jobs:4" true (summaries 1 = summaries 4)
+
+let runner_propagates_failures () =
+  let boom = Invalid_argument "Scenario.make: no paths" in
+  Alcotest.check_raises "spec validation escapes the pool" boom (fun () ->
+      let topo = Core.Paper_net.topology () in
+      ignore
+        (Core.Runner.map ~jobs:2
+           (fun _ -> Core.Scenario.make ~topo ~paths:[] ~cc:Mptcp.Algorithm.Cubic ())
+           [ 1; 2 ]))
+
+let figures_parallel_match () =
+  let strip (f : Core.Figures.figure) = (f.Core.Figures.id, f.Core.Figures.chart, f.Core.Figures.csv) in
+  Alcotest.(check bool) "charts identical across jobs" true
+    (List.map strip (Core.Figures.all ~seed:1 ~jobs:1 ())
+    = List.map strip (Core.Figures.all ~seed:1 ~jobs:4 ()))
+
 let () =
   Alcotest.run "core"
     [
@@ -358,6 +403,17 @@ let () =
         ] );
       ( "summary",
         [ Alcotest.test_case "single sweep cell" `Slow summary_single_cell ] );
+      ( "runner",
+        [
+          Alcotest.test_case "sweep identical for jobs 1 and 4" `Slow
+            runner_jobs_deterministic;
+          Alcotest.test_case "scenario batch identical for jobs 1 and 4"
+            `Quick runner_scenarios_deterministic;
+          Alcotest.test_case "job failures propagate" `Quick
+            runner_propagates_failures;
+          Alcotest.test_case "figures identical across jobs" `Slow
+            figures_parallel_match;
+        ] );
       ( "extensions",
         [
           Alcotest.test_case "scaling: n=2 trivially filled" `Slow

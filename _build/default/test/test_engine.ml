@@ -71,7 +71,36 @@ let heap_clear () =
   let h = Heap.create () in
   Heap.push h ~key:1 ~tie:0 0;
   Heap.clear h;
-  check_bool "cleared" true (Heap.is_empty h)
+  check_bool "cleared" true (Heap.is_empty h);
+  (* The heap must stay usable after clear. *)
+  Heap.push h ~key:2 ~tie:0 7;
+  (match Heap.pop h with
+  | Some (2, _, 7) -> ()
+  | _ -> Alcotest.fail "push after clear");
+  check_bool "drained again" true (Heap.is_empty h)
+
+let heap_capacity () =
+  let h = Heap.create ~capacity:64 () in
+  check_int "preallocated" 64 (Heap.capacity h);
+  for i = 0 to 63 do
+    Heap.push h ~key:i ~tie:i i
+  done;
+  check_int "no growth within capacity" 64 (Heap.capacity h);
+  Heap.push h ~key:64 ~tie:64 64;
+  check_bool "doubles when full" true (Heap.capacity h >= 128);
+  check_int "default is 256" 256 (Heap.capacity (Heap.create ()));
+  check_int "explicit zero allowed" 0 (Heap.capacity (Heap.create ~capacity:0 ()))
+
+let heap_compact_basic () =
+  let h = Heap.create () in
+  List.iteri (fun i k -> Heap.push h ~key:k ~tie:i k) [ 5; 1; 4; 2; 3 ];
+  Heap.compact h ~keep:(fun v -> v mod 2 = 1);
+  check_int "three survivors" 3 (Heap.length h);
+  let popped =
+    List.init 3 (fun _ ->
+        match Heap.pop h with Some (k, _, _) -> k | None -> -1)
+  in
+  Alcotest.(check (list int)) "survivors in order" [ 1; 3; 5 ] popped
 
 let heap_qcheck_sorted =
   QCheck.Test.make ~name:"heap pops keys in non-decreasing order" ~count:200
@@ -98,6 +127,42 @@ let heap_qcheck_conserves =
         | Some (k, _, _) -> drain (k :: acc)
       in
       List.sort compare (drain []) = List.sort compare keys)
+
+let drain_pairs h =
+  let rec go acc =
+    match Heap.pop h with
+    | None -> List.rev acc
+    | Some (k, t, _) -> go ((k, t) :: acc)
+  in
+  go []
+
+let heap_qcheck_key_tie_order =
+  (* Random keys AND random ties: pops must follow (key, tie)
+     lexicographic order exactly. *)
+  QCheck.Test.make ~name:"heap pops in (key, tie) lexicographic order"
+    ~count:200
+    QCheck.(list (pair (int_bound 50) (int_bound 50)))
+    (fun pairs ->
+      let h = Heap.create ~capacity:4 () in
+      List.iteri (fun i (k, t) -> Heap.push h ~key:k ~tie:t i) pairs;
+      drain_pairs h = List.sort compare (List.map (fun (k, t) -> (k, t)) pairs))
+
+let heap_qcheck_compact_order =
+  (* Dropping a random subset must not disturb the order of what
+     remains: compact-then-drain equals filter-then-sort. *)
+  QCheck.Test.make ~name:"compact keeps surviving order" ~count:200
+    QCheck.(list (pair (int_bound 100) bool))
+    (fun entries ->
+      let h = Heap.create () in
+      List.iteri (fun i (k, keep) -> Heap.push h ~key:k ~tie:i keep) entries;
+      Heap.compact h ~keep:(fun b -> b);
+      let surviving =
+        List.mapi (fun i (k, keep) -> (k, i, keep)) entries
+        |> List.filter (fun (_, _, keep) -> keep)
+        |> List.map (fun (k, i, _) -> (k, i))
+        |> List.sort compare
+      in
+      drain_pairs h = surviving)
 
 (* --- Sched --- *)
 
@@ -184,6 +249,71 @@ let sched_queue_length () =
   Sched.run s;
   check_int "drained" 0 (Sched.queue_length s)
 
+let sched_stats () =
+  let s = Sched.create () in
+  let timers =
+    List.init 5 (fun i -> Sched.at s (Time.ms (i + 1)) (fun () -> ()))
+  in
+  check_int "five pending" 5 (Sched.queue_length s);
+  Sched.cancel (List.nth timers 1);
+  Sched.cancel (List.nth timers 3);
+  Sched.cancel (List.nth timers 3);
+  (* double cancel is a no-op *)
+  let st = Sched.stats s in
+  check_int "pending excludes cancelled" 3 st.Sched.pending;
+  check_int "cancelled" 2 st.Sched.cancelled;
+  check_int "nothing fired yet" 0 st.Sched.fired;
+  Sched.run s;
+  let st = Sched.stats s in
+  check_int "drained" 0 st.Sched.pending;
+  check_int "three fired" 3 st.Sched.fired;
+  check_int "cancel count is cumulative" 2 (Sched.cancelled_count s)
+
+let sched_mass_cancel_compacts () =
+  (* The retransmit-timer pattern: cancel nearly everything.  Live
+     events must still fire in order, and the cancelled ones never. *)
+  let s = Sched.create () in
+  let log = ref [] in
+  let timers =
+    List.init 200 (fun i ->
+        (i, Sched.at s (Time.ms (i + 1)) (fun () -> log := i :: !log)))
+  in
+  List.iter (fun (i, tm) -> if i mod 10 <> 0 then Sched.cancel tm) timers;
+  check_int "only survivors pending" 20 (Sched.queue_length s);
+  check_int "180 cancelled" 180 (Sched.cancelled_count s);
+  Sched.run s;
+  Alcotest.(check (list int)) "survivors fire in time order"
+    (List.init 20 (fun i -> i * 10))
+    (List.rev !log);
+  check_int "fired" 20 (Sched.events_processed s)
+
+let sched_qcheck_cancel_order =
+  (* Against an arbitrary cancellation pattern, the fired sequence is
+     exactly the non-cancelled events sorted by (time, insertion):
+     compaction must never lose or reorder a live timer. *)
+  QCheck.Test.make ~name:"random cancels preserve firing order" ~count:100
+    QCheck.(list (pair (int_bound 30) bool))
+    (fun events ->
+      let s = Sched.create () in
+      let log = ref [] in
+      let timers =
+        List.mapi
+          (fun i (t_ms, cancel) ->
+            (i, cancel, Sched.at s (Time.ms t_ms) (fun () -> log := i :: !log)))
+          events
+      in
+      List.iter
+        (fun (_, cancel, tm) -> if cancel then Sched.cancel tm)
+        timers;
+      Sched.run s;
+      let expected =
+        List.mapi (fun i (t_ms, cancel) -> (t_ms, i, cancel)) events
+        |> List.filter (fun (_, _, cancel) -> not cancel)
+        |> List.sort compare
+        |> List.map (fun (_, i, _) -> i)
+      in
+      List.rev !log = expected)
+
 let sched_past_rejected () =
   let s = Sched.create () in
   ignore (Sched.at s (Time.ms 5) (fun () -> ()));
@@ -266,8 +396,13 @@ let () =
           Alcotest.test_case "push/pop basic" `Quick heap_basic;
           Alcotest.test_case "FIFO tie-break" `Quick heap_fifo_ties;
           Alcotest.test_case "clear" `Quick heap_clear;
+          Alcotest.test_case "capacity honoured" `Quick heap_capacity;
+          Alcotest.test_case "compact drops and keeps order" `Quick
+            heap_compact_basic;
           QCheck_alcotest.to_alcotest heap_qcheck_sorted;
           QCheck_alcotest.to_alcotest heap_qcheck_conserves;
+          QCheck_alcotest.to_alcotest heap_qcheck_key_tie_order;
+          QCheck_alcotest.to_alcotest heap_qcheck_compact_order;
         ] );
       ( "sched",
         [
@@ -283,6 +418,10 @@ let () =
           Alcotest.test_case "cancel from a callback" `Quick
             sched_cancel_from_callback;
           Alcotest.test_case "queue length" `Quick sched_queue_length;
+          Alcotest.test_case "stats snapshot" `Quick sched_stats;
+          Alcotest.test_case "mass cancellation compacts" `Quick
+            sched_mass_cancel_compacts;
+          QCheck_alcotest.to_alcotest sched_qcheck_cancel_order;
         ] );
       ( "rng",
         [

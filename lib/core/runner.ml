@@ -1,0 +1,20 @@
+type 'a job = { label : string; run : unit -> 'a }
+
+let job ?(label = "") run = { label; run }
+let label j = j.label
+let default_jobs () = Engine.Pool.default_domains ()
+
+let map ?jobs f xs = Engine.Pool.map ?domains:jobs f xs
+let run_jobs ?jobs js = map ?jobs (fun j -> j.run ()) js
+
+let scenarios ?jobs specs = map ?jobs Scenario.run specs
+
+let scenario_jobs specs =
+  List.map
+    (fun (spec : Scenario.spec) ->
+      job
+        ~label:
+          (Printf.sprintf "%s seed=%d" (Mptcp.Algorithm.name spec.Scenario.cc)
+             spec.Scenario.seed)
+        (fun () -> Scenario.run spec))
+    specs

@@ -20,6 +20,10 @@
 
 let quick = Array.exists (fun a -> a = "--quick" || a = "-q") Sys.argv
 
+(* `--audit` adds an invariant-audit phase: the paper-figure grid re-run
+   with the runtime checker enabled (see lib/audit and doc/AUDIT.md). *)
+let audit = Array.exists (fun a -> a = "--audit") Sys.argv
+
 let flag_value names =
   let rec find i =
     if i >= Array.length Sys.argv then None
@@ -614,7 +618,50 @@ let microbench () =
   List.rev !estimates
 
 (* ------------------------------------------------------------------ *)
-(* 5. Machine-readable results                                         *)
+(* 5. Invariant audit sweep (opt-in via --audit)                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper-figure grid (congestion control x default path) re-run
+   with the runtime invariant checker attached.  Not part of the default
+   output so the golden CLI expectations stay byte-identical. *)
+let audit_sweep () =
+  hr "invariant audit: cc x default path with the checker enabled";
+  let ccs = Mptcp.Algorithm.[ Cubic; Lia; Olia ] in
+  let grid =
+    List.concat_map (fun cc -> List.map (fun d -> (cc, d)) [ 1; 2; 3 ]) ccs
+  in
+  let duration = Engine.Time.s (if quick then 2 else 4) in
+  let specs =
+    List.map
+      (fun (cc, default) ->
+        let topo = Core.Paper_net.topology () in
+        let paths = Core.Paper_net.tagged_paths ~default topo in
+        Core.Scenario.make ~topo ~paths ~cc ~duration
+          ~sampling:(Engine.Time.ms 100) ~audit:true ())
+      grid
+  in
+  let results = Core.Runner.scenarios ~jobs specs in
+  let failures = ref 0 in
+  List.iter2
+    (fun (cc, default) r ->
+      match r.Core.Scenario.audit with
+      | None -> assert false
+      | Some rep ->
+        Printf.printf "  %-6s default=%d: %d violations over %d checks\n"
+          (Mptcp.Algorithm.name cc) default rep.Audit.total_violations
+          rep.Audit.checks;
+        if rep.Audit.total_violations > 0 then begin
+          incr failures;
+          print_string (Format.asprintf "%a@." Audit.pp_report rep)
+        end)
+    grid results;
+  if !failures = 0 then
+    Printf.printf "all %d audited runs clean\n" (List.length grid)
+  else Printf.printf "AUDIT FAILURES in %d of %d runs\n" !failures
+      (List.length grid)
+
+(* ------------------------------------------------------------------ *)
+(* 6. Machine-readable results                                         *)
 (* ------------------------------------------------------------------ *)
 
 let write_bench_json ~microbench_ns ~total_s =
@@ -659,6 +706,7 @@ let () =
   timed "baseline_single_path" baseline_single_path;
   timed "scaling" scaling_experiment;
   timed "two_connections" two_connections_fairness;
+  if audit then timed "audit_sweep" audit_sweep;
   let microbench_ns = timed "microbench" microbench in
   write_bench_json ~microbench_ns ~total_s:(Unix.gettimeofday () -. t0);
   hr "done"

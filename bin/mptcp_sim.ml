@@ -107,7 +107,7 @@ let lp_opt_cmd =
 (* --- run --- *)
 
 let run_cmd =
-  let exec cc default scheduler duration sampling seed buffer csv trace =
+  let exec cc default scheduler duration sampling seed buffer csv trace audit =
     let topo = Core.Paper_net.topology () in
     let paths = Core.Paper_net.tagged_paths ~default topo in
     let spec =
@@ -116,7 +116,7 @@ let run_cmd =
         ~sampling:(Engine.Time.of_float_s sampling)
         ~seed ?send_buffer:buffer
         ?trace_limit:(Option.map (fun _ -> 50_000) trace)
-        ()
+        ~audit ()
     in
     let result = Core.Scenario.run spec in
     let named =
@@ -146,11 +146,16 @@ let run_cmd =
       Measure.Render.write_file ~path (Measure.Render.series_csv named);
       Format.printf "wrote %s@." path
     | None -> ());
-    match (trace, result.Core.Scenario.trace_text) with
+    (match (trace, result.Core.Scenario.trace_text) with
     | Some path, Some text ->
       Measure.Render.write_file ~path text;
       Format.printf "wrote packet trace to %s@." path
-    | _ -> ()
+    | _ -> ());
+    match result.Core.Scenario.audit with
+    | None -> ()
+    | Some rep ->
+      Format.printf "%a@." Audit.pp_report rep;
+      if rep.Audit.total_violations > 0 then exit 1
   in
   let cc_t =
     Arg.(
@@ -187,11 +192,20 @@ let run_cmd =
       & info [ "trace" ] ~docv:"PATH"
           ~doc:"Write a tcpdump-style packet trace of the connection.")
   in
+  let audit_t =
+    Arg.(
+      value & flag
+      & info [ "audit" ]
+          ~doc:
+            "Run the invariant checker alongside the simulation (byte \
+             conservation, queue occupancy, sequence monotonicity, LP \
+             feasibility) and print its report; exits 1 on any violation.")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one MPTCP scenario on the paper's network")
     Term.(
       const exec $ cc_t $ default_t $ sched_t $ duration_t $ sampling_t
-      $ seed_t $ buffer_t $ csv_t $ trace_t)
+      $ seed_t $ buffer_t $ csv_t $ trace_t $ audit_t)
 
 (* --- figures --- *)
 

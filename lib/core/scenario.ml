@@ -14,6 +14,7 @@ type spec = {
   send_buffer : int option;
   total_bytes : int option;
   trace_limit : int option;
+  audit : bool;
 }
 
 (* The paper's Mininet links have shallow buffers relative to the
@@ -29,12 +30,13 @@ let make ~topo ~paths ~cc ?(scheduler = Mptcp.Scheduler.Min_rtt)
     ?(net_config = default_net_config)
     ?(sender_config = Tcp.Sender.default_config)
     ?(join_delay = Engine.Time.ms 10) ?(start_jitter = Engine.Time.ms 2)
-    ?(delayed_ack = false) ?send_buffer ?total_bytes ?trace_limit () =
+    ?(delayed_ack = false) ?send_buffer ?total_bytes ?trace_limit
+    ?(audit = false) () =
   if paths = [] then invalid_arg "Scenario.make: no paths";
   {
     topo; paths; cc; scheduler; duration; sampling; seed; net_config;
     sender_config; join_delay; start_jitter; delayed_ack; send_buffer;
-    total_bytes; trace_limit;
+    total_bytes; trace_limit; audit;
   }
 
 type subflow_report = {
@@ -61,6 +63,7 @@ type result = {
   queue_drops : int;
   events_processed : int;
   trace_text : string option;
+  audit : Audit.report option;
 }
 
 let endpoints_of_paths paths =
@@ -82,6 +85,10 @@ let run spec =
   let net =
     Netsim.Net.create ~sched ~rng ~config:spec.net_config spec.topo
   in
+  let auditor =
+    if spec.audit then Some (Audit.create ~sched ()) else None
+  in
+  Option.iter (fun a -> Audit.attach_net a net) auditor;
   let src_ep = Tcp.Endpoint.create net ~node:src_node in
   let dst_ep = Tcp.Endpoint.create net ~node:dst_node in
   let capture = Measure.Capture.attach net ~node:dst_node ~conn:1 () in
@@ -109,6 +116,20 @@ let run spec =
       ~paths:spec.paths ~cc:spec.cc ~config ~rng:(Engine.Rng.split rng)
       ?total_bytes:spec.total_bytes ()
   in
+  Option.iter
+    (fun a ->
+      Audit.attach_connection a ~label:"conn1" conn;
+      (* Connection-level invariants are evaluated once per sampling
+         period, and a last time at the end of the run. *)
+      let rec arm at =
+        if Engine.Time.( <= ) at spec.duration then
+          ignore
+            (Engine.Sched.at sched at (fun () ->
+                 Audit.tick a;
+                 arm (Engine.Time.add at spec.sampling)))
+      in
+      arm spec.sampling)
+    auditor;
   let probes =
     List.init (Mptcp.Connection.subflow_count conn) (fun i ->
         let sender = Mptcp.Connection.subflow_sender conn i in
@@ -122,6 +143,31 @@ let run spec =
   in
   let path_list = List.map snd spec.paths in
   let optimum = Netgraph.Constraints.optimum spec.topo path_list in
+  let audit_report =
+    Option.map
+      (fun a ->
+        Audit.tick a;
+        (* Tail-mean per-path rates (the figures' measurement) must lie
+           in the LP feasible region; 5% tolerance absorbs window
+           granularity at the paper's 100 ms sampling. *)
+        let from_s = 0.75 *. Engine.Time.to_float_s spec.duration in
+        let measured_bps =
+          Array.of_list
+            (List.map
+               (fun (tag, _) ->
+                 match List.assoc_opt tag per_tag with
+                 | Some series ->
+                   let mbps = Measure.Series.mean_from series ~from_s in
+                   if Float.is_finite mbps then mbps *. 1e6 else 0.0
+                 | None -> 0.0)
+               spec.paths)
+        in
+        Audit.check_lp a ~topo:spec.topo ~paths:path_list ~measured_bps
+          ~tolerance:0.05 ();
+        Audit.finish a ~elapsed:spec.duration ();
+        Audit.report a)
+      auditor
+  in
   let subflows =
     List.init (Mptcp.Connection.subflow_count conn) (fun i ->
         let sender = Mptcp.Connection.subflow_sender conn i in
@@ -151,6 +197,7 @@ let run spec =
     queue_drops = Netsim.Net.total_drops net;
     events_processed = Engine.Sched.events_processed sched;
     trace_text = Option.map (fun tr -> Measure.Trace.to_text net tr) trace;
+    audit = audit_report;
   }
 
 let optimal_total_mbps result = result.optimum.Netgraph.Constraints.total_bps /. 1e6

@@ -25,6 +25,10 @@ type spec = {
   trace_limit : int option;
       (** when set, keep a packet trace of up to this many events at both
           endpoints (see {!result.trace_text}) *)
+  audit : bool;
+      (** run the {!Audit} invariant checker alongside the simulation
+          and attach its report to the result (default [false]; the
+          [--audit] CLI flag and all audit tests set it) *)
 }
 
 val default_net_config : Netsim.Net.config
@@ -40,7 +44,7 @@ val make :
   -> ?net_config:Netsim.Net.config -> ?sender_config:Tcp.Sender.config
   -> ?join_delay:Engine.Time.t -> ?start_jitter:Engine.Time.t
   -> ?delayed_ack:bool -> ?send_buffer:int -> ?total_bytes:int
-  -> ?trace_limit:int -> unit -> spec
+  -> ?trace_limit:int -> ?audit:bool -> unit -> spec
 (** Defaults: min-RTT scheduler, 4 s at 100 ms sampling (the paper's
     Fig. 2a/2b setup), seed 1, {!default_net_config}, default sender
     config, 10 ms join delay with up to 2 ms of seeded start jitter,
@@ -73,6 +77,9 @@ type result = {
   events_processed : int;
   trace_text : string option;
       (** tcpdump-style rendering of the packet trace, when requested *)
+  audit : Audit.report option;
+      (** invariant-audit report, when [spec.audit] was set; a clean run
+          has [total_violations = 0] *)
 }
 
 val run : spec -> result

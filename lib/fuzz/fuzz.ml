@@ -1,0 +1,118 @@
+type case = {
+  n : int;
+  base_mbps : int;
+  step_mbps : int;
+  cc_idx : int;
+  sched_idx : int;
+  qdisc_idx : int;
+  limit_pkts : int;
+  jitter_us : int;
+  delayed_ack : bool;
+  buffer_pkts : int;
+  duration_ms : int;
+  seed : int;
+}
+
+let cc_of c = List.nth Mptcp.Algorithm.all (c.cc_idx mod List.length Mptcp.Algorithm.all)
+
+let scheduler_of c =
+  match c.sched_idx mod 3 with
+  | 0 -> Mptcp.Scheduler.Min_rtt
+  | 1 -> Mptcp.Scheduler.Round_robin
+  | _ -> Mptcp.Scheduler.Redundant
+
+let qdisc_of c =
+  match c.qdisc_idx mod 4 with
+  | 0 -> Netsim.Qdisc.Drop_tail
+  | 1 -> Netsim.Qdisc.Red Netsim.Qdisc.default_red
+  | 2 -> Netsim.Qdisc.Red Netsim.Qdisc.default_red_ecn
+  | _ -> Netsim.Qdisc.Codel Netsim.Qdisc.default_codel
+
+let qdisc_name c =
+  match c.qdisc_idx mod 4 with
+  | 0 -> "droptail"
+  | 1 -> "red"
+  | 2 -> "red+ecn"
+  | _ -> "codel"
+
+let send_buffer c =
+  if c.buffer_pkts <= 0 then None else Some (c.buffer_pkts * Packet.default_mss)
+
+let to_string c =
+  Printf.sprintf
+    "{n=%d caps=%d+%d cc=%s sched=%s qdisc=%s limit=%d jitter=%dus \
+     dack=%b buf=%s dur=%dms seed=%d}"
+    c.n c.base_mbps c.step_mbps
+    (Mptcp.Algorithm.name (cc_of c))
+    (Mptcp.Scheduler.policy_name (scheduler_of c))
+    (qdisc_name c) c.limit_pkts c.jitter_us c.delayed_ack
+    (match send_buffer c with
+    | None -> "inf"
+    | Some b -> string_of_int b)
+    c.duration_ms c.seed
+
+let to_spec c =
+  let topo, paths =
+    Netgraph.Generate.pairwise_overlap ~n:c.n
+      ~cap_bps:
+        (Netgraph.Generate.spread_caps ~base_mbps:c.base_mbps
+           ~step_mbps:c.step_mbps)
+      ()
+  in
+  let tagged = Mptcp.Path_manager.tag_paths paths in
+  let net_config =
+    { Netsim.Net.qdisc = qdisc_of c; limit_pkts = c.limit_pkts;
+      delay_jitter = Engine.Time.us c.jitter_us }
+  in
+  Core.Scenario.make ~topo ~paths:tagged ~cc:(cc_of c)
+    ~scheduler:(scheduler_of c)
+    ~duration:(Engine.Time.ms c.duration_ms)
+    ~sampling:(Engine.Time.ms (max 20 (c.duration_ms / 5)))
+    ~seed:c.seed ~net_config ~delayed_ack:c.delayed_ack
+    ?send_buffer:(send_buffer c) ~audit:true ()
+
+let run_case c =
+  let result = Core.Scenario.run (to_spec c) in
+  match result.Core.Scenario.audit with
+  | Some rep -> rep
+  | None -> assert false (* to_spec sets audit = true *)
+
+let arbitrary =
+  let open QCheck in
+  let build
+      ( (n, base_mbps, step_mbps, cc_idx),
+        (sched_idx, qdisc_idx, limit_pkts, jitter_us),
+        (delayed_ack, buffer_pkts, duration_ms, seed) ) =
+    {
+      n; base_mbps; step_mbps; cc_idx; sched_idx; qdisc_idx; limit_pkts;
+      jitter_us; delayed_ack; buffer_pkts; duration_ms; seed;
+    }
+  and strip c =
+    ( (c.n, c.base_mbps, c.step_mbps, c.cc_idx),
+      (c.sched_idx, c.qdisc_idx, c.limit_pkts, c.jitter_us),
+      (c.delayed_ack, c.buffer_pkts, c.duration_ms, c.seed) )
+  in
+  set_print to_string
+    (map ~rev:strip build
+       (triple
+          (quad (int_range 2 4) (int_range 5 25) (int_range 1 6)
+             (int_range 0 (List.length Mptcp.Algorithm.all - 1)))
+          (quad (int_range 0 2) (int_range 0 3) (int_range 4 32)
+             (int_range 0 300))
+          (quad bool (int_range 0 64) (int_range 200 500)
+             (int_range 1 1000))))
+
+let test ?(count = 120) () =
+  QCheck.Test.make ~count
+    ~name:"fuzz: random audited scenarios are violation-free" arbitrary
+    (fun c ->
+      let rep = run_case c in
+      if rep.Audit.total_violations > 0 then
+        QCheck.Test.fail_reportf "case %s@.%a" (to_string c) Audit.pp_report
+          rep
+      else if rep.Audit.checks = 0 || rep.Audit.ledger.Audit.injected_pkts = 0
+      then
+        (* a run that never evaluated anything would pass vacuously *)
+        QCheck.Test.fail_reportf "case %s: no checks performed (%d injected)"
+          (to_string c) rep.Audit.ledger.Audit.injected_pkts
+      else true)

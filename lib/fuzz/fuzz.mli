@@ -1,0 +1,54 @@
+(** Model-based scenario fuzzing for the invariant audit.
+
+    A {!case} is a compact, fully-shrinkable description of a random
+    experiment: a pairwise-overlap topology from {!Netgraph.Generate}
+    (the paper's Fig. 1 construction generalised to [n] paths), one of
+    the registered congestion controllers, a scheduler, a queue
+    discipline and buffer size, optional propagation jitter and a finite
+    send buffer.  {!to_spec} turns it into a {!Core.Scenario.spec} with
+    [audit = true]; the property under test ({!test}) is simply that the
+    resulting {!Audit.report} contains zero violations — every byte
+    conserved, queues within bounds, sequence numbers monotone, and the
+    measured rates inside the LP feasible region.
+
+    On failure QCheck shrinks toward the minimal failing case (fewest
+    paths, smallest capacities and buffers, shortest duration) and the
+    counterexample is printed together with the full audit report. *)
+
+type case = {
+  n : int;  (** number of pairwise-overlapping paths (2-4) *)
+  base_mbps : int;  (** bottleneck capacity ramp base (5-25 Mbps) *)
+  step_mbps : int;  (** bottleneck capacity ramp step (1-6 Mbps) *)
+  cc_idx : int;  (** index into {!Mptcp.Algorithm.all} *)
+  sched_idx : int;  (** 0 min-RTT, 1 round-robin, 2 redundant *)
+  qdisc_idx : int;  (** 0 drop-tail, 1 RED, 2 RED+ECN, 3 CoDel *)
+  limit_pkts : int;  (** per-link-direction buffer (4-32 packets) *)
+  jitter_us : int;  (** uniform per-packet propagation jitter (0-300) *)
+  delayed_ack : bool;
+  buffer_pkts : int;  (** send buffer in MSS units; 0 = unlimited *)
+  duration_ms : int;  (** simulated duration (200-500 ms) *)
+  seed : int;
+}
+
+val cc_of : case -> Mptcp.Algorithm.t
+val scheduler_of : case -> Mptcp.Scheduler.policy
+val qdisc_of : case -> Netsim.Qdisc.t
+
+val send_buffer : case -> int option
+(** [buffer_pkts * default MSS] bytes, or [None] when unlimited. *)
+
+val to_string : case -> string
+(** One-line rendering, also used as the QCheck counterexample print. *)
+
+val to_spec : case -> Core.Scenario.spec
+(** Build the audited scenario.  Deterministic in the case. *)
+
+val run_case : case -> Audit.report
+(** Run {!to_spec} and return its audit report (never [None]). *)
+
+val arbitrary : case QCheck.arbitrary
+(** Generator with shrinking toward the smallest failing scenario. *)
+
+val test : ?count:int -> unit -> QCheck.Test.t
+(** The property: [count] (default 120) random audited scenarios all
+    produce violation-free reports. *)

@@ -13,7 +13,9 @@ let percentile values ~p =
   if n = 0 then invalid_arg "Stats.percentile: empty";
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
   let sorted = Array.copy values in
-  Array.sort compare sorted;
+  (* Float.compare, not polymorphic compare: same order on finite
+     floats, but no boxed-comparison cost and well-defined on nan. *)
+  Array.sort Float.compare sorted;
   let rank = p /. 100.0 *. float_of_int (n - 1) in
   let lo = int_of_float (Float.floor rank) in
   let hi = int_of_float (Float.ceil rank) in

@@ -24,6 +24,7 @@ type subflow = {
   tag : Packet.tag;
   path : Netgraph.Path.t;
   mutable sender : Tcp.Sender.t option; (* set during establishment *)
+  mutable receiver : Tcp.Receiver.t option;
   mutable joined : bool; (* false until the subflow's start time *)
   mutable rx_bytes : int;
   mutable cursor : int; (* Redundant scheduler: private stream position *)
@@ -152,8 +153,8 @@ let establish ~net ~src ~dst ~conn ~paths ~cc ?(config = default_config)
     Array.of_list
       (List.mapi
          (fun index (tag, path) ->
-           { index; tag; path; sender = None; joined = false; rx_bytes = 0;
-             cursor = 0 })
+           { index; tag; path; sender = None; receiver = None; joined = false;
+             rx_bytes = 0; cursor = 0 })
          paths)
   in
   let t =
@@ -202,6 +203,7 @@ let establish ~net ~src ~dst ~conn ~paths ~cc ?(config = default_config)
           ~data_ack:(fun () -> Reassembly.next_expected t.reassembly)
           ~delayed_ack:config.delayed_ack ()
       in
+      sf.receiver <- Some receiver;
       Tcp.Endpoint.register dst ~conn ~subflow:sf.index (fun p ->
           Tcp.Receiver.handle_data receiver p);
       (* Sender side. *)
@@ -253,6 +255,10 @@ let establish ~net ~src ~dst ~conn ~paths ~cc ?(config = default_config)
 
 let subflow_count t = Array.length t.subflows
 let subflow_sender t i = sender_exn t.subflows.(i)
+
+let subflow_receiver t i =
+  match t.subflows.(i).receiver with Some r -> r | None -> assert false
+
 let subflow_tag t i = t.subflows.(i).tag
 let subflow_path t i = t.subflows.(i).path
 let subflow_rx_bytes t i = t.subflows.(i).rx_bytes
@@ -262,6 +268,13 @@ let reassembly_buffered t = Reassembly.buffered_bytes t.reassembly
 let completed_at t = t.completed_at
 let reinjections t = t.reinjections
 let cc t = t.algorithm
+let data_ack_rx t = t.data_ack_rx
+
+(* Distinct connection-level bytes handed to any subflow so far.  The
+   Redundant scheduler maps per-subflow cursors over the same stream, so
+   the union of mapped ranges is the largest cursor, not next_dseq. *)
+let mapped_bytes t =
+  Array.fold_left (fun acc sf -> max acc sf.cursor) t.next_dseq t.subflows
 
 let total_throughput_bps t ~now =
   let dt = Engine.Time.to_float_s (Engine.Time.diff now t.start_at) in

@@ -56,6 +56,11 @@ val establish :
 
 val subflow_count : t -> int
 val subflow_sender : t -> int -> Tcp.Sender.t
+
+val subflow_receiver : t -> int -> Tcp.Receiver.t
+(** The receiving end of subflow [i] — exposed so the audit subsystem
+    can tap per-subflow deliveries. *)
+
 val subflow_tag : t -> int -> Packet.tag
 val subflow_path : t -> int -> Netgraph.Path.t
 
@@ -67,6 +72,16 @@ val delivered_bytes : t -> int
 
 val data_ack : t -> int
 val reassembly_buffered : t -> int
+
+val data_ack_rx : t -> int
+(** Highest connection-level DATA_ACK the sender side has seen; trails
+    {!data_ack} by at most the network's round trip. *)
+
+val mapped_bytes : t -> int
+(** Distinct connection-level bytes mapped onto any subflow so far —
+    an upper bound on what the receiver can have seen.  Accounts for the
+    Redundant scheduler's duplicate mappings. *)
+
 val completed_at : t -> Engine.Time.t option
 
 val reinjections : t -> int

@@ -8,6 +8,12 @@ type stats = {
   mutable marked : int;
 }
 
+type event =
+  | Enqueued of Packet.t
+  | Dropped of Packet.t
+  | Delivered of Packet.t
+  | Lost_down of Packet.t
+
 type t = {
   sched : Engine.Sched.t;
   rng : Engine.Rng.t;
@@ -22,6 +28,7 @@ type t = {
   mutable queued_bytes : int;
   mutable busy : bool;
   mutable up : bool;
+  mutable monitor : (event -> unit) option;
   stats : stats;
 }
 
@@ -39,6 +46,7 @@ let create ~sched ~rng ~rate_bps ~delay ?(jitter = Engine.Time.zero) ~qdisc
     queued_bytes = 0;
     busy = false;
     up = true;
+    monitor = None;
     stats =
       { enqueued = 0; dropped = 0; delivered = 0; bytes_delivered = 0;
         busy_ns = 0; lost_down = 0; marked = 0 };
@@ -57,6 +65,7 @@ let rec start_tx t =
         ~sojourn:(Engine.Time.diff now enqueued_at) ~now
     then begin
       t.stats.dropped <- t.stats.dropped + 1;
+      (match t.monitor with None -> () | Some f -> f (Dropped p));
       start_tx t
     end
     else begin
@@ -81,21 +90,33 @@ let rec start_tx t =
                     t.stats.delivered <- t.stats.delivered + 1;
                     t.stats.bytes_delivered <-
                       t.stats.bytes_delivered + p.Packet.size;
+                    (match t.monitor with
+                     | None -> ()
+                     | Some f -> f (Delivered p));
                     t.deliver p
                   end
-                  else t.stats.lost_down <- t.stats.lost_down + 1));
+                  else begin
+                    t.stats.lost_down <- t.stats.lost_down + 1;
+                    match t.monitor with
+                    | None -> ()
+                    | Some f -> f (Lost_down p)
+                  end));
            start_tx t))
     end
 
 let enqueue t p =
   (* The buffer limit counts queued packets only; the one in the
      serializer has already left the queue (tc semantics). *)
-  if not t.up then t.stats.lost_down <- t.stats.lost_down + 1
+  if not t.up then begin
+    t.stats.lost_down <- t.stats.lost_down + 1;
+    match t.monitor with None -> () | Some f -> f (Lost_down p)
+  end
   else begin
     let admit () =
       t.stats.enqueued <- t.stats.enqueued + 1;
       Queue.add (p, Engine.Sched.now t.sched) t.queue;
       t.queued_bytes <- t.queued_bytes + p.Packet.size;
+      (match t.monitor with None -> () | Some f -> f (Enqueued p));
       if not t.busy then start_tx t
     in
     match
@@ -109,18 +130,25 @@ let enqueue t p =
       p.Packet.ecn <- Packet.Ce;
       t.stats.marked <- t.stats.marked + 1;
       admit ()
-    | Qdisc.Drop -> t.stats.dropped <- t.stats.dropped + 1
+    | Qdisc.Drop ->
+      t.stats.dropped <- t.stats.dropped + 1;
+      (match t.monitor with None -> () | Some f -> f (Dropped p))
   end
 
 let queue_pkts t = Queue.length t.queue
 let queued_bytes t = t.queued_bytes
 let stats t = t.stats
 let rate_bps t = t.rate_bps
+let limit_pkts t = t.limit_pkts
+let set_monitor t m = t.monitor <- m
 
 let set_up t up =
   t.up <- up;
   if not up then begin
     t.stats.lost_down <- t.stats.lost_down + Queue.length t.queue;
+    (match t.monitor with
+     | None -> ()
+     | Some f -> Queue.iter (fun (p, _) -> f (Lost_down p)) t.queue);
     Queue.clear t.queue;
     t.queued_bytes <- 0
   end

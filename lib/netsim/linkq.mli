@@ -19,6 +19,12 @@ type stats = {
       (** packets marked Congestion Experienced instead of dropped *)
 }
 
+type event =
+  | Enqueued of Packet.t  (** admitted to the buffer (possibly CE-marked) *)
+  | Dropped of Packet.t  (** discarded by the qdisc (enqueue or dequeue) *)
+  | Delivered of Packet.t  (** handed to [deliver] at the far end *)
+  | Lost_down of Packet.t  (** destroyed because the link direction was down *)
+
 type t
 
 val create :
@@ -45,6 +51,15 @@ val queue_pkts : t -> int
 val queued_bytes : t -> int
 val stats : t -> stats
 val rate_bps : t -> int
+
+val limit_pkts : t -> int
+(** The buffer limit this queue was created with. *)
+
+val set_monitor : t -> (event -> unit) option -> unit
+(** Installs (or clears) a per-packet event tap.  The callback fires
+    after the queue's own state and counters are updated, exactly once
+    per packet fate transition; [None] (the default) costs one mutable
+    load on the hot path.  Used by [Audit] for conservation ledgers. *)
 
 val utilisation : t -> now:Engine.Time.t -> float
 (** Fraction of wall time the serializer has been busy so far. *)

@@ -5,6 +5,12 @@ type config = { qdisc : Qdisc.t; limit_pkts : int; delay_jitter : Engine.Time.t 
 let default_config =
   { qdisc = Qdisc.Drop_tail; limit_pkts = 40; delay_jitter = Engine.Time.zero }
 
+type monitor = {
+  on_inject : node:int -> Packet.t -> unit;
+  on_host_deliver : node:int -> Packet.t -> unit;
+  on_no_route : node:int -> Packet.t -> unit;
+}
+
 type t = {
   sched : Engine.Sched.t;
   topo : Netgraph.Topology.t;
@@ -14,21 +20,26 @@ type t = {
   taps : (Packet.t -> unit) list array;
   mutable next_id : int;
   mutable no_route : int;
+  mutable monitor : monitor option;
 }
 
 let dir_index = function Fwd -> 0 | Rev -> 1
 
 let rec receive t ~node p =
   List.iter (fun f -> f p) t.taps.(node);
-  if p.Packet.dst = node then
+  if p.Packet.dst = node then begin
+    (match t.monitor with None -> () | Some m -> m.on_host_deliver ~node p);
     match t.hosts.(node) with
     | Some h -> h p
     | None -> () (* destination without a host: silently sink *)
+  end
   else forward t ~node p
 
 and forward t ~node p =
   match Hashtbl.find_opt t.tables.(node) (p.Packet.dst, p.Packet.tag) with
-  | None -> t.no_route <- t.no_route + 1
+  | None ->
+    t.no_route <- t.no_route + 1;
+    (match t.monitor with None -> () | Some m -> m.on_no_route ~node p)
   | Some lid ->
     let l = Netgraph.Topology.link t.topo lid in
     let d = if l.Netgraph.Topology.u = node then 0 else 1 in
@@ -46,6 +57,7 @@ let create ~sched ~rng ?(config = default_config) topo =
       taps = Array.make n [];
       next_id = 0;
       no_route = 0;
+      monitor = None;
     }
   in
   let make_q (l : Netgraph.Topology.link) ~to_node =
@@ -98,7 +110,17 @@ let attach_host t ~node h =
 let add_tap t ~node f = t.taps.(node) <- t.taps.(node) @ [ f ]
 
 let inject t ~at p =
+  (match t.monitor with None -> () | Some m -> m.on_inject ~node:at p);
   if p.Packet.dst = at then receive t ~node:at p else forward t ~node:at p
+
+let set_monitor t m = t.monitor <- m
+
+let iter_linkqs t f =
+  Array.iteri
+    (fun lid qs ->
+      f ~link:lid ~dir:Fwd qs.(0);
+      f ~link:lid ~dir:Rev qs.(1))
+    t.linkqs
 
 let linkq t ~link ~dir = t.linkqs.(link).(dir_index dir)
 

@@ -69,6 +69,25 @@ val inject : t -> at:int -> Packet.t -> unit
 
 val linkq : t -> link:int -> dir:dir -> Linkq.t
 
+type monitor = {
+  on_inject : node:int -> Packet.t -> unit;
+      (** a host handed a fresh packet to the network at [node] *)
+  on_host_deliver : node:int -> Packet.t -> unit;
+      (** a packet reached its destination node and left the network
+          (fires whether or not a host handler is attached) *)
+  on_no_route : node:int -> Packet.t -> unit;
+      (** a packet was discarded at [node] for lack of a route *)
+}
+
+val set_monitor : t -> monitor option -> unit
+(** Installs (or clears) a network-edge event tap; [None] (the default)
+    is free on the forwarding path.  Together with {!Linkq.set_monitor}
+    on every queue this is enough to account for every packet's fate —
+    the hook the audit subsystem builds its conservation ledger on. *)
+
+val iter_linkqs : t -> (link:int -> dir:dir -> Linkq.t -> unit) -> unit
+(** Applies [f] to both directions of every link. *)
+
 val set_link_up : t -> link:int -> bool -> unit
 (** Fail or restore both directions of a link (see {!Linkq.set_up}). *)
 

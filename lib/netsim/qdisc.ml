@@ -8,7 +8,11 @@ type red = {
 
 type codel = { target : Engine.Time.t; interval : Engine.Time.t }
 
-type t = Drop_tail | Red of red | Codel of codel
+type t =
+  | Drop_tail
+  | Red of red
+  | Codel of codel
+  | Broken_oversubscribe
 
 let default_red =
   { min_th = 5; max_th = 15; max_p = 0.1; weight = 0.002; ecn = false }
@@ -35,10 +39,10 @@ let make_state (_ : t) =
 type decision = Admit | Mark | Drop
 
 let decide t state ~queue_pkts ~limit_pkts ~ecn_capable ~rng =
-  if queue_pkts >= limit_pkts then Drop
-  else
-    match t with
-    | Drop_tail | Codel _ -> Admit (* CoDel acts at dequeue *)
+  match t with
+  | Broken_oversubscribe -> Admit (* deliberately ignores limit_pkts *)
+  | _ when queue_pkts >= limit_pkts -> Drop
+  | Drop_tail | Codel _ -> Admit (* CoDel acts at dequeue *)
     | Red { min_th; max_th; max_p; weight; ecn } ->
       state.avg <-
         ((1.0 -. weight) *. state.avg) +. (weight *. float_of_int queue_pkts);
@@ -84,7 +88,7 @@ let control_law codel state now =
 
 let dequeue_drop t state ~sojourn ~now =
   match t with
-  | Drop_tail | Red _ -> false
+  | Drop_tail | Red _ | Broken_oversubscribe -> false
   | Codel codel ->
     if sojourn < codel.target then begin
       (* Below target: leave the dropping state entirely. *)

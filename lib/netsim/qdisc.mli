@@ -25,6 +25,11 @@ type t =
       (** CoDel (Nichols-Jacobson, RFC 8289): drops at {e dequeue} time
           based on how long packets actually sat in the queue, attacking
           bufferbloat independently of the buffer's size *)
+  | Broken_oversubscribe
+      (** Test-only: admits every packet, ignoring [limit_pkts].  Exists
+          to prove the audit subsystem catches a misbehaving qdisc (the
+          buffer-occupancy invariant fires); never use it in scenarios
+          meant to mean anything. *)
 
 val default_red : red
 (** min_th 5, max_th 15, max_p 0.1, weight 0.002, no ECN — the classic

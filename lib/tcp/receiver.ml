@@ -22,7 +22,10 @@ type t = {
   mutable ce_pending : bool; (* echo Congestion Experienced on the next ACK *)
   mutable segments : int;
   mutable duplicates : int;
+  mutable monitor : (monitor_event -> unit) option;
 }
+
+and monitor_event = Delivered of { seq : int; len : int }
 
 let create ~sched ~conn ~subflow ~addr ~peer ~tag ~fresh_id ~transmit
     ~on_deliver ~data_ack ?(delayed_ack = false)
@@ -30,7 +33,7 @@ let create ~sched ~conn ~subflow ~addr ~peer ~tag ~fresh_id ~transmit
   { sched; conn; subflow; addr; peer; tag; fresh_id; transmit; on_deliver;
     data_ack; delayed_ack; ack_delay; pending_segs = 0; ack_timer = None;
     acks_sent = 0; rcv_nxt = 0; ooo = Imap.empty; last_sacked = -1;
-    ce_pending = false; segments = 0; duplicates = 0 }
+    ce_pending = false; segments = 0; duplicates = 0; monitor = None }
 
 (* Merge the out-of-order store into contiguous byte ranges and emit up
    to [Packet.max_sack_blocks], the block containing the newest arrival
@@ -107,7 +110,10 @@ let rec drain t =
     t.ooo <- Imap.remove seq t.ooo;
     if seq + len > t.rcv_nxt then begin
       t.on_deliver ~seq ~len ~dss;
-      t.rcv_nxt <- seq + len
+      t.rcv_nxt <- seq + len;
+      match t.monitor with
+      | None -> ()
+      | Some f -> f (Delivered { seq; len })
     end;
     drain t
   | Some _ | None -> ()
@@ -142,6 +148,9 @@ let handle_data t p =
     if seq = t.rcv_nxt then begin
       t.on_deliver ~seq ~len ~dss:tcp.Packet.dss;
       t.rcv_nxt <- seq + len;
+      (match t.monitor with
+      | None -> ()
+      | Some f -> f (Delivered { seq; len }));
       let had_gap = not (Imap.is_empty t.ooo) in
       drain t;
       (* Filling a gap must be acknowledged at once so the sender exits
@@ -162,6 +171,7 @@ let handle_data t p =
 
 let acks_sent t = t.acks_sent
 let rcv_nxt t = t.rcv_nxt
+let set_monitor t m = t.monitor <- m
 let out_of_order t = Imap.cardinal t.ooo
 let segments_received t = t.segments
 let duplicates t = t.duplicates

@@ -38,6 +38,10 @@ type stats = {
 
 type conn_state = Closed | Syn_sent | Established
 
+type monitor_event =
+  | Seg_sent of { seq : int; len : int; retx : bool }
+  | Ack_advanced of { una : int }
+
 type seg = {
   seq : int;
   len : int;
@@ -88,6 +92,7 @@ type t = {
   mutable interval_cur : int;
   mutable interval_prev : int;
   mutable ecn_react_until : int; (* no second ECN response before this seq *)
+  mutable monitor : (monitor_event -> unit) option;
   stats : stats;
 }
 
@@ -142,6 +147,7 @@ let create ~sched ~config ~conn ~subflow ~src ~dst ~tag ~fresh_id ~transmit
       interval_cur = 0;
       interval_prev = 0;
       ecn_react_until = 0;
+      monitor = None;
       stats =
         { segments_sent = 0; retransmits = 0; timeouts = 0;
           fast_recoveries = 0; bytes_acked = 0 };
@@ -295,6 +301,9 @@ and send_seg t seg ~is_retx =
       tcp
   in
   t.transmit p;
+  (match t.monitor with
+  | None -> ()
+  | Some f -> f (Seg_sent { seq = seg.seq; len = seg.len; retx = is_retx }));
   if t.rto_timer = None then arm_rto t
 
 and window_bytes t =
@@ -483,6 +492,9 @@ let handle_ack t (tcp : Packet.tcp) =
     | None -> ());
     t.snd_una <- a;
     if t.snd_nxt < a then t.snd_nxt <- a;
+    (match t.monitor with
+    | None -> ()
+    | Some f -> f (Ack_advanced { una = a }));
     t.dupacks <- 0;
     if t.in_recovery then begin
       if a >= t.recover then begin
@@ -536,6 +548,9 @@ let is_established t = t.conn_state = Established
 let syn_retransmits t = t.syn_retx
 let mss t = t.config.mss
 let tag t = t.tag
+let snd_una t = t.snd_una
+let snd_nxt t = t.snd_nxt
+let set_monitor t m = t.monitor <- m
 
 let throughput_bps t ~now =
   match t.first_send with

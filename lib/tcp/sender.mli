@@ -116,6 +116,23 @@ val cc_name : t -> string
 val mss : t -> int
 val tag : t -> Packet.tag
 
+val snd_una : t -> int
+(** Lowest unacknowledged sequence number. *)
+
+val snd_nxt : t -> int
+(** Next sequence number to transmit. *)
+
+type monitor_event =
+  | Seg_sent of { seq : int; len : int; retx : bool }
+      (** a data segment left the sender (fresh or retransmitted) *)
+  | Ack_advanced of { una : int }
+      (** a cumulative ACK moved [snd_una] forward to [una] *)
+
+val set_monitor : t -> (monitor_event -> unit) option -> unit
+(** Installs (or clears) an event tap for the audit subsystem; fires
+    after the sender's own state is updated.  [None] (the default) costs
+    one mutable load per event. *)
+
 val sibling_view : t -> Cc.sibling
 (** Snapshot used by coupled congestion control on sibling subflows. *)
 

@@ -211,6 +211,53 @@ let qcheck_percentile_monotone =
         let mx = Measure.Stats.percentile arr ~p:100.0 in
         v_lo <= v_hi +. 1e-9 && mn <= v_lo +. 1e-9 && v_hi <= mx +. 1e-9)
 
+let qcheck_percentile_vs_naive =
+  (* Reference model: sort the list, interpolate by hand — exercised on
+     unsorted input with duplicates. *)
+  QCheck.Test.make ~name:"percentile agrees with a naive model" ~count:300
+    QCheck.(
+      pair (list_of_size Gen.(1 -- 30) (float_bound_inclusive 1000.0))
+        (0 -- 100))
+    (fun (values, p) ->
+      match values with
+      | [] -> true
+      | _ ->
+        let arr = Array.of_list (List.sort Float.compare values) in
+        let n = Array.length arr in
+        let rank = float_of_int p /. 100.0 *. float_of_int (n - 1) in
+        let lo = int_of_float (Float.floor rank) in
+        let hi = int_of_float (Float.ceil rank) in
+        let expect =
+          if lo = hi then arr.(lo)
+          else begin
+            let frac = rank -. float_of_int lo in
+            (arr.(lo) *. (1.0 -. frac)) +. (arr.(hi) *. frac)
+          end
+        in
+        let got =
+          Measure.Stats.percentile (Array.of_list values)
+            ~p:(float_of_int p)
+        in
+        Float.abs (got -. expect) <= 1e-9 *. (1.0 +. Float.abs expect))
+
+let qcheck_summarise_roundtrip =
+  QCheck.Test.make ~name:"summarise round-trips min/max/p50" ~count:300
+    QCheck.(list_of_size Gen.(1 -- 30) (float_bound_inclusive 500.0))
+    (fun values ->
+      match Measure.Stats.summarise values with
+      | None -> values = []
+      | Some s ->
+        let sorted = List.sort Float.compare values in
+        s.Measure.Stats.count = List.length values
+        && s.Measure.Stats.min = List.hd sorted
+        && s.Measure.Stats.max = List.nth sorted (List.length sorted - 1)
+        && s.Measure.Stats.p50
+           = Measure.Stats.percentile (Array.of_list values) ~p:50.0
+        && s.Measure.Stats.min <= s.Measure.Stats.p50 +. 1e-9
+        && s.Measure.Stats.p50 <= s.Measure.Stats.max +. 1e-9
+        && s.Measure.Stats.mean >= s.Measure.Stats.min -. 1e-9
+        && s.Measure.Stats.mean <= s.Measure.Stats.max +. 1e-9)
+
 (* --- Trace --- *)
 
 let trace_records_and_filters () =
@@ -374,6 +421,8 @@ let () =
           Alcotest.test_case "percentile" `Quick stats_percentile;
           Alcotest.test_case "edge cases" `Quick stats_edge_cases;
           QCheck_alcotest.to_alcotest qcheck_percentile_monotone;
+          QCheck_alcotest.to_alcotest qcheck_percentile_vs_naive;
+          QCheck_alcotest.to_alcotest qcheck_summarise_roundtrip;
         ] );
       ( "trace",
         [

@@ -46,6 +46,43 @@ let reassembly_validation () =
     (Invalid_argument "Reassembly.insert: len must be positive") (fun () ->
       Mptcp.Reassembly.insert r ~dseq:0 ~len:0)
 
+let reassembly_boundaries () =
+  (* The documented edge cases: len <= 0 and dseq < 0 are rejected
+     before any state changes. *)
+  let r = Mptcp.Reassembly.create () in
+  Alcotest.check_raises "negative len"
+    (Invalid_argument "Reassembly.insert: len must be positive") (fun () ->
+      Mptcp.Reassembly.insert r ~dseq:0 ~len:(-5));
+  Alcotest.check_raises "negative dseq"
+    (Invalid_argument "Reassembly.insert: negative dseq") (fun () ->
+      Mptcp.Reassembly.insert r ~dseq:(-1) ~len:10);
+  Alcotest.(check int) "rejected inserts leave no trace" 0
+    (Mptcp.Reassembly.next_expected r + Mptcp.Reassembly.buffered_bytes r
+    + Mptcp.Reassembly.gap_count r)
+
+let qcheck_reassembly_distinct_bytes =
+  (* The audit subsystem's reassembly ledger, as a standalone property:
+     after any insert sequence — permuted, duplicated, overlapping —
+     delivered + buffered equals the number of distinct bytes ever
+     inserted. *)
+  let module S = Set.Make (Int) in
+  QCheck.Test.make ~name:"delivered + buffered = distinct bytes inserted"
+    ~count:300
+    QCheck.(list_of_size Gen.(1 -- 50) (pair (int_bound 300) (1 -- 25)))
+    (fun inserts ->
+      let r = Mptcp.Reassembly.create () in
+      let seen = ref S.empty in
+      List.for_all
+        (fun (dseq, len) ->
+          Mptcp.Reassembly.insert r ~dseq ~len;
+          for i = dseq to dseq + len - 1 do
+            seen := S.add i !seen
+          done;
+          Mptcp.Reassembly.delivered_bytes r
+          + Mptcp.Reassembly.buffered_bytes r
+          = S.cardinal !seen)
+        inserts)
+
 let qcheck_reassembly_any_order =
   QCheck.Test.make
     ~name:"reassembly completes under any interleaving with duplicates"
@@ -900,6 +937,8 @@ let () =
           Alcotest.test_case "duplicates and overlaps" `Quick
             reassembly_duplicates_and_overlap;
           Alcotest.test_case "validation" `Quick reassembly_validation;
+          Alcotest.test_case "boundary cases" `Quick reassembly_boundaries;
+          QCheck_alcotest.to_alcotest qcheck_reassembly_distinct_bytes;
           QCheck_alcotest.to_alcotest qcheck_reassembly_any_order;
           QCheck_alcotest.to_alcotest qcheck_reassembly_monotone;
           QCheck_alcotest.to_alcotest qcheck_reassembly_oracle;

@@ -199,6 +199,32 @@ let qcheck_yen_sorted =
         && List.length (List.sort_uniq Path.compare ps) = List.length ps
       end)
 
+let qcheck_yen_agrees_with_shortest =
+  (* Every Yen path is simple (no repeated node), and the first one —
+     when any exists — has exactly Dijkstra's distance. *)
+  QCheck.Test.make ~name:"yen: simple paths, first agrees with dijkstra"
+    ~count:100 (QCheck.make gen_graph) (fun g ->
+      let topo = build_graph g in
+      let n = Topology.num_nodes topo in
+      let dst = n - 1 in
+      if dst = 0 then true
+      else begin
+        let ps =
+          Kshortest.yen topo ~src:0 ~dst ~k:4 ~weight:Shortest.delay_ns
+        in
+        let simple p =
+          let nodes = Array.to_list p.Path.nodes in
+          List.length (List.sort_uniq compare nodes) = List.length nodes
+        in
+        let dist, _ = Shortest.dijkstra topo ~src:0 ~weight:Shortest.delay_ns in
+        List.for_all simple ps
+        &&
+        match ps with
+        | [] -> dist.(dst) = max_int
+        | first :: _ ->
+          Kshortest.path_weight topo Shortest.delay_ns first = dist.(dst)
+      end)
+
 (* --- Disjoint pairs --- *)
 
 let disjoint_paper () =
@@ -346,6 +372,34 @@ let maxflow_parallel () =
   let topo = Topology.build b in
   Alcotest.(check int) "parallel links add" (mb 42)
     (Maxflow.max_flow topo ~src:a ~dst:z)
+
+let maxflow_bounds_lp () =
+  (* The chain of bounds behind the audit's lp.maxflow-bound invariant:
+     audited goodput <= LP optimum (90 Mbps) <= max flow (140 Mbps). *)
+  let topo, paths = paper () in
+  let s = Topology.node_id topo "s" and d = Topology.node_id topo "d" in
+  let flow = Maxflow.max_flow topo ~src:s ~dst:d in
+  Alcotest.(check int) "paper max flow" (mb 140) flow;
+  let opt = Constraints.optimum topo paths in
+  Alcotest.(check bool) "LP optimum within max flow" true
+    (opt.Constraints.total_bps <= float_of_int flow +. 1e-6)
+
+let qcheck_maxflow_bounds_lp =
+  QCheck.Test.make ~name:"LP optimum <= max flow on generated overlap nets"
+    ~count:50
+    QCheck.(triple (int_range 2 5) (int_range 5 30) (int_range 1 8))
+    (fun (n, base_mbps, step_mbps) ->
+      let topo, paths =
+        Generate.pairwise_overlap ~n
+          ~cap_bps:(Generate.spread_caps ~base_mbps ~step_mbps)
+          ()
+      in
+      let opt = Constraints.optimum topo paths in
+      let p0 = List.hd paths in
+      let flow =
+        Maxflow.max_flow topo ~src:(Path.src p0) ~dst:(Path.dst p0)
+      in
+      opt.Constraints.total_bps <= float_of_int flow +. 1e-6)
 
 let qcheck_flow_bounded =
   QCheck.Test.make ~name:"max flow bounded by the source's capacity"
@@ -535,6 +589,7 @@ let () =
           Alcotest.test_case "paper three paths" `Quick yen_paper;
           Alcotest.test_case "exhaustive enumeration" `Quick yen_exhaustive;
           QCheck_alcotest.to_alcotest qcheck_yen_sorted;
+          QCheck_alcotest.to_alcotest qcheck_yen_agrees_with_shortest;
         ] );
       ( "disjoint",
         [
@@ -551,6 +606,8 @@ let () =
           Alcotest.test_case "paper value and min cut" `Quick maxflow_paper;
           Alcotest.test_case "series" `Quick maxflow_series;
           Alcotest.test_case "parallel" `Quick maxflow_parallel;
+          Alcotest.test_case "bounds the LP optimum" `Quick maxflow_bounds_lp;
+          QCheck_alcotest.to_alcotest qcheck_maxflow_bounds_lp;
           QCheck_alcotest.to_alcotest qcheck_flow_bounded;
         ] );
       ( "generate",

@@ -24,6 +24,12 @@ let quick = Array.exists (fun a -> a = "--quick" || a = "-q") Sys.argv
    with the runtime checker enabled (see lib/audit and doc/AUDIT.md). *)
 let audit = Array.exists (fun a -> a = "--audit") Sys.argv
 
+(* `--profile` prints a per-phase domain-utilisation table (per-domain
+   busy/idle wall time, effective speedup) from the pool's worker
+   accounting, and adds a "profile" section to BENCH_results.json.  Off
+   by default so the default output and JSON stay byte-identical. *)
+let profile = Array.exists (fun a -> a = "--profile") Sys.argv
+
 let flag_value names =
   let rec find i =
     if i >= Array.length Sys.argv then None
@@ -72,11 +78,64 @@ let hr title =
 (* Wall clock per phase, for BENCH_results.json. *)
 let phase_times : (string * float) list ref = ref []
 
+type phase_profile = {
+  p_name : string;
+  p_wall : float;
+  p_pools : int;
+  p_workers : Engine.Pool.worker_stats array;
+}
+
+let phase_profiles : phase_profile list ref = ref []
+
 let timed name f =
+  if profile then Engine.Pool.reset_global_stats ();
   let t0 = Unix.gettimeofday () in
   let r = f () in
-  phase_times := (name, Unix.gettimeofday () -. t0) :: !phase_times;
+  let dt = Unix.gettimeofday () -. t0 in
+  phase_times := (name, dt) :: !phase_times;
+  if profile then
+    phase_profiles :=
+      {
+        p_name = name;
+        p_wall = dt;
+        p_pools = Engine.Pool.global_pools ();
+        p_workers = Engine.Pool.global_worker_stats ();
+      }
+      :: !phase_profiles;
   r
+
+let phase_speedup p =
+  let busy =
+    Array.fold_left (fun a w -> a +. w.Engine.Pool.busy_s) 0.0 p.p_workers
+  in
+  if p.p_wall > 0.0 then busy /. p.p_wall else 0.0
+
+let print_profile () =
+  hr "profile: per-phase domain utilisation";
+  Printf.printf "  %-24s %8s %6s %6s %8s  %s\n" "phase" "wall s" "pools"
+    "jobs" "speedup" "per-domain busy s";
+  List.iter
+    (fun p ->
+      let jobs_n =
+        Array.fold_left (fun a w -> a + w.Engine.Pool.jobs) 0 p.p_workers
+      in
+      Printf.printf "  %-24s %8.3f %6d %6d %7.2fx  [%s]\n" p.p_name p.p_wall
+        p.p_pools jobs_n (phase_speedup p)
+        (String.concat " "
+           (Array.to_list
+              (Array.map
+                 (fun w -> Printf.sprintf "%.2f" w.Engine.Pool.busy_s)
+                 p.p_workers)));
+      Array.iteri
+        (fun i w ->
+          Printf.printf "      domain %d: %d jobs, busy %.3f s, idle %.3f s\n"
+            i w.Engine.Pool.jobs w.Engine.Pool.busy_s
+            (Float.max 0.0 (p.p_wall -. w.Engine.Pool.busy_s)))
+        p.p_workers)
+    (List.rev !phase_profiles);
+  Printf.printf
+    "  (speedup = total domain busy time / phase wall time; phases with 0 \
+     pools ran serially)\n"
 
 (* ------------------------------------------------------------------ *)
 (* 1. Figures                                                          *)
@@ -685,7 +744,31 @@ let write_bench_json ~microbench_ns ~total_s =
     (fun i (name, ns) ->
       add "    \"%s\": %.1f%s\n" name ns (if i = n - 1 then "" else ","))
     microbench_ns;
-  add "  }\n";
+  if profile then begin
+    add "  },\n";
+    add "  \"profile\": {\n";
+    let pps = List.rev !phase_profiles in
+    let np = List.length pps in
+    List.iteri
+      (fun i p ->
+        let workers =
+          String.concat ", "
+            (Array.to_list
+               (Array.map
+                  (fun w ->
+                    Printf.sprintf "{\"jobs\": %d, \"busy_s\": %.3f}"
+                      w.Engine.Pool.jobs w.Engine.Pool.busy_s)
+                  p.p_workers))
+        in
+        add
+          "    \"%s\": {\"wall_s\": %.3f, \"pools\": %d, \"speedup\": %.2f, \
+           \"workers\": [%s]}%s\n"
+          p.p_name p.p_wall p.p_pools (phase_speedup p) workers
+          (if i = np - 1 then "" else ","))
+      pps;
+    add "  }\n"
+  end
+  else add "  }\n";
   add "}\n";
   write_text_file ~path:bench_json (Buffer.contents buf);
   Printf.printf "[json] wrote %s\n" bench_json
@@ -708,5 +791,6 @@ let () =
   timed "two_connections" two_connections_fairness;
   if audit then timed "audit_sweep" audit_sweep;
   let microbench_ns = timed "microbench" microbench in
+  if profile then print_profile ();
   write_bench_json ~microbench_ns ~total_s:(Unix.gettimeofday () -. t0);
   hr "done"

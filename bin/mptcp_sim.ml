@@ -106,19 +106,37 @@ let lp_opt_cmd =
 
 (* --- run --- *)
 
+let with_out path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
 let run_cmd =
-  let exec cc default scheduler duration sampling seed buffer csv trace audit =
+  let exec cc default scheduler duration sampling seed buffer csv ptrace audit
+      trace_json trace_csv metrics_path profile =
     let topo = Core.Paper_net.topology () in
     let paths = Core.Paper_net.tagged_paths ~default topo in
+    let want_trace = trace_json <> None || trace_csv <> None in
+    let obs =
+      if want_trace || metrics_path <> None then
+        Some
+          {
+            Obs.Collect.default_conf with
+            trace = want_trace;
+            metrics = metrics_path <> None;
+          }
+      else None
+    in
     let spec =
       Core.Scenario.make ~topo ~paths ~cc ~scheduler
         ~duration:(Engine.Time.of_float_s duration)
         ~sampling:(Engine.Time.of_float_s sampling)
         ~seed ?send_buffer:buffer
-        ?trace_limit:(Option.map (fun _ -> 50_000) trace)
-        ~audit ()
+        ?trace_limit:(Option.map (fun _ -> 50_000) ptrace)
+        ~audit ?obs ()
     in
+    let wall0 = Unix.gettimeofday () in
     let result = Core.Scenario.run spec in
+    let wall_s = Unix.gettimeofday () -. wall0 in
     let named =
       List.map
         (fun (tag, s) -> (Printf.sprintf "path%d" tag, s))
@@ -146,11 +164,40 @@ let run_cmd =
       Measure.Render.write_file ~path (Measure.Render.series_csv named);
       Format.printf "wrote %s@." path
     | None -> ());
-    (match (trace, result.Core.Scenario.trace_text) with
+    (match (ptrace, result.Core.Scenario.trace_text) with
     | Some path, Some text ->
       Measure.Render.write_file ~path text;
       Format.printf "wrote packet trace to %s@." path
     | _ -> ());
+    (match result.Core.Scenario.obs with
+    | Some o ->
+      (match (trace_json, Obs.Collect.trace o) with
+      | Some path, Some tr ->
+        with_out path (Obs.Trace.write_chrome tr);
+        Format.printf
+          "wrote Chrome trace to %s (%d events kept, %d overwritten)@." path
+          (List.length (Obs.Trace.events tr))
+          (Obs.Trace.dropped tr)
+      | _ -> ());
+      (match (trace_csv, Obs.Collect.trace o) with
+      | Some path, Some tr ->
+        with_out path (Obs.Trace.write_csv tr);
+        Format.printf "wrote trace CSV to %s@." path
+      | _ -> ());
+      (match (metrics_path, Obs.Collect.metrics o) with
+      | Some path, Some m ->
+        with_out path (Obs.Metrics.write_csv m);
+        Format.printf "wrote metrics CSV to %s (%d snapshots)@." path
+          (List.length (Obs.Metrics.snapshots m))
+      | _ -> ())
+    | None -> ());
+    if profile then
+      Format.printf
+        "profile: wall %.3f s, %d events dispatched, %.0f events/s@." wall_s
+        result.Core.Scenario.events_processed
+        (if wall_s > 0.0 then
+           float_of_int result.Core.Scenario.events_processed /. wall_s
+         else 0.0);
     match result.Core.Scenario.audit with
     | None -> ()
     | Some rep ->
@@ -185,12 +232,45 @@ let run_cmd =
       & info [ "send-buffer" ] ~docv:"BYTES"
           ~doc:"Connection-level send buffer cap (default unlimited).")
   in
-  let trace_t =
+  let ptrace_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "packet-trace" ] ~docv:"PATH"
+          ~doc:"Write a tcpdump-style packet trace of the connection.")
+  in
+  let trace_json_t =
     Arg.(
       value
       & opt (some string) None
       & info [ "trace" ] ~docv:"PATH"
-          ~doc:"Write a tcpdump-style packet trace of the connection.")
+          ~doc:
+            "Write a structured Chrome trace-event JSON file (loadable in \
+             about://tracing or ui.perfetto.dev): event-loop dispatches, \
+             link enqueue/drop/deliver, TCP cwnd and state changes, MPTCP \
+             scheduler decisions.")
+  in
+  let trace_csv_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-csv" ] ~docv:"PATH"
+          ~doc:"Write the same structured trace as CSV.")
+  in
+  let metrics_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"PATH"
+          ~doc:
+            "Write the metrics registry (counters, gauges, histograms \
+             sampled every --sampling period) as CSV.")
+  in
+  let profile_t =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:"Print wall time and event-loop throughput after the run.")
   in
   let audit_t =
     Arg.(
@@ -205,7 +285,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one MPTCP scenario on the paper's network")
     Term.(
       const exec $ cc_t $ default_t $ sched_t $ duration_t $ sampling_t
-      $ seed_t $ buffer_t $ csv_t $ trace_t $ audit_t)
+      $ seed_t $ buffer_t $ csv_t $ ptrace_t $ audit_t $ trace_json_t
+      $ trace_csv_t $ metrics_t $ profile_t)
 
 (* --- figures --- *)
 

@@ -23,7 +23,9 @@ let () =
       let paths = Core.Paper_net.tagged_paths ~default:2 topo in
       let spec =
         Core.Scenario.make ~topo ~paths ~cc ~duration:(Engine.Time.s 8)
-          ~sampling:(Engine.Time.ms 100) ()
+          ~sampling:(Engine.Time.ms 100)
+          ~obs:{ Obs.Collect.default_conf with trace = false }
+          ()
       in
       let r = Core.Scenario.run spec in
       let named =
@@ -49,5 +51,25 @@ let () =
            (List.map
               (fun (tag, v) -> Printf.sprintf "x%d=%.1f" tag v)
               (Core.Scenario.per_path_tail_mbps r)));
+      (* One line of sender-side counters from the metrics registry —
+         the retransmit count is the loss-epoch story behind each
+         chart (doc/OBSERVABILITY.md). *)
+      (match r.Core.Scenario.obs with
+      | None -> ()
+      | Some o ->
+        let m = Option.get (Obs.Collect.metrics o) in
+        (match List.rev (Obs.Metrics.snapshots m) with
+        | [] -> ()
+        | last :: _ ->
+          let v name =
+            match List.assoc_opt name last.Obs.Metrics.values with
+            | Some x -> int_of_float x
+            | None -> 0
+          in
+          Format.printf
+            "metrics: %d segments sent, %d retransmits, %d drops, %d grants/%d defers@."
+            (v "tcp.segments_sent") (v "tcp.retransmits")
+            (v "netsim.pkts_dropped") (v "mptcp.sched_grants")
+            (v "mptcp.sched_defers")));
       hr ())
     Mptcp.Algorithm.[ Cubic; Lia; Olia ]

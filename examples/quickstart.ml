@@ -36,10 +36,13 @@ let () =
       ]
   in
 
-  (* 3. Build a scenario and run it. *)
+  (* 3. Build a scenario — with the metrics registry attached — and
+     run it. *)
   let spec =
     Core.Scenario.make ~topo ~paths ~cc:Mptcp.Algorithm.Lia
-      ~duration:(Engine.Time.s 10) ~sampling:(Engine.Time.ms 100) ()
+      ~duration:(Engine.Time.s 10) ~sampling:(Engine.Time.ms 100)
+      ~obs:{ Obs.Collect.default_conf with trace = false }
+      ()
   in
   let result = Core.Scenario.run spec in
 
@@ -51,4 +54,25 @@ let () =
   List.iter
     (fun (tag, v) -> Format.printf "  subflow on tag %d: %.1f Mbps@." tag v)
     (Core.Scenario.per_path_tail_mbps result);
-  Format.printf "%a@." Core.Scenario.pp_summary result
+  Format.printf "%a@." Core.Scenario.pp_summary result;
+
+  (* 5. The end-of-run metrics snapshot (see doc/OBSERVABILITY.md). *)
+  match result.Core.Scenario.obs with
+  | None -> ()
+  | Some o ->
+    let m = Option.get (Obs.Collect.metrics o) in
+    (match List.rev (Obs.Metrics.snapshots m) with
+    | [] -> ()
+    | last :: _ ->
+      Format.printf "final metrics (t = %.1f s):@."
+        (float_of_int last.Obs.Metrics.sim_ns /. 1e9);
+      List.iter
+        (fun (name, v) -> Format.printf "  %-28s %.0f@." name v)
+        (List.filter
+           (fun (name, _) ->
+             List.mem name
+               [
+                 "tcp.segments_sent"; "tcp.retransmits";
+                 "netsim.pkts_dropped"; "mptcp.delivered_bytes";
+               ])
+           last.Obs.Metrics.values))

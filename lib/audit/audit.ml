@@ -49,6 +49,7 @@ type t = {
   mutable nets : Netsim.Net.t list;
   mutable conns : conn_watch list;
   mutable finished : bool;
+  mutable monitor : (violation -> unit) option;
 }
 
 let create ?(max_violations = 50) ~sched () =
@@ -72,14 +73,17 @@ let create ?(max_violations = 50) ~sched () =
     nets = [];
     conns = [];
     finished = false;
+    monitor = None;
   }
 
 let violate t ~invariant detail =
   t.n_violations <- t.n_violations + 1;
+  let v = { at = Engine.Sched.now t.sched; invariant; detail } in
   if t.n_violations <= t.max_violations then
-    t.violations_rev <-
-      { at = Engine.Sched.now t.sched; invariant; detail }
-      :: t.violations_rev
+    t.violations_rev <- v :: t.violations_rev;
+  match t.monitor with None -> () | Some f -> f v
+
+let set_monitor t m = t.monitor <- m
 
 (* One invariant evaluation; [detail] is only built on failure. *)
 let check t ~invariant cond detail =
@@ -216,7 +220,11 @@ let attach_sender t ~label s =
                Printf.sprintf
                  "%s: snd_una advanced to %d (previous %d, snd_nxt %d)" label
                  una !last_una (Tcp.Sender.snd_nxt s));
-           last_una := max !last_una una))
+           last_una := max !last_una una
+         | Tcp.Sender.Cwnd_changed _ | Tcp.Sender.State_changed _ ->
+           (* observability events; window sanity is re-checked above on
+              every event anyway *)
+           ()))
 
 let attach_receiver t ~label r =
   let expected = ref (Tcp.Receiver.rcv_nxt r) in

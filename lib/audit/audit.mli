@@ -99,6 +99,12 @@ val finish : t -> ?elapsed:Engine.Time.t -> unit -> unit
     cross-checked against each queue's own counters.  [elapsed] defaults
     to the scheduler's current time.  Idempotent. *)
 
+val set_monitor : t -> (violation -> unit) option -> unit
+(** Installs (or clears) a violation tap: fires once per violation, at
+    detection time, even after the stored-violation cap is reached.
+    [None] (the default) is free.  The observability layer uses it to
+    put audit violations on the trace timeline. *)
+
 val ok : t -> bool
 val violations : t -> violation list
 val total_violations : t -> int

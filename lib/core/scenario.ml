@@ -15,6 +15,7 @@ type spec = {
   total_bytes : int option;
   trace_limit : int option;
   audit : bool;
+  obs : Obs.Collect.conf option;
 }
 
 (* The paper's Mininet links have shallow buffers relative to the
@@ -31,12 +32,12 @@ let make ~topo ~paths ~cc ?(scheduler = Mptcp.Scheduler.Min_rtt)
     ?(sender_config = Tcp.Sender.default_config)
     ?(join_delay = Engine.Time.ms 10) ?(start_jitter = Engine.Time.ms 2)
     ?(delayed_ack = false) ?send_buffer ?total_bytes ?trace_limit
-    ?(audit = false) () =
+    ?(audit = false) ?obs () =
   if paths = [] then invalid_arg "Scenario.make: no paths";
   {
     topo; paths; cc; scheduler; duration; sampling; seed; net_config;
     sender_config; join_delay; start_jitter; delayed_ack; send_buffer;
-    total_bytes; trace_limit; audit;
+    total_bytes; trace_limit; audit; obs;
   }
 
 type subflow_report = {
@@ -64,6 +65,7 @@ type result = {
   events_processed : int;
   trace_text : string option;
   audit : Audit.report option;
+  obs : Obs.Collect.t option;
 }
 
 let endpoints_of_paths paths =
@@ -130,6 +132,33 @@ let run spec =
       in
       arm spec.sampling)
     auditor;
+  (* Observability attaches after the auditor so its taps chain onto
+     (rather than clobber) the audit hooks; the audit attach functions
+     overwrite monitors, the collector reads and extends them. *)
+  let obs =
+    Option.map (fun conf -> Obs.Collect.create ~sched conf) spec.obs
+  in
+  Option.iter
+    (fun o ->
+      Obs.Collect.attach_sched o sched;
+      Obs.Collect.attach_net o net;
+      Obs.Collect.attach_connection o conn;
+      Option.iter
+        (fun a ->
+          Audit.set_monitor a
+            (Some
+               (fun v -> Obs.Collect.violation o ~invariant:v.Audit.invariant)))
+        auditor;
+      (* Metrics snapshots share the run's sampling cadence. *)
+      let rec arm at =
+        if Engine.Time.( <= ) at spec.duration then
+          ignore
+            (Engine.Sched.at sched at (fun () ->
+                 Obs.Collect.snapshot o;
+                 arm (Engine.Time.add at spec.sampling)))
+      in
+      arm spec.sampling)
+    obs;
   let probes =
     List.init (Mptcp.Connection.subflow_count conn) (fun i ->
         let sender = Mptcp.Connection.subflow_sender conn i in
@@ -137,7 +166,20 @@ let run spec =
           Measure.Probe.attach ~sched ~period:spec.sampling
             ~until:spec.duration (fun () -> Tcp.Sender.cwnd sender) ))
   in
+  let wall0 = Unix.gettimeofday () in
   Engine.Sched.run ~until:spec.duration sched;
+  let wall_s = Unix.gettimeofday () -. wall0 in
+  Option.iter
+    (fun o ->
+      (* Wall-derived metrics carry "wall" in their name so determinism
+         comparisons can filter them out. *)
+      Obs.Collect.set_value o "core.wall_time_s" wall_s;
+      Obs.Collect.set_value o "core.wall_events_per_s"
+        (if wall_s > 0.0 then
+           float_of_int (Engine.Sched.events_processed sched) /. wall_s
+         else 0.0);
+      Obs.Collect.snapshot o)
+    obs;
   let per_tag, total =
     Measure.Sampler.per_tag capture ~window:spec.sampling ~until:spec.duration
   in
@@ -198,6 +240,7 @@ let run spec =
     events_processed = Engine.Sched.events_processed sched;
     trace_text = Option.map (fun tr -> Measure.Trace.to_text net tr) trace;
     audit = audit_report;
+    obs;
   }
 
 let optimal_total_mbps result = result.optimum.Netgraph.Constraints.total_bps /. 1e6

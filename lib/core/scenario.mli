@@ -29,6 +29,12 @@ type spec = {
       (** run the {!Audit} invariant checker alongside the simulation
           and attach its report to the result (default [false]; the
           [--audit] CLI flag and all audit tests set it) *)
+  obs : Obs.Collect.conf option;
+      (** attach the observability collector (trace ring and/or metrics
+          registry, per the conf) and return it in [result.obs]; the
+          [--trace]/[--metrics] CLI flags set it.  [None] (default)
+          leaves every monitor hook untouched, so the run is
+          bit-identical to a pre-observability build *)
 }
 
 val default_net_config : Netsim.Net.config
@@ -44,7 +50,7 @@ val make :
   -> ?net_config:Netsim.Net.config -> ?sender_config:Tcp.Sender.config
   -> ?join_delay:Engine.Time.t -> ?start_jitter:Engine.Time.t
   -> ?delayed_ack:bool -> ?send_buffer:int -> ?total_bytes:int
-  -> ?trace_limit:int -> ?audit:bool -> unit -> spec
+  -> ?trace_limit:int -> ?audit:bool -> ?obs:Obs.Collect.conf -> unit -> spec
 (** Defaults: min-RTT scheduler, 4 s at 100 ms sampling (the paper's
     Fig. 2a/2b setup), seed 1, {!default_net_config}, default sender
     config, 10 ms join delay with up to 2 ms of seeded start jitter,
@@ -80,6 +86,10 @@ type result = {
   audit : Audit.report option;
       (** invariant-audit report, when [spec.audit] was set; a clean run
           has [total_violations = 0] *)
+  obs : Obs.Collect.t option;
+      (** the observability collector, when [spec.obs] was set — its
+          trace ring and metrics snapshots (including the end-of-run
+          [core.wall_time_s]) are ready for export *)
 }
 
 val run : spec -> result

@@ -4,9 +4,18 @@
    state; workers block on [nonempty] and callers on a per-call
    condition.  Jobs are plain thunks, so the pool itself is monomorphic
    and every [run_list]/[map] call closes over its own (polymorphic)
-   result array. *)
+   result array.
+
+   Every pool also keeps per-worker accounting (jobs executed, wall
+   seconds spent inside thunks) and feeds a module-level aggregate, so
+   `bench --profile` can print busy/idle and speedup tables without the
+   jobs themselves cooperating.  The accounting costs two
+   [Unix.gettimeofday] calls and one short mutex section per job —
+   noise against jobs that are whole simulations. *)
 
 type job = Run of (unit -> unit) | Quit
+
+type worker_stats = { jobs : int; busy_s : float }
 
 type t = {
   mutex : Mutex.t;
@@ -14,11 +23,57 @@ type t = {
   jobs : job Queue.t;
   mutable workers : unit Domain.t array;
   mutable live : bool;
+  created_at : float;
+  mutable w_jobs : int array;    (* per worker index, under [mutex] *)
+  mutable w_busy : float array;
 }
 
 let default_domains () = max 1 (Domain.recommended_domain_count ())
 
-let rec worker pool =
+(* --- process-wide accounting (for the bench's --profile) --- *)
+
+let acct_mutex = Mutex.create ()
+let acct_jobs : int array ref = ref [||]
+let acct_busy : float array ref = ref [||]
+let acct_pools = ref 0
+
+let acct_grow n =
+  if Array.length !acct_jobs < n then begin
+    let jobs = Array.make n 0 and busy = Array.make n 0.0 in
+    Array.blit !acct_jobs 0 jobs 0 (Array.length !acct_jobs);
+    Array.blit !acct_busy 0 busy 0 (Array.length !acct_busy);
+    acct_jobs := jobs;
+    acct_busy := busy
+  end
+
+let acct_job ~worker ~busy =
+  Mutex.lock acct_mutex;
+  acct_grow (worker + 1);
+  !acct_jobs.(worker) <- !acct_jobs.(worker) + 1;
+  !acct_busy.(worker) <- !acct_busy.(worker) +. busy;
+  Mutex.unlock acct_mutex
+
+let global_worker_stats () =
+  Mutex.lock acct_mutex;
+  let stats =
+    Array.init (Array.length !acct_jobs) (fun i ->
+        { jobs = !acct_jobs.(i); busy_s = !acct_busy.(i) })
+  in
+  Mutex.unlock acct_mutex;
+  stats
+
+let global_pools () = !acct_pools
+
+let reset_global_stats () =
+  Mutex.lock acct_mutex;
+  acct_jobs := [||];
+  acct_busy := [||];
+  acct_pools := 0;
+  Mutex.unlock acct_mutex
+
+(* --- workers --- *)
+
+let rec worker pool index =
   Mutex.lock pool.mutex;
   while Queue.is_empty pool.jobs do
     Condition.wait pool.nonempty pool.mutex
@@ -28,8 +83,15 @@ let rec worker pool =
   match job with
   | Quit -> ()
   | Run f ->
+    let t0 = Unix.gettimeofday () in
     f ();
-    worker pool
+    let busy = Unix.gettimeofday () -. t0 in
+    Mutex.lock pool.mutex;
+    pool.w_jobs.(index) <- pool.w_jobs.(index) + 1;
+    pool.w_busy.(index) <- pool.w_busy.(index) +. busy;
+    Mutex.unlock pool.mutex;
+    acct_job ~worker:index ~busy;
+    worker pool index
 
 let create ?(domains = default_domains ()) () =
   if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
@@ -40,12 +102,30 @@ let create ?(domains = default_domains ()) () =
       jobs = Queue.create ();
       workers = [||];
       live = true;
+      created_at = Unix.gettimeofday ();
+      w_jobs = Array.make domains 0;
+      w_busy = Array.make domains 0.0;
     }
   in
-  pool.workers <- Array.init domains (fun _ -> Domain.spawn (fun () -> worker pool));
+  pool.workers <-
+    Array.init domains (fun i -> Domain.spawn (fun () -> worker pool i));
+  Mutex.lock acct_mutex;
+  incr acct_pools;
+  Mutex.unlock acct_mutex;
   pool
 
 let size pool = Array.length pool.workers
+
+let worker_stats pool =
+  Mutex.lock pool.mutex;
+  let stats =
+    Array.init (Array.length pool.w_jobs) (fun i ->
+        { jobs = pool.w_jobs.(i); busy_s = pool.w_busy.(i) })
+  in
+  Mutex.unlock pool.mutex;
+  stats
+
+let wall_s pool = Unix.gettimeofday () -. pool.created_at
 
 let shutdown pool =
   if pool.live then begin

@@ -45,3 +45,36 @@ val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 
 val shutdown : t -> unit
 (** Joins all workers.  Idempotent.  The pool is unusable afterwards. *)
+
+(** {1 Profiling}
+
+    Each worker records how many jobs it ran and how much wall-clock
+    time it spent inside job thunks.  Idle time for a worker is the
+    pool's wall time minus its busy time; dividing total busy time by
+    wall time gives the effective speedup.  Accounting costs two
+    [Unix.gettimeofday] calls and one short critical section per job —
+    negligible against jobs that are whole simulations. *)
+
+type worker_stats = { jobs : int; busy_s : float }
+(** Jobs executed and wall-clock seconds spent inside job thunks, for
+    one worker domain. *)
+
+val worker_stats : t -> worker_stats array
+(** Per-worker accounting snapshot, indexed by worker; consistent (taken
+    under the pool lock). *)
+
+val wall_s : t -> float
+(** Wall-clock seconds since the pool was created. *)
+
+val global_worker_stats : unit -> worker_stats array
+(** Process-wide accounting aggregated across every pool created since
+    the last {!reset_global_stats}, indexed by worker slot.  Lets
+    [bench --profile] report busy/idle per domain even though each
+    benchmark phase creates and destroys its own pools internally. *)
+
+val global_pools : unit -> int
+(** Number of pools created since the last {!reset_global_stats}. *)
+
+val reset_global_stats : unit -> unit
+(** Clears the process-wide accounting (e.g. between benchmark
+    phases). *)

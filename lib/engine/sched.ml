@@ -5,6 +5,7 @@ type t = {
   mutable fired : int;
   mutable cancelled : int;
   mutable dead_in_heap : int;
+  mutable monitor : (Time.t -> unit) option;
 }
 
 and timer = { mutable alive : bool; action : unit -> unit; owner : t }
@@ -17,6 +18,7 @@ let create () =
     fired = 0;
     cancelled = 0;
     dead_in_heap = 0;
+    monitor = None;
   }
 
 let now t = t.clock
@@ -60,6 +62,7 @@ let fire t when_ timer =
   if timer.alive then begin
     timer.alive <- false;
     t.fired <- t.fired + 1;
+    (match t.monitor with None -> () | Some f -> f when_);
     timer.action ()
   end
 
@@ -93,3 +96,6 @@ type stats = { pending : int; fired : int; cancelled : int }
 let stats t =
   let fired = events_processed t and cancelled = cancelled_count t in
   { pending = queue_length t; fired; cancelled }
+
+let set_monitor t m = t.monitor <- m
+let monitor t = t.monitor

@@ -53,3 +53,14 @@ type stats = { pending : int; fired : int; cancelled : int }
 val stats : t -> stats
 (** Snapshot of {!queue_length}, {!events_processed} and
     {!cancelled_count} — cheap enough for per-event instrumentation. *)
+
+val set_monitor : t -> (Time.t -> unit) option -> unit
+(** Installs (or clears) an event-dispatch tap: the callback fires once
+    per live event, with the event's timestamp, after the clock has
+    advanced but before the event's own callback runs.  [None] (the
+    default) costs one mutable load per dispatch — the same optional-
+    monitor discipline as [Netsim.Linkq.set_monitor].  The observability
+    layer ([Obs.Collect]) uses it to trace event-loop dispatches. *)
+
+val monitor : t -> (Time.t -> unit) option
+(** The currently installed dispatch tap, for monitor chaining. *)

@@ -30,6 +30,11 @@ type subflow = {
   mutable cursor : int; (* Redundant scheduler: private stream position *)
 }
 
+type monitor_event =
+  | Sched_grant of { subflow : int; dseq : int; len : int }
+  | Sched_defer of { subflow : int; preferred : int option }
+  | Reinjected of { subflow : int; dseq : int; len : int; owner : int }
+
 type t = {
   sched : Engine.Sched.t;
   config : config;
@@ -46,7 +51,10 @@ type t = {
   chunk_owner : (int, int * int) Hashtbl.t; (* dseq -> owner index, len *)
   mutable reinjections : int;
   mutable completed_at : Engine.Time.t option;
+  mutable monitor : (monitor_event -> unit) option;
 }
+
+let emit t ev = match t.monitor with None -> () | Some f -> f ev
 
 let sender_exn sf =
   match sf.sender with Some s -> s | None -> assert false
@@ -92,6 +100,7 @@ let reinject t sf =
   | Some (owner, len) when owner <> sf.index ->
     Hashtbl.replace t.chunk_owner t.data_ack_rx (sf.index, len);
     t.reinjections <- t.reinjections + 1;
+    emit t (Reinjected { subflow = sf.index; dseq = t.data_ack_rx; len; owner });
     Tcp.Sender.penalize (sender_exn t.subflows.(owner));
     Some { Tcp.Sender.dss = Some { Packet.dseq = t.data_ack_rx; dlen = len };
            len }
@@ -112,6 +121,7 @@ let source t sf ~max_len =
     else begin
       let dseq = sf.cursor in
       sf.cursor <- dseq + len;
+      emit t (Sched_grant { subflow = sf.index; dseq; len });
       Some { Tcp.Sender.dss = Some { Packet.dseq; dlen = len }; len }
     end
   | Scheduler.Min_rtt | Scheduler.Round_robin ->
@@ -131,8 +141,10 @@ let source t sf ~max_len =
           gc_chunk_owners t;
           Hashtbl.replace t.chunk_owner dseq (sf.index, len)
         end;
+        emit t (Sched_grant { subflow = sf.index; dseq; len });
         Some { Tcp.Sender.dss = Some { Packet.dseq; dlen = len }; len }
       | Scheduler.Defer preferred ->
+        emit t (Sched_defer { subflow = sf.index; preferred });
         (match preferred with
         | Some j when j <> sf.index && t.subflows.(j).joined ->
           (* Hand the transmission opportunity to the preferred subflow,
@@ -172,6 +184,7 @@ let establish ~net ~src ~dst ~conn ~paths ~cc ?(config = default_config)
       chunk_owner = Hashtbl.create 64;
       reinjections = 0;
       completed_at = None;
+      monitor = None;
     }
   in
   let fresh_id () = Netsim.Net.fresh_packet_id net in
@@ -269,6 +282,8 @@ let completed_at t = t.completed_at
 let reinjections t = t.reinjections
 let cc t = t.algorithm
 let data_ack_rx t = t.data_ack_rx
+let set_monitor t m = t.monitor <- m
+let monitor t = t.monitor
 
 (* Distinct connection-level bytes handed to any subflow so far.  The
    Redundant scheduler maps per-subflow cursors over the same stream, so

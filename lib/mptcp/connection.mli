@@ -92,3 +92,28 @@ val cc : t -> Algorithm.t
 
 val total_throughput_bps : t -> now:Engine.Time.t -> float
 (** Delivered connection-level goodput averaged since [start_at]. *)
+
+(** {1 Monitoring} *)
+
+type monitor_event =
+  | Sched_grant of { subflow : int; dseq : int; len : int }
+      (** the scheduler mapped connection-level bytes
+          [\[dseq, dseq+len)] onto [subflow] (for the Redundant policy,
+          each subflow's private mapping of the shared stream) *)
+  | Sched_defer of { subflow : int; preferred : int option }
+      (** [subflow] asked for data but the scheduler preferred another
+          subflow ([preferred], when known), e.g. min-RTT steering away
+          from a slow path *)
+  | Reinjected of { subflow : int; dseq : int; len : int; owner : int }
+      (** head-of-line-blocking chunk at [dseq] re-sent on [subflow];
+          [owner] is the (penalized) subflow that originally carried
+          it *)
+
+val set_monitor : t -> (monitor_event -> unit) option -> unit
+(** Installs (or clears) a scheduler-decision tap; fires after the
+    connection's own state is updated.  [None] (the default) costs one
+    mutable load per decision. *)
+
+val monitor : t -> (monitor_event -> unit) option
+(** The currently installed tap, so a second subscriber can chain
+    rather than clobber it. *)

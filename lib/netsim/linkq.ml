@@ -141,6 +141,7 @@ let stats t = t.stats
 let rate_bps t = t.rate_bps
 let limit_pkts t = t.limit_pkts
 let set_monitor t m = t.monitor <- m
+let monitor t = t.monitor
 
 let set_up t up =
   t.up <- up;

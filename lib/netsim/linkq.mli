@@ -61,6 +61,10 @@ val set_monitor : t -> (event -> unit) option -> unit
     per packet fate transition; [None] (the default) costs one mutable
     load on the hot path.  Used by [Audit] for conservation ledgers. *)
 
+val monitor : t -> (event -> unit) option
+(** The currently installed tap, so a second subscriber (e.g. the
+    observability layer) can chain rather than clobber it. *)
+
 val utilisation : t -> now:Engine.Time.t -> float
 (** Fraction of wall time the serializer has been busy so far. *)
 

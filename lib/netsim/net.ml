@@ -114,6 +114,7 @@ let inject t ~at p =
   if p.Packet.dst = at then receive t ~node:at p else forward t ~node:at p
 
 let set_monitor t m = t.monitor <- m
+let monitor t = t.monitor
 
 let iter_linkqs t f =
   Array.iteri

@@ -85,6 +85,10 @@ val set_monitor : t -> monitor option -> unit
     on every queue this is enough to account for every packet's fate —
     the hook the audit subsystem builds its conservation ledger on. *)
 
+val monitor : t -> monitor option
+(** The currently installed tap, so a second subscriber (e.g. the
+    observability layer) can chain rather than clobber it. *)
+
 val iter_linkqs : t -> (link:int -> dir:dir -> Linkq.t -> unit) -> unit
 (** Applies [f] to both directions of every link. *)
 

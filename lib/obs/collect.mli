@@ -1,0 +1,62 @@
+(** Wiring layer: subscribes a {!Trace} ring and a {!Metrics} registry
+    to the simulator's monitor hooks.
+
+    Every attach function {e chains} onto the hook's current subscriber
+    (read via the layer's [monitor] getter) instead of replacing it, so
+    the collector composes with the audit subsystem: attach the auditor
+    first, then the collector.  With both [trace] and [metrics] off the
+    collector attaches nothing, and every hook stays [None] — disabled
+    runs execute exactly the pre-observability code path.
+
+    Trace tracks: 0 = event loop, 1 = MPTCP scheduler, 2 = audit,
+    3 = metrics/meta, [10+i] = subflow [i], [100 + 2*link + dir] = one
+    link direction ([dir] 0 forward, 1 reverse). *)
+
+type conf = {
+  trace : bool;
+  metrics : bool;
+  trace_capacity : int;  (** ring size in events *)
+}
+
+val default_conf : conf
+(** Both layers on, 65536-event ring — what [--trace]/[--metrics]
+    request. *)
+
+type t
+
+val create : sched:Engine.Sched.t -> conf -> t
+(** A collector stamping events with [sched]'s clock.  The trace ring
+    and metrics registry are only allocated for the enabled layers. *)
+
+val trace : t -> Trace.t option
+val metrics : t -> Metrics.t option
+
+val enabled : t -> bool
+(** Whether any layer is on. *)
+
+val attach_sched : t -> Engine.Sched.t -> unit
+(** Event-loop dispatch trace (track 0) and the
+    [engine.events_dispatched] counter / [engine.heap_depth] gauge. *)
+
+val attach_net : t -> Netsim.Net.t -> unit
+(** Per-link-direction enqueue/dequeue/drop/lost trace events and the
+    [netsim.*] packet and byte counters; [netsim.no_route] via the
+    network-edge monitor. *)
+
+val attach_connection : t -> Mptcp.Connection.t -> unit
+(** Scheduler-decision trace (track 1), per-subflow TCP trace (tracks
+    [10+i]) and the [tcp.*] / [mptcp.*] counters and gauges, including
+    per-subflow [tcp.cwnd.<i>] and [mptcp.subflow.<i>.goodput_bps]. *)
+
+val violation : t -> invariant:string -> unit
+(** Records an audit violation (track 2, [audit.violations] counter).
+    Kept generic so this library does not depend on [Audit]; the
+    scenario layer bridges [Audit.set_monitor] to it. *)
+
+val snapshot : t -> unit
+(** Samples the metrics registry at the current simulated time and
+    marks the snapshot on the trace (track 3). *)
+
+val set_value : t -> string -> float -> unit
+(** Forwards to {!Metrics.set} when the metrics layer is on — for
+    end-of-run facts such as [core.wall_time_s]. *)

@@ -172,6 +172,7 @@ let handle_data t p =
 let acks_sent t = t.acks_sent
 let rcv_nxt t = t.rcv_nxt
 let set_monitor t m = t.monitor <- m
+let monitor t = t.monitor
 let out_of_order t = Imap.cardinal t.ooo
 let segments_received t = t.segments
 let duplicates t = t.duplicates

@@ -52,3 +52,7 @@ type monitor_event = Delivered of { seq : int; len : int }
 val set_monitor : t -> (monitor_event -> unit) option -> unit
 (** Installs (or clears) a delivery tap for the audit subsystem; fires
     after [rcv_nxt] has been advanced. *)
+
+val monitor : t -> (monitor_event -> unit) option
+(** The currently installed tap, so a second subscriber can chain
+    rather than clobber it. *)

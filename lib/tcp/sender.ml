@@ -38,9 +38,13 @@ type stats = {
 
 type conn_state = Closed | Syn_sent | Established
 
+type cc_state = Open | Recovery | Loss
+
 type monitor_event =
   | Seg_sent of { seq : int; len : int; retx : bool }
   | Ack_advanced of { una : int }
+  | Cwnd_changed of { cwnd : float }
+  | State_changed of { state : cc_state }
 
 type seg = {
   seq : int;
@@ -162,7 +166,12 @@ let create ~sched ~config ~conn ~subflow ~src ~dst ~tag ~fresh_id ~transmit
       Cc.now_s = (fun () -> Engine.Time.to_float_s (Engine.Sched.now sched));
       mss = config.mss;
       get_cwnd = (fun () -> t.cwnd);
-      set_cwnd = (fun w -> t.cwnd <- Float.max 1.0 w);
+      set_cwnd =
+        (fun w ->
+          t.cwnd <- Float.max 1.0 w;
+          match t.monitor with
+          | None -> ()
+          | Some f -> f (Cwnd_changed { cwnd = t.cwnd }));
       get_ssthresh = (fun () -> t.ssthresh);
       set_ssthresh = (fun w -> t.ssthresh <- Float.max Cc.min_cwnd w);
       srtt_s = (fun () -> srtt_s t);
@@ -395,6 +404,9 @@ and on_rto t =
     t.in_recovery <- false;
     t.inflation <- 0.0;
     t.dupacks <- 0;
+    (match t.monitor with
+    | None -> ()
+    | Some f -> f (State_changed { state = Loss }));
     (* Everything unacknowledged and unSACKed is presumed lost; rewind
        and let the (collapsed) window re-send, skipping SACKed segments
        (RFC 6675 section 5.1). *)
@@ -412,6 +424,9 @@ let retransmit_at t seq =
 
 let enter_recovery t =
   t.in_recovery <- true;
+  (match t.monitor with
+  | None -> ()
+  | Some f -> f (State_changed { state = Recovery }));
   t.recover <- t.snd_max;
   t.recovery_epoch <- t.recovery_epoch + 1;
   t.stats.fast_recoveries <- t.stats.fast_recoveries + 1;
@@ -500,7 +515,10 @@ let handle_ack t (tcp : Packet.tcp) =
       if a >= t.recover then begin
         (* Full ACK: recovery complete; deflate the window. *)
         t.in_recovery <- false;
-        t.inflation <- 0.0
+        t.inflation <- 0.0;
+        match t.monitor with
+        | None -> ()
+        | Some f -> f (State_changed { state = Open })
       end
       else if not t.config.sack then
         (* Partial ACK (RFC 6582): retransmit the next hole, stay in
@@ -551,6 +569,7 @@ let tag t = t.tag
 let snd_una t = t.snd_una
 let snd_nxt t = t.snd_nxt
 let set_monitor t m = t.monitor <- m
+let monitor t = t.monitor
 
 let throughput_bps t ~now =
   match t.first_send with

@@ -122,16 +122,29 @@ val snd_una : t -> int
 val snd_nxt : t -> int
 (** Next sequence number to transmit. *)
 
+type cc_state =
+  | Open  (** normal operation (slow start or congestion avoidance) *)
+  | Recovery  (** fast recovery after duplicate ACKs / SACK loss *)
+  | Loss  (** retransmission timeout; window collapsed, go-back-N *)
+
 type monitor_event =
   | Seg_sent of { seq : int; len : int; retx : bool }
       (** a data segment left the sender (fresh or retransmitted) *)
   | Ack_advanced of { una : int }
       (** a cumulative ACK moved [snd_una] forward to [una] *)
+  | Cwnd_changed of { cwnd : float }
+      (** congestion control adjusted the window (new value, in MSS) *)
+  | State_changed of { state : cc_state }
+      (** the sender crossed a loss-state boundary *)
 
 val set_monitor : t -> (monitor_event -> unit) option -> unit
-(** Installs (or clears) an event tap for the audit subsystem; fires
-    after the sender's own state is updated.  [None] (the default) costs
-    one mutable load per event. *)
+(** Installs (or clears) an event tap for the audit and observability
+    subsystems; fires after the sender's own state is updated.  [None]
+    (the default) costs one mutable load per event. *)
+
+val monitor : t -> (monitor_event -> unit) option
+(** The currently installed tap, so a second subscriber can chain
+    rather than clobber it. *)
 
 val sibling_view : t -> Cc.sibling
 (** Snapshot used by coupled congestion control on sibling subflows. *)

@@ -1,8 +1,9 @@
-(* Smoke-checker for `bench/main.exe --quick --jobs 2`: the harness must
-   exit 0 (enforced by the dune rule that produced the capture) and its
-   output must contain every figure header plus each sweep/ablation
-   section and the JSON marker.  The timing numbers themselves vary run
-   to run, so a golden diff is not applicable here. *)
+(* Smoke-checker for `bench/main.exe --quick --jobs 2 --profile`: the
+   harness must exit 0 (enforced by the dune rule that produced the
+   capture) and its output must contain every figure header plus each
+   sweep/ablation section, the domain-utilisation profile, and the JSON
+   marker.  The timing numbers themselves vary run to run, so a golden
+   diff is not applicable here. *)
 
 let required =
   [
@@ -22,6 +23,7 @@ let required =
     "Extension: n pairwise-overlapping paths";
     "Extension: two MPTCP connections";
     "Bechamel micro-benchmarks";
+    "profile: per-phase domain utilisation";
     "[json] wrote";
     "=== done ===";
   ]
@@ -47,7 +49,7 @@ let () =
     let j = read_file json in
     let json_ok =
       contains j "\"microbench_ns\"" && contains j "\"wall_clock_s\""
-      && contains j "\"jobs\": 2"
+      && contains j "\"jobs\": 2" && contains j "\"profile\""
     in
     if not json_ok then Printf.eprintf "malformed %s:\n%s\n" json j;
     if missing <> [] || not json_ok then exit 1;

@@ -1,0 +1,70 @@
+(* Smoke-checker for the observability flags on `mptcp_sim run`: the
+   run must report each export, the Chrome trace must be a well-formed
+   one-object-per-line JSON array, and the CSV exports must carry their
+   documented headers.  Event counts and timings vary with ring capacity
+   and host speed, so this is structural, not a golden diff. *)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let fail = ref false
+
+let check what ok =
+  if not ok then begin
+    Printf.eprintf "check_obs: %s\n" what;
+    fail := true
+  end
+
+let lines_of s =
+  String.split_on_char '\n' s |> List.filter (fun l -> l <> "")
+
+let () =
+  match Sys.argv with
+  | [| _; run_out; trace_json; trace_csv; metrics_csv |] ->
+    let out = read_file run_out in
+    check "run did not report the Chrome trace"
+      (contains out "wrote Chrome trace to");
+    check "run did not report the trace CSV"
+      (contains out "wrote trace CSV to");
+    check "run did not report the metrics CSV"
+      (contains out "wrote metrics CSV to");
+    check "--profile printed no summary line" (contains out "profile: wall");
+    let tj = lines_of (read_file trace_json) in
+    let n = List.length tj in
+    check "trace JSON too short" (n > 10);
+    check "trace JSON does not open an array" (List.nth tj 0 = "[");
+    check "trace JSON does not close the array" (List.nth tj (n - 1) = "]");
+    check "trace JSON misses track metadata" (contains (read_file trace_json) "thread_name");
+    List.iteri
+      (fun i l ->
+        if i > 0 && i < n - 1 then
+          check
+            (Printf.sprintf "trace JSON line %d is not an object: %s" i l)
+            (String.length l > 1
+            && l.[0] = '{'
+            && (l.[String.length l - 1] = '}' || l.[String.length l - 1] = ',')))
+      tj;
+    let tc = read_file trace_csv in
+    check "trace CSV misses its header"
+      (contains tc "kind,sim_ns,wall_ns,track,a,b,label");
+    let mc = read_file metrics_csv in
+    check "metrics CSV misses its header" (contains mc "sim_ns,name,value");
+    check "metrics CSV misses engine counters"
+      (contains mc "engine.events_dispatched");
+    check "metrics CSV misses end-of-run wall metric"
+      (contains mc "core.wall_time_s");
+    if !fail then exit 1;
+    print_endline "obs exports complete"
+  | _ ->
+    prerr_endline
+      "usage: check_obs <run-output> <trace-json> <trace-csv> <metrics-csv>";
+    exit 2

@@ -1,0 +1,320 @@
+(* Observability layer: ring semantics, trace export well-formedness,
+   metrics determinism across domain counts, and the guarantee that
+   attaching the collector does not perturb the simulation itself. *)
+
+let spec ?obs ?(audit = false) ?(seed = 1) () =
+  let topo = Core.Paper_net.topology () in
+  let paths = Core.Paper_net.tagged_paths ~default:2 topo in
+  Core.Scenario.make ~topo ~paths ~cc:Mptcp.Algorithm.Cubic
+    ~duration:(Engine.Time.ms 600) ~sampling:(Engine.Time.ms 100) ~seed
+    ~audit ?obs ()
+
+let obs_conf ?(trace = true) ?(metrics = true) ?(capacity = 65536) () =
+  { Obs.Collect.trace; metrics; trace_capacity = capacity }
+
+(* --- ring --- *)
+
+let test_ring_basic () =
+  let r = Obs.Ring.create ~capacity:4 in
+  Alcotest.(check int) "empty length" 0 (Obs.Ring.length r);
+  List.iter (Obs.Ring.push r) [ 1; 2; 3 ];
+  Alcotest.(check (list int)) "under capacity" [ 1; 2; 3 ] (Obs.Ring.to_list r);
+  Alcotest.(check int) "no overwrites yet" 0 (Obs.Ring.overwritten r);
+  List.iter (Obs.Ring.push r) [ 4; 5; 6 ];
+  Alcotest.(check (list int))
+    "keeps the most recent, oldest first" [ 3; 4; 5; 6 ] (Obs.Ring.to_list r);
+  Alcotest.(check int) "length capped" 4 (Obs.Ring.length r);
+  Alcotest.(check int) "pushed counts everything" 6 (Obs.Ring.pushed r);
+  Alcotest.(check int) "overwritten = pushed - kept" 2 (Obs.Ring.overwritten r);
+  Obs.Ring.clear r;
+  Alcotest.(check int) "clear empties" 0 (Obs.Ring.length r);
+  Obs.Ring.push r 7;
+  Alcotest.(check (list int)) "usable after clear" [ 7 ] (Obs.Ring.to_list r)
+
+let test_ring_wrap_many () =
+  let cap = 7 in
+  let r = Obs.Ring.create ~capacity:cap in
+  for i = 1 to 100 do
+    Obs.Ring.push r i
+  done;
+  Alcotest.(check (list int))
+    "exactly the last [capacity] values"
+    (List.init cap (fun i -> 100 - cap + 1 + i))
+    (Obs.Ring.to_list r);
+  Alcotest.(check int) "overwritten" (100 - cap) (Obs.Ring.overwritten r);
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Ring.create: capacity must be >= 1") (fun () ->
+      ignore (Obs.Ring.create ~capacity:0))
+
+(* --- trace export --- *)
+
+let substr_idx s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some (i + m)
+    else go (i + 1)
+  in
+  go 0
+
+let float_after line key =
+  Option.map
+    (fun i ->
+      let j = ref i in
+      let num = function
+        | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !j < String.length line && num line.[!j] do
+        incr j
+      done;
+      float_of_string (String.sub line i (!j - i)))
+    (substr_idx line key)
+
+let run_with_trace () =
+  let result =
+    Core.Scenario.run (spec ~obs:(obs_conf ()) ())
+  in
+  match result.Core.Scenario.obs with
+  | None -> Alcotest.fail "obs missing from result"
+  | Some o -> (
+    match Obs.Collect.trace o with
+    | None -> Alcotest.fail "trace layer missing"
+    | Some tr -> tr)
+
+let chrome_lines tr =
+  let path = Filename.temp_file "obs_trace" ".json" in
+  let oc = open_out path in
+  Obs.Trace.write_chrome tr oc;
+  close_out oc;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  List.rev !lines
+
+let test_chrome_well_formed () =
+  let tr = run_with_trace () in
+  Alcotest.(check bool) "recorded events" true (Obs.Trace.recorded tr > 0);
+  let lines = chrome_lines tr in
+  let n = List.length lines in
+  Alcotest.(check bool) "has events" true (n > 2);
+  Alcotest.(check string) "array open" "[" (List.nth lines 0);
+  Alcotest.(check string) "array close" "]" (List.nth lines (n - 1));
+  List.iteri
+    (fun i line ->
+      if i > 0 && i < n - 1 then begin
+        let body =
+          if String.length line > 0 && line.[String.length line - 1] = ','
+          then String.sub line 0 (String.length line - 1)
+          else line
+        in
+        let last_i = i = n - 2 in
+        if (not last_i) && body = line then
+          Alcotest.failf "line %d misses its comma: %s" i line;
+        if
+          String.length body < 2
+          || body.[0] <> '{'
+          || body.[String.length body - 1] <> '}'
+        then Alcotest.failf "line %d is not an object: %s" i line
+      end)
+    lines
+
+let test_chrome_monotone_per_track () =
+  let tr = run_with_trace () in
+  let last : (int, float) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun line ->
+      (* skip metadata: only timed events carry "ts" *)
+      match (float_after line "\"tid\":", float_after line "\"ts\":") with
+      | Some tid, Some ts ->
+        let tid = int_of_float tid in
+        (match Hashtbl.find_opt last tid with
+        | Some prev when ts < prev ->
+          Alcotest.failf "track %d goes back in time: %f after %f" tid ts prev
+        | _ -> ());
+        Hashtbl.replace last tid ts
+      | _ -> ())
+    (chrome_lines tr);
+  Alcotest.(check bool) "saw several tracks" true (Hashtbl.length last >= 3)
+
+let test_trace_ring_bounded () =
+  let result =
+    Core.Scenario.run (spec ~obs:(obs_conf ~capacity:256 ()) ())
+  in
+  let tr =
+    match result.Core.Scenario.obs with
+    | Some o -> Option.get (Obs.Collect.trace o)
+    | None -> Alcotest.fail "obs missing"
+  in
+  Alcotest.(check int) "kept at most capacity" 256
+    (List.length (Obs.Trace.events tr));
+  Alcotest.(check bool) "overflow recorded" true (Obs.Trace.dropped tr > 0);
+  (* ring order is emission order, so sim_ns is nondecreasing *)
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+      a.Obs.Trace.sim_ns <= b.Obs.Trace.sim_ns && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "events time-ordered" true
+    (sorted (Obs.Trace.events tr))
+
+(* --- metrics --- *)
+
+let test_metrics_registry () =
+  let m = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter m "tcp.retransmits" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.incr ~by:3 c;
+  Alcotest.(check int) "counter value" 4 (Obs.Metrics.value c);
+  Obs.Metrics.gauge m "engine.heap_depth" (fun () -> 42.0);
+  let h = Obs.Metrics.histogram m "core.rtt_s" in
+  Obs.Metrics.observe h 1.0;
+  Obs.Metrics.observe h 3.0;
+  Obs.Metrics.set m "core.wall_time_s" 0.5;
+  Obs.Metrics.snapshot m ~sim_ns:1000;
+  (match Obs.Metrics.snapshots m with
+  | [ snap ] ->
+    Alcotest.(check int) "snapshot stamped" 1000 snap.Obs.Metrics.sim_ns;
+    let names = List.map fst snap.Obs.Metrics.values in
+    Alcotest.(check (list string))
+      "values sorted by name"
+      [
+        "core.rtt_s.count"; "core.rtt_s.max"; "core.rtt_s.mean";
+        "core.rtt_s.min"; "core.rtt_s.sum"; "core.wall_time_s";
+        "engine.heap_depth"; "tcp.retransmits";
+      ]
+      names;
+    Alcotest.(check (float 1e-9))
+      "histogram mean" 2.0
+      (List.assoc "core.rtt_s.mean" snap.Obs.Metrics.values)
+  | snaps -> Alcotest.failf "expected 1 snapshot, got %d" (List.length snaps));
+  Alcotest.check_raises "kind clash rejected"
+    (Invalid_argument "Metrics: tcp.retransmits is a counter, not a gauge")
+    (fun () -> Obs.Metrics.gauge m "tcp.retransmits" (fun () -> 0.0))
+
+let is_wall (name, _) =
+  substr_idx name "wall" <> None
+
+let metric_rows result =
+  match result.Core.Scenario.obs with
+  | Some o -> (
+    match Obs.Collect.metrics o with
+    | Some m ->
+      List.concat_map
+        (fun s ->
+          List.filter_map
+            (fun ((name, v) as kv) ->
+              if is_wall kv then None
+              else Some (s.Obs.Metrics.sim_ns, name, v))
+            s.Obs.Metrics.values)
+        (Obs.Metrics.snapshots m)
+    | None -> Alcotest.fail "metrics layer missing")
+  | None -> Alcotest.fail "obs missing"
+
+let test_metrics_deterministic_across_jobs () =
+  let specs =
+    List.map
+      (fun seed -> spec ~obs:(obs_conf ~trace:false ()) ~seed ())
+      [ 1; 2; 3; 4 ]
+  in
+  let serial = Core.Runner.scenarios ~jobs:1 specs in
+  let parallel = Core.Runner.scenarios ~jobs:4 specs in
+  List.iter2
+    (fun a b ->
+      let ra = metric_rows a and rb = metric_rows b in
+      Alcotest.(check int)
+        "same number of metric rows" (List.length ra) (List.length rb);
+      List.iter2
+        (fun (ta, na, va) (tb, nb, vb) ->
+          Alcotest.(check int) "same snapshot time" ta tb;
+          Alcotest.(check string) "same metric name" na nb;
+          if va <> vb then
+            Alcotest.failf "%s differs at %d ns: %.17g vs %.17g" na ta va vb)
+        ra rb)
+    serial parallel
+
+(* --- non-perturbation --- *)
+
+let check_series_equal msg (a : Measure.Series.t) (b : Measure.Series.t) =
+  Alcotest.(check (float 0.0)) (msg ^ ": t0") a.Measure.Series.t0 b.Measure.Series.t0;
+  Alcotest.(check (float 0.0)) (msg ^ ": dt") a.Measure.Series.dt b.Measure.Series.dt;
+  Alcotest.(check (array (float 0.0)))
+    (msg ^ ": values") a.Measure.Series.values b.Measure.Series.values
+
+let test_obs_does_not_perturb () =
+  let baseline = Core.Scenario.run (spec ()) in
+  let observed = Core.Scenario.run (spec ~obs:(obs_conf ()) ()) in
+  Alcotest.(check int)
+    "delivered bytes identical" baseline.Core.Scenario.delivered_bytes
+    observed.Core.Scenario.delivered_bytes;
+  Alcotest.(check int)
+    "queue drops identical" baseline.Core.Scenario.queue_drops
+    observed.Core.Scenario.queue_drops;
+  List.iter2
+    (fun (tag_a, sa) (tag_b, sb) ->
+      Alcotest.(check int) "same tag" tag_a tag_b;
+      check_series_equal "per-path series" sa sb)
+    baseline.Core.Scenario.per_tag observed.Core.Scenario.per_tag;
+  check_series_equal "total series" baseline.Core.Scenario.total
+    observed.Core.Scenario.total;
+  List.iter2
+    (fun (a : Core.Scenario.subflow_report) (b : Core.Scenario.subflow_report) ->
+      Alcotest.(check int)
+        "segments_sent identical" a.Core.Scenario.segments_sent
+        b.Core.Scenario.segments_sent;
+      Alcotest.(check int)
+        "retransmits identical" a.Core.Scenario.retransmits
+        b.Core.Scenario.retransmits)
+    baseline.Core.Scenario.subflows observed.Core.Scenario.subflows
+
+let test_obs_chains_with_audit () =
+  let result = Core.Scenario.run (spec ~obs:(obs_conf ()) ~audit:true ()) in
+  (match result.Core.Scenario.audit with
+  | None -> Alcotest.fail "audit report missing"
+  | Some rep ->
+    Alcotest.(check int) "clean audited run" 0 rep.Audit.total_violations;
+    Alcotest.(check bool) "audit still ran checks" true (rep.Audit.checks > 0));
+  match result.Core.Scenario.obs with
+  | None -> Alcotest.fail "obs missing"
+  | Some o ->
+    let tr = Option.get (Obs.Collect.trace o) in
+    Alcotest.(check bool) "trace captured alongside audit" true
+      (Obs.Trace.recorded tr > 0)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "push/overwrite" `Quick test_ring_basic;
+          Alcotest.test_case "wrap far past capacity" `Quick
+            test_ring_wrap_many;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "chrome json well-formed" `Quick
+            test_chrome_well_formed;
+          Alcotest.test_case "monotone per track" `Quick
+            test_chrome_monotone_per_track;
+          Alcotest.test_case "ring bounded" `Quick test_trace_ring_bounded;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "registry" `Quick test_metrics_registry;
+          Alcotest.test_case "deterministic across jobs" `Quick
+            test_metrics_deterministic_across_jobs;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "no perturbation" `Quick
+            test_obs_does_not_perturb;
+          Alcotest.test_case "chains with audit" `Quick
+            test_obs_chains_with_audit;
+        ] );
+    ]

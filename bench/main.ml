@@ -46,6 +46,25 @@ let flag_value names =
    terminal output, for external plotting. *)
 let csv_dir = flag_value [ "--csv-dir" ]
 
+(* `--gate` turns the run into a perf-regression check: after writing
+   the JSON summary, the paper-sim microbench and the
+   allocations-per-packet figure are compared against the committed
+   baseline (`--baseline PATH`, default BENCH_results.json) and the
+   process exits non-zero on a >10% regression in either. *)
+let gate = Array.exists (fun a -> a = "--gate") Sys.argv
+
+(* `--alloc-only` runs just the GC-bracketed allocation profile and
+   exits: the tight loop for iterating on hot-path allocation work
+   without paying for the full figure/sweep suite. *)
+let alloc_only = Array.exists (fun a -> a = "--alloc-only") Sys.argv
+
+let baseline_path =
+  match flag_value [ "--baseline" ] with
+  | Some p -> p
+  | None -> "BENCH_results.json"
+
+let gate_tolerance = 1.10
+
 let jobs =
   match flag_value [ "--jobs"; "-j" ] with
   | None -> Core.Runner.default_jobs ()
@@ -540,7 +559,7 @@ let bench_heap_compact =
      for i = 0 to 999 do
        Engine.Heap.push h ~key:(i * 7919 mod 1000) ~tie:i i
      done;
-     Engine.Heap.compact h ~keep:(fun v -> v land 7 = 0);
+     Engine.Heap.compact h ~keep:(fun ~tie:_ v -> v land 7 = 0);
      while not (Engine.Heap.is_empty h) do
        ignore (Engine.Heap.pop h)
      done)
@@ -720,10 +739,161 @@ let audit_sweep () =
       (List.length grid)
 
 (* ------------------------------------------------------------------ *)
-(* 6. Machine-readable results                                         *)
+(* 6. Allocation profile and regression gate                           *)
 (* ------------------------------------------------------------------ *)
 
-let write_bench_json ~microbench_ns ~total_s =
+type alloc_profile = {
+  a_packets : int;
+  a_allocated_words : float;
+  a_words_per_packet : float;
+  a_minor_collections : int;
+  a_major_collections : int;
+  a_promoted_words : float;
+  a_pool_acquired : int;
+  a_pool_recycled : int;
+  a_wall_s : float;
+}
+
+(* One paper-figure simulation bracketed by GC counters: the
+   steady-state allocation cost per simulated packet, the number the
+   freelist/ring work exists to keep flat.  A warm-up run populates the
+   freelist and code caches first. *)
+let alloc_profile () =
+  hr "allocation profile: paper sim (CUBIC), GC-counter bracketed";
+  let make_spec () =
+    let topo = Core.Paper_net.topology () in
+    let paths = Core.Paper_net.tagged_paths ~default:2 topo in
+    Core.Scenario.make ~topo ~paths ~cc:Mptcp.Algorithm.Cubic
+      ~duration:(Engine.Time.s (if quick then 1 else 4))
+      ~sampling:(Engine.Time.ms 100) ()
+  in
+  ignore (Core.Scenario.run (make_spec ()));
+  Gc.full_major ();
+  let t0 = Unix.gettimeofday () in
+  let c0 = Engine.Gctune.counters () in
+  let r = Core.Scenario.run (make_spec ()) in
+  let c1 = Engine.Gctune.counters () in
+  let wall = Unix.gettimeofday () -. t0 in
+  let d = Engine.Gctune.diff c0 c1 in
+  let words = Engine.Gctune.allocated_words d in
+  let packets = r.Core.Scenario.packets_created in
+  let pool = r.Core.Scenario.pool_stats in
+  let profile =
+    {
+      a_packets = packets;
+      a_allocated_words = words;
+      a_words_per_packet =
+        (if packets > 0 then words /. float_of_int packets else 0.0);
+      a_minor_collections = d.Engine.Gctune.minor_collections;
+      a_major_collections = d.Engine.Gctune.major_collections;
+      a_promoted_words = d.Engine.Gctune.promoted_words;
+      a_pool_acquired = pool.Packet.Pool.acquired;
+      a_pool_recycled = pool.Packet.Pool.recycled;
+      a_wall_s = wall;
+    }
+  in
+  Printf.printf "  packets simulated     %12d\n" profile.a_packets;
+  Printf.printf "  events processed      %12d (%.1f words/event)\n"
+    r.Core.Scenario.events_processed
+    (if r.Core.Scenario.events_processed > 0 then
+       words /. float_of_int r.Core.Scenario.events_processed
+     else 0.0);
+  Printf.printf "  allocated words       %12.0f\n" profile.a_allocated_words;
+  Printf.printf "  words per packet      %12.1f\n" profile.a_words_per_packet;
+  Printf.printf "  minor collections     %12d\n" profile.a_minor_collections;
+  Printf.printf "  major collections     %12d\n" profile.a_major_collections;
+  Printf.printf "  promoted words        %12.0f\n" profile.a_promoted_words;
+  Printf.printf "  pool acquired         %12d\n" profile.a_pool_acquired;
+  Printf.printf "  pool recycled         %12d (%.1f%% of acquires)\n"
+    profile.a_pool_recycled
+    (if profile.a_pool_acquired > 0 then
+       100.0 *. float_of_int profile.a_pool_recycled
+       /. float_of_int profile.a_pool_acquired
+     else 0.0);
+  Printf.printf "  wall %.3f s\n" profile.a_wall_s;
+  profile
+
+(* Minimal JSON number extraction for the gate: finds ["key": <num>] in
+   the baseline file.  Good enough for the flat structure
+   write_bench_json emits; no dependency needed. *)
+let json_number content key =
+  let needle = "\"" ^ key ^ "\"" in
+  let nl = String.length needle and hl = String.length content in
+  let rec find i =
+    if i + nl > hl then None
+    else if String.sub content i nl = needle then Some (i + nl)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some j ->
+    let j = ref j in
+    while
+      !j < hl && (content.[!j] = ':' || content.[!j] = ' ')
+    do incr j done;
+    let start = !j in
+    while
+      !j < hl
+      && (match content.[!j] with
+         | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+         | _ -> false)
+    do incr j done;
+    if !j = start then None
+    else float_of_string_opt (String.sub content start (!j - start))
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let gate_check ~microbench_ns ~alloc =
+  hr "perf gate";
+  if not (Sys.file_exists baseline_path) then begin
+    Printf.eprintf "[gate] baseline %s not found\n" baseline_path;
+    exit 1
+  end;
+  let base = read_file baseline_path in
+  let failures = ref [] in
+  let check name current baseline =
+    match baseline with
+    | None ->
+      Printf.printf "  %-34s current %12.1f (no baseline, skipped)\n" name
+        current
+    | Some b when b <= 0.0 ->
+      Printf.printf "  %-34s current %12.1f (zero baseline, skipped)\n" name
+        current
+    | Some b ->
+      let ratio = current /. b in
+      Printf.printf "  %-34s current %12.1f baseline %12.1f ratio %.3f%s\n"
+        name current b ratio
+        (if ratio > gate_tolerance then "  REGRESSION" else "");
+      if ratio > gate_tolerance then failures := name :: !failures
+  in
+  let sim_key = "paper sim 200ms (CUBIC)" in
+  (match List.assoc_opt sim_key microbench_ns with
+  | Some ns -> check (sim_key ^ " ns/run") ns (json_number base sim_key)
+  | None -> Printf.printf "  %s missing from this run, skipped\n" sim_key);
+  check "alloc words_per_packet" alloc.a_words_per_packet
+    (json_number base "words_per_packet");
+  if !failures = [] then
+    Printf.printf "  gate passed (tolerance %.0f%%, baseline %s)\n"
+      ((gate_tolerance -. 1.0) *. 100.0)
+      baseline_path
+  else begin
+    Printf.printf "  GATE FAILED: %s regressed >%.0f%% vs %s\n"
+      (String.concat ", " (List.rev !failures))
+      ((gate_tolerance -. 1.0) *. 100.0)
+      baseline_path;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* 7. Machine-readable results                                         *)
+(* ------------------------------------------------------------------ *)
+
+let write_bench_json ~microbench_ns ~alloc ~total_s =
   let buf = Buffer.create 1024 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
@@ -737,6 +907,17 @@ let write_bench_json ~microbench_ns ~total_s =
     (fun (name, dt) -> add "    \"%s\": %.3f,\n" name dt)
     phases;
   add "    \"total\": %.3f\n" total_s;
+  add "  },\n";
+  add "  \"alloc\": {\n";
+  add "    \"packets\": %d,\n" alloc.a_packets;
+  add "    \"allocated_words\": %.0f,\n" alloc.a_allocated_words;
+  add "    \"words_per_packet\": %.2f,\n" alloc.a_words_per_packet;
+  add "    \"minor_collections\": %d,\n" alloc.a_minor_collections;
+  add "    \"major_collections\": %d,\n" alloc.a_major_collections;
+  add "    \"promoted_words\": %.0f,\n" alloc.a_promoted_words;
+  add "    \"pool_acquired\": %d,\n" alloc.a_pool_acquired;
+  add "    \"pool_recycled\": %d,\n" alloc.a_pool_recycled;
+  add "    \"wall_s\": %.3f\n" alloc.a_wall_s;
   add "  },\n";
   add "  \"microbench_ns\": {\n";
   let n = List.length microbench_ns in
@@ -774,10 +955,15 @@ let write_bench_json ~microbench_ns ~total_s =
   Printf.printf "[json] wrote %s\n" bench_json
 
 let () =
+  Engine.Gctune.tune ();
   Printf.printf
     "MPTCP overlapping-paths reproduction - benchmark harness%s (jobs=%d)\n"
     (if quick then " (quick mode)" else "")
     jobs;
+  if alloc_only then begin
+    ignore (alloc_profile ());
+    exit 0
+  end;
   let t0 = Unix.gettimeofday () in
   timed "figures" figures;
   timed "table1" table1;
@@ -790,7 +976,9 @@ let () =
   timed "scaling" scaling_experiment;
   timed "two_connections" two_connections_fairness;
   if audit then timed "audit_sweep" audit_sweep;
+  let alloc = timed "alloc_profile" alloc_profile in
   let microbench_ns = timed "microbench" microbench in
   if profile then print_profile ();
-  write_bench_json ~microbench_ns ~total_s:(Unix.gettimeofday () -. t0);
+  write_bench_json ~microbench_ns ~alloc ~total_s:(Unix.gettimeofday () -. t0);
+  if gate then gate_check ~microbench_ns ~alloc;
   hr "done"

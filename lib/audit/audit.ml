@@ -220,7 +220,13 @@ let attach_sender t ~label s =
                Printf.sprintf
                  "%s: snd_una advanced to %d (previous %d, snd_nxt %d)" label
                  una !last_una (Tcp.Sender.snd_nxt s));
-           last_una := max !last_una una
+           last_una := max !last_una una;
+           check t ~invariant:"tcp.pipe"
+             (Tcp.Sender.pipe_consistent s)
+             (fun () ->
+               Printf.sprintf
+                 "%s: incremental pipe diverged from scoreboard recount"
+                 label)
          | Tcp.Sender.Cwnd_changed _ | Tcp.Sender.State_changed _ ->
            (* observability events; window sanity is re-checked above on
               every event anyway *)

@@ -63,6 +63,8 @@ type result = {
   delivered_bytes : int;
   queue_drops : int;
   events_processed : int;
+  packets_created : int;
+  pool_stats : Packet.Pool.stats;
   trace_text : string option;
   audit : Audit.report option;
   obs : Obs.Collect.t option;
@@ -90,6 +92,10 @@ let run spec =
   let auditor =
     if spec.audit then Some (Audit.create ~sched ()) else None
   in
+  (* Audited runs also arm the freelist's poison checks: a double
+     release or a resurrected live packet raises instead of silently
+     corrupting the run. *)
+  if spec.audit then Packet.Pool.set_debug (Netsim.Net.pool net) true;
   Option.iter (fun a -> Audit.attach_net a net) auditor;
   let src_ep = Tcp.Endpoint.create net ~node:src_node in
   let dst_ep = Tcp.Endpoint.create net ~node:dst_node in
@@ -238,6 +244,8 @@ let run spec =
     delivered_bytes = Mptcp.Connection.delivered_bytes conn;
     queue_drops = Netsim.Net.total_drops net;
     events_processed = Engine.Sched.events_processed sched;
+    packets_created = Netsim.Net.packets_created net;
+    pool_stats = Packet.Pool.stats (Netsim.Net.pool net);
     trace_text = Option.map (fun tr -> Measure.Trace.to_text net tr) trace;
     audit = audit_report;
     obs;

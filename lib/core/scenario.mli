@@ -81,6 +81,12 @@ type result = {
   delivered_bytes : int;  (** connection-level in-order goodput *)
   queue_drops : int;
   events_processed : int;
+  packets_created : int;
+      (** wire ids handed out by the network — the denominator for
+          allocations-per-packet accounting *)
+  pool_stats : Packet.Pool.stats;
+      (** freelist counters at end of run; [recycled / acquired] is the
+          hot path's recycle hit rate *)
   trace_text : string option;
       (** tcpdump-style rendering of the packet trace, when requested *)
   audit : Audit.report option;

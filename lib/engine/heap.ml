@@ -1,112 +1,191 @@
-type 'a entry = { key : int; tie : int; value : 'a }
+(* Parallel-array binary heap: keys and ties live in unboxed int arrays,
+   values in a third array, so a sift compares machine ints in cache
+   instead of chasing entry records, and push/pop allocate nothing (the
+   old layout boxed a 4-word entry per push and a [Some (k, t, v)] per
+   pop — measurable minor-GC churn at simulator event rates).
 
-type 'a t = { mutable items : 'a entry array; mutable size : int }
+   The value array is [Obj.t] behind the phantom ['a]: values are
+   [Obj.repr]ed on the way in and [Obj.obj]ed on the way out, both
+   identities for the boxed values stored here.  A flat ['a array] would
+   be unsound for ['a = float] (Array.make with a magicked filler would
+   build a non-float array tagged as a float array), so the indirection
+   is load-bearing, not style. *)
 
-(* Slot 0 is the root.  Slots at or past [size] hold the shared [nil]
-   sentinel, never a user entry: [pop], [clear] and [compact] overwrite
-   freed slots so the heap retains no values beyond their lifetime.  The
-   cast in [nil] is safe because [size] bounds every read — the
-   sentinel's [value] field is never inspected. *)
+type 'a t = {
+  mutable keys : int array;
+  mutable ties : int array;
+  mutable values : Obj.t array;
+  mutable size : int;
+}
 
-let nil : unit -> 'a entry =
-  let shared = { key = min_int; tie = 0; value = Obj.repr () } in
-  fun () -> Obj.magic shared
+(* Slot 0 is the root.  Slots at or past [size] hold [nil], never a user
+   value: [pop], [clear] and [compact] overwrite freed slots so the heap
+   retains no values beyond their lifetime. *)
+let nil = Obj.repr 0
 
 let default_capacity = 256
 
 let create ?(capacity = default_capacity) () =
   let capacity = max capacity 0 in
-  let items = if capacity = 0 then [||] else Array.make capacity (nil ()) in
-  { items; size = 0 }
+  {
+    keys = Array.make capacity 0;
+    ties = Array.make capacity 0;
+    values = Array.make capacity nil;
+    size = 0;
+  }
 
 let length h = h.size
-let capacity h = Array.length h.items
+let capacity h = Array.length h.keys
 let is_empty h = h.size = 0
-let less a b = a.key < b.key || (a.key = b.key && a.tie < b.tie)
 
-let rec sift_up items i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if less items.(i) items.(parent) then begin
-      let tmp = items.(i) in
-      items.(i) <- items.(parent);
-      items.(parent) <- tmp;
-      sift_up items parent
+(* Hole-based sifts: carry the moving (key, tie, value) in locals, slide
+   displaced slots over the hole, and write the carried element once at
+   its final position — one store per level instead of a three-array
+   swap. *)
+
+let sift_up h i0 =
+  let k = h.keys.(i0) and t = h.ties.(i0) and v = h.values.(i0) in
+  let i = ref i0 in
+  let moving = ref true in
+  while !moving && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    let pk = h.keys.(parent) in
+    if k < pk || (k = pk && t < h.ties.(parent)) then begin
+      h.keys.(!i) <- pk;
+      h.ties.(!i) <- h.ties.(parent);
+      h.values.(!i) <- h.values.(parent);
+      i := parent
     end
+    else moving := false
+  done;
+  if !i <> i0 then begin
+    h.keys.(!i) <- k;
+    h.ties.(!i) <- t;
+    h.values.(!i) <- v
   end
 
-let rec sift_down items size i =
-  let left = (2 * i) + 1 in
-  let right = left + 1 in
-  let smallest = ref i in
-  if left < size && less items.(left) items.(!smallest) then smallest := left;
-  if right < size && less items.(right) items.(!smallest) then
-    smallest := right;
-  if !smallest <> i then begin
-    let tmp = items.(i) in
-    items.(i) <- items.(!smallest);
-    items.(!smallest) <- tmp;
-    sift_down items size !smallest
+let sift_down h i0 =
+  let size = h.size in
+  let k = h.keys.(i0) and t = h.ties.(i0) and v = h.values.(i0) in
+  let i = ref i0 in
+  let moving = ref true in
+  while !moving do
+    let left = (2 * !i) + 1 in
+    if left >= size then moving := false
+    else begin
+      let right = left + 1 in
+      let child =
+        if
+          right < size
+          && (h.keys.(right) < h.keys.(left)
+             || (h.keys.(right) = h.keys.(left)
+                && h.ties.(right) < h.ties.(left)))
+        then right
+        else left
+      in
+      let ck = h.keys.(child) in
+      if ck < k || (ck = k && h.ties.(child) < t) then begin
+        h.keys.(!i) <- ck;
+        h.ties.(!i) <- h.ties.(child);
+        h.values.(!i) <- h.values.(child);
+        i := child
+      end
+      else moving := false
+    end
+  done;
+  if !i <> i0 then begin
+    h.keys.(!i) <- k;
+    h.ties.(!i) <- t;
+    h.values.(!i) <- v
   end
+
+let grow h =
+  let cap = Array.length h.keys in
+  let fresh_cap = max 16 (2 * cap) in
+  let keys = Array.make fresh_cap 0 in
+  let ties = Array.make fresh_cap 0 in
+  let values = Array.make fresh_cap nil in
+  Array.blit h.keys 0 keys 0 h.size;
+  Array.blit h.ties 0 ties 0 h.size;
+  Array.blit h.values 0 values 0 h.size;
+  h.keys <- keys;
+  h.ties <- ties;
+  h.values <- values
 
 let push h ~key ~tie value =
-  let e = { key; tie; value } in
-  let cap = Array.length h.items in
-  if h.size = cap then begin
-    let fresh = Array.make (max 16 (2 * cap)) (nil ()) in
-    Array.blit h.items 0 fresh 0 h.size;
-    h.items <- fresh
-  end;
-  h.items.(h.size) <- e;
-  h.size <- h.size + 1;
-  sift_up h.items (h.size - 1)
+  if h.size = Array.length h.keys then grow h;
+  let i = h.size in
+  h.keys.(i) <- key;
+  h.ties.(i) <- tie;
+  h.values.(i) <- Obj.repr value;
+  h.size <- i + 1;
+  sift_up h i
+
+let min_key_exn h =
+  if h.size = 0 then invalid_arg "Heap.min_key_exn: empty heap";
+  h.keys.(0)
+
+let min_tie_exn h =
+  if h.size = 0 then invalid_arg "Heap.min_tie_exn: empty heap";
+  h.ties.(0)
+
+(* Shared removal of the root; the caller has already read it out. *)
+let drop_root h =
+  let last = h.size - 1 in
+  h.size <- last;
+  if last > 0 then begin
+    h.keys.(0) <- h.keys.(last);
+    h.ties.(0) <- h.ties.(last);
+    h.values.(0) <- h.values.(last);
+    h.values.(last) <- nil;
+    sift_down h 0
+  end
+  else h.values.(0) <- nil
+
+let pop_exn h =
+  if h.size = 0 then invalid_arg "Heap.pop_exn: empty heap";
+  let v = h.values.(0) in
+  drop_root h;
+  Obj.obj v
 
 let pop h =
   if h.size = 0 then None
   else begin
-    let root = h.items.(0) in
-    h.size <- h.size - 1;
-    if h.size > 0 then begin
-      h.items.(0) <- h.items.(h.size);
-      sift_down h.items h.size 0
-    end;
-    h.items.(h.size) <- nil ();
-    Some (root.key, root.tie, root.value)
+    let k = h.keys.(0) and t = h.ties.(0) and v = h.values.(0) in
+    drop_root h;
+    Some (k, t, Obj.obj v)
   end
 
 let peek h =
   if h.size = 0 then None
-  else
-    let root = h.items.(0) in
-    Some (root.key, root.tie, root.value)
+  else Some (h.keys.(0), h.ties.(0), Obj.obj h.values.(0))
 
 let clear h =
-  Array.fill h.items 0 h.size (nil ());
+  Array.fill h.values 0 h.size nil;
   h.size <- 0
 
 let compact h ~keep =
-  let items = h.items in
   let n = h.size in
   let live = ref 0 in
   for i = 0 to n - 1 do
-    let e = items.(i) in
-    if keep e.value then begin
-      items.(!live) <- e;
+    if keep ~tie:h.ties.(i) (Obj.obj h.values.(i)) then begin
+      h.keys.(!live) <- h.keys.(i);
+      h.ties.(!live) <- h.ties.(i);
+      h.values.(!live) <- h.values.(i);
       incr live
     end
   done;
-  Array.fill items !live (n - !live) (nil ());
+  Array.fill h.values !live (n - !live) nil;
   h.size <- !live;
   (* Floyd heapify: entries keep their (key, tie), so the pop order of
      survivors is exactly what it would have been without compaction. *)
   for i = (!live / 2) - 1 downto 0 do
-    sift_down items !live i
+    sift_down h i
   done
 
 let fold h ~init ~f =
   let acc = ref init in
   for i = 0 to h.size - 1 do
-    let e = h.items.(i) in
-    acc := f !acc ~key:e.key e.value
+    acc := f !acc ~key:h.keys.(i) (Obj.obj h.values.(i))
   done;
   !acc

@@ -26,6 +26,22 @@ val push : 'a t -> key:int -> tie:int -> 'a -> unit
 val pop : 'a t -> (int * int * 'a) option
 (** Removes and returns the minimum [(key, tie, value)]. *)
 
+val min_key_exn : 'a t -> int
+(** Key of the minimum entry without removing it.  Raises
+    [Invalid_argument] when empty.  Together with {!pop_exn} this is the
+    scheduler's allocation-free pop protocol: read the key, then take
+    the value, no option or tuple boxed per event. *)
+
+val min_tie_exn : 'a t -> int
+(** Tie of the minimum entry without removing it.  Raises
+    [Invalid_argument] when empty.  The scheduler tags its entries
+    through the tie's low bit, so dispatch needs the root's tie before
+    deciding how to interpret the popped value. *)
+
+val pop_exn : 'a t -> 'a
+(** Removes the minimum entry and returns its value alone.  Raises
+    [Invalid_argument] when empty. *)
+
 val peek : 'a t -> (int * int * 'a) option
 (** Returns the minimum without removing it. *)
 
@@ -33,11 +49,13 @@ val clear : 'a t -> unit
 (** Empties the heap.  Freed slots are overwritten, so cleared (and
     popped) values are not retained. *)
 
-val compact : 'a t -> keep:('a -> bool) -> unit
+val compact : 'a t -> keep:(tie:int -> 'a -> bool) -> unit
 (** [compact h ~keep] drops every entry whose value fails [keep], in
-    O(n).  Surviving entries keep their [(key, tie)] pair, so their pop
-    order is unchanged.  The scheduler uses this to purge cancelled
-    timers before they reach the root. *)
+    O(n).  [keep] also sees the entry's tie, so a caller that encodes a
+    value discriminant there (the scheduler's anonymous-timer bit) can
+    avoid misreading the value.  Surviving entries keep their
+    [(key, tie)] pair, so their pop order is unchanged.  The scheduler
+    uses this to purge cancelled timers before they reach the root. *)
 
 val fold : 'a t -> init:'b -> f:('b -> key:int -> 'a -> 'b) -> 'b
 (** Folds over live entries in unspecified order (used for diagnostics). *)

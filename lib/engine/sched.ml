@@ -23,22 +23,46 @@ let create () =
 
 let now t = t.clock
 
-let at t when_ f =
+(* The heap holds two kinds of entry, told apart by the tie's low bit:
+   cancellable timers (a [timer] record, bit 0) and anonymous timers
+   (the callback closure itself, bit 1).  Anonymous scheduling skips the
+   handle record entirely — most events a simulation fires (link
+   serializer done, packet arrival) are never cancelled, so this erases
+   a 4-word allocation from the per-packet path.  The [Obj.magic] is
+   confined to this module and guarded by the tie bit: a closure is
+   only ever read back as a closure. *)
+
+let fresh_tie t anon =
+  t.seq <- t.seq + 1;
+  (t.seq lsl 1) lor (if anon then 1 else 0)
+
+let check_future t when_ =
   if Time.( < ) when_ t.clock then
     invalid_arg
       (Format.asprintf "Sched.at: %a is before now (%a)" Time.pp when_
-         Time.pp t.clock);
+         Time.pp t.clock)
+
+let at t when_ f =
+  check_future t when_;
   let timer = { alive = true; action = f; owner = t } in
-  t.seq <- t.seq + 1;
-  Heap.push t.heap ~key:when_ ~tie:t.seq timer;
+  Heap.push t.heap ~key:when_ ~tie:(fresh_tie t false) timer;
   timer
 
 let after t delay f =
   if Time.( < ) delay Time.zero then invalid_arg "Sched.after: negative delay";
   at t (Time.add t.clock delay) f
 
+let at_anon t when_ f =
+  check_future t when_;
+  Heap.push t.heap ~key:when_ ~tie:(fresh_tie t true) (Obj.magic (f : unit -> unit) : timer)
+
+let after_anon t delay f =
+  if Time.( < ) delay Time.zero then invalid_arg "Sched.after: negative delay";
+  at_anon t (Time.add t.clock delay) f
+
 let compact t =
-  Heap.compact t.heap ~keep:(fun tm -> tm.alive);
+  (* Anonymous entries carry no liveness flag — they are always live. *)
+  Heap.compact t.heap ~keep:(fun ~tie tm -> tie land 1 = 1 || tm.alive);
   t.dead_in_heap <- 0
 
 (* Cancelled timers stay queued until they reach the root, so a workload
@@ -66,13 +90,26 @@ let fire t when_ timer =
     timer.action ()
   end
 
+(* min_key_exn + pop_exn instead of [pop]: no option or tuple boxed per
+   event — this is the innermost loop of every simulation. *)
 let step t =
-  match Heap.pop t.heap with
-  | None -> false
-  | Some (when_, _, timer) ->
-    if not timer.alive then t.dead_in_heap <- t.dead_in_heap - 1;
-    fire t when_ timer;
+  if Heap.is_empty t.heap then false
+  else begin
+    let when_ = Heap.min_key_exn t.heap in
+    let anon = Heap.min_tie_exn t.heap land 1 = 1 in
+    let v = Heap.pop_exn t.heap in
+    if anon then begin
+      t.clock <- when_;
+      t.fired <- t.fired + 1;
+      (match t.monitor with None -> () | Some f -> f when_);
+      (Obj.magic (v : timer) : unit -> unit) ()
+    end
+    else begin
+      if not v.alive then t.dead_in_heap <- t.dead_in_heap - 1;
+      fire t when_ v
+    end;
     true
+  end
 
 let run ?until t =
   match until with
@@ -80,10 +117,9 @@ let run ?until t =
   | Some horizon ->
     let continue = ref true in
     while !continue do
-      match Heap.peek t.heap with
-      | Some (when_, _, _) when Time.( <= ) when_ horizon ->
-        ignore (step t)
-      | Some _ | None -> continue := false
+      if Heap.is_empty t.heap || Time.( < ) horizon (Heap.min_key_exn t.heap)
+      then continue := false
+      else ignore (step t)
     done;
     if Time.( < ) t.clock horizon then t.clock <- horizon
 

@@ -22,6 +22,16 @@ val at : t -> Time.t -> (unit -> unit) -> timer
 val after : t -> Time.t -> (unit -> unit) -> timer
 (** [after t delay f] schedules [f] at [now t + delay]; [delay >= 0]. *)
 
+val at_anon : t -> Time.t -> (unit -> unit) -> unit
+(** Like {!at}, but returns no handle: the event cannot be cancelled.
+    The callback is stored directly in the event queue, so anonymous
+    scheduling allocates nothing beyond the closure itself — use it for
+    fire-and-forget events on hot paths (the link model's serializer
+    and arrival events go through this). *)
+
+val after_anon : t -> Time.t -> (unit -> unit) -> unit
+(** Like {!after}, with {!at_anon}'s no-handle contract. *)
+
 val cancel : timer -> unit
 (** Prevents a pending event from firing.  Cancelling an already-fired or
     already-cancelled timer is a no-op.  Once cancelled timers outnumber

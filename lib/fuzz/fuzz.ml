@@ -102,6 +102,35 @@ let arbitrary =
           (quad bool (int_range 0 64) (int_range 200 500)
              (int_range 1 1000))))
 
+let pool_test ?(count = 60) () =
+  QCheck.Test.make ~count
+    ~name:"fuzz: pooled packets are never double-released or resurrected"
+    arbitrary
+    (fun c ->
+      (* [to_spec] sets [audit = true], which also switches the net's
+         packet pool into debug mode: a double release raises [Failure]
+         mid-run, and popping a freelist slot that holds a live record (a
+         released packet resurrected behind the pool's back) does the
+         same — so either bug aborts the run and fails the property with
+         the offending case attached.  On top of that, the end-of-run
+         counters must be coherent. *)
+      let r = Core.Scenario.run (to_spec c) in
+      let s = r.Core.Scenario.pool_stats in
+      let fail fmt =
+        QCheck.Test.fail_reportf ("case %s: " ^^ fmt) (to_string c)
+      in
+      if s.Packet.Pool.double_releases > 0 then
+        fail "%d double releases" s.Packet.Pool.double_releases
+      else if s.Packet.Pool.released > s.Packet.Pool.acquired then
+        fail "released %d > acquired %d - a packet the pool never handed out"
+          s.Packet.Pool.released s.Packet.Pool.acquired
+      else if s.Packet.Pool.recycled > s.Packet.Pool.released then
+        fail "recycled %d > released %d - freelist invented a record"
+          s.Packet.Pool.recycled s.Packet.Pool.released
+      else if s.Packet.Pool.acquired = 0 then
+        fail "no pooled acquisitions - property is vacuous"
+      else true)
+
 let test ?(count = 120) () =
   QCheck.Test.make ~count
     ~name:"fuzz: random audited scenarios are violation-free" arbitrary

@@ -52,3 +52,10 @@ val arbitrary : case QCheck.arbitrary
 val test : ?count:int -> unit -> QCheck.Test.t
 (** The property: [count] (default 120) random audited scenarios all
     produce violation-free reports. *)
+
+val pool_test : ?count:int -> unit -> QCheck.Test.t
+(** The freelist property: over [count] (default 60) random audited
+    scenarios the packet pool never double-releases or resurrects a live
+    record (audit mode arms the pool's poison checks, so a violation
+    raises mid-run) and its end-of-run counters are coherent
+    ([double_releases = 0], [recycled <= released <= acquired]). *)

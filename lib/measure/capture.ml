@@ -1,22 +1,34 @@
 type event = { time : Engine.Time.t; tag : Packet.tag; bytes : int }
 
+(* Parallel int arrays instead of an array of event records: one data
+   packet is one capture record, so a boxed event per packet would be
+   steady-state allocation in the hot path.  The boxed view is built on
+   demand by [events] (once per run, in Sampler). *)
 type t = {
-  mutable items : event array;
+  mutable times : int array;
+  mutable tags_ : int array;
+  mutable sizes : int array;
   mutable size : int;
 }
 
-let create () = { items = [||]; size = 0 }
+let create () = { times = [||]; tags_ = [||]; sizes = [||]; size = 0 }
 
 let record t ~time ~tag ~bytes =
-  let e = { time; tag; bytes } in
-  let cap = Array.length t.items in
-  if cap = 0 then t.items <- Array.make 1024 e
-  else if t.size = cap then begin
-    let fresh = Array.make (2 * cap) e in
-    Array.blit t.items 0 fresh 0 t.size;
-    t.items <- fresh
+  let cap = Array.length t.times in
+  if t.size = cap then begin
+    let fresh_cap = max 1024 (2 * cap) in
+    let grow a =
+      let fresh = Array.make fresh_cap 0 in
+      Array.blit a 0 fresh 0 t.size;
+      fresh
+    in
+    t.times <- grow t.times;
+    t.tags_ <- grow t.tags_;
+    t.sizes <- grow t.sizes
   end;
-  t.items.(t.size) <- e;
+  t.times.(t.size) <- time;
+  t.tags_.(t.size) <- tag;
+  t.sizes.(t.size) <- bytes;
   t.size <- t.size + 1
 
 let attach net ~node ?conn () =
@@ -35,19 +47,22 @@ let attach net ~node ?conn () =
       end);
   t
 
-let events t = Array.sub t.items 0 t.size
+let events t =
+  Array.init t.size (fun i ->
+      { time = t.times.(i); tag = t.tags_.(i); bytes = t.sizes.(i) })
+
 let count t = t.size
 
 let bytes_for_tag t tag =
   let acc = ref 0 in
   for i = 0 to t.size - 1 do
-    if t.items.(i).tag = tag then acc := !acc + t.items.(i).bytes
+    if t.tags_.(i) = tag then acc := !acc + t.sizes.(i)
   done;
   !acc
 
 let tags t =
   let seen = Hashtbl.create 8 in
   for i = 0 to t.size - 1 do
-    Hashtbl.replace seen t.items.(i).tag ()
+    Hashtbl.replace seen t.tags_.(i) ()
   done;
   Hashtbl.fold (fun tag () acc -> tag :: acc) seen [] |> List.sort Int.compare

@@ -28,8 +28,11 @@ let attach net ~nodes ?(keep = fun _ -> true) ?(limit = 100_000) () =
   List.iter
     (fun node ->
       Netsim.Net.add_tap net ~node (fun p ->
+          (* Tap callbacks must not retain the (pooled, recyclable)
+             packet past their return: snapshot it. *)
           if keep p then
-            record t { time = Engine.Sched.now sched; node; packet = p }))
+            record t
+              { time = Engine.Sched.now sched; node; packet = Packet.copy p }))
     nodes;
   t
 

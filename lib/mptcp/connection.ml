@@ -188,6 +188,7 @@ let establish ~net ~src ~dst ~conn ~paths ~cc ?(config = default_config)
     }
   in
   let fresh_id () = Netsim.Net.fresh_packet_id net in
+  let pool = Netsim.Net.pool net in
   let siblings () =
     Array.map (fun sf -> Tcp.Sender.sibling_view (sender_exn sf)) t.subflows
   in
@@ -199,6 +200,7 @@ let establish ~net ~src ~dst ~conn ~paths ~cc ?(config = default_config)
         Tcp.Receiver.create ~sched ~conn ~subflow:sf.index ~addr:dst_node
           ~peer:src_node ~tag:sf.tag ~fresh_id
           ~transmit:(fun p -> Netsim.Net.inject net ~at:dst_node p)
+          ~pool
           ~on_deliver:(fun ~seq:_ ~len ~dss ->
             sf.rx_bytes <- sf.rx_bytes + len;
             (match dss with
@@ -224,6 +226,7 @@ let establish ~net ~src ~dst ~conn ~paths ~cc ?(config = default_config)
         Tcp.Sender.create ~sched ~config:config.sender ~conn ~subflow:sf.index
           ~src:src_node ~dst:dst_node ~tag:sf.tag ~fresh_id
           ~transmit:(fun p -> Netsim.Net.inject net ~at:src_node p)
+          ~pool
           ~source:(fun ~max_len -> source t sf ~max_len)
           ~cc:(Algorithm.factory cc) ~siblings
           ~self_index:(fun () -> sf.index)

@@ -24,38 +24,75 @@ type t = {
   qstate : Qdisc.state;
   limit_pkts : int;
   deliver : Packet.t -> unit;
-  queue : (Packet.t * Engine.Time.t) Queue.t; (* with enqueue timestamp *)
+  release : Packet.t -> unit;
+      (* terminal fates owned by this queue (drop, link-down loss) hand
+         the packet back to the owner's freelist *)
+  queue : Pktring.t; (* flat ring: packet slots + enqueue timestamps *)
+  flight : Pktring.t;
+      (* packets serialized but not yet arrived, oldest first.  Only
+         used when the link has no jitter: propagation is then constant,
+         arrivals are FIFO, and the shared [arrive_done] thunk can pop
+         this ring instead of closing over the packet — one fewer
+         allocation per transmitted packet.  A jittered link can reorder
+         arrivals, so it falls back to a per-packet closure. *)
   mutable queued_bytes : int;
   mutable busy : bool;
   mutable up : bool;
   mutable monitor : (event -> unit) option;
+  mutable tx_done : unit -> unit;
+      (* the serializer-free continuation, allocated once at create
+         instead of a fresh closure per packet *)
+  mutable arrive_done : unit -> unit;
   stats : stats;
 }
 
-let create ~sched ~rng ~rate_bps ~delay ?(jitter = Engine.Time.zero) ~qdisc
-    ~limit_pkts ~deliver () =
+let rec create ~sched ~rng ~rate_bps ~delay ?(jitter = Engine.Time.zero) ~qdisc
+    ~limit_pkts ~deliver ?(release = ignore) () =
   if rate_bps <= 0 then invalid_arg "Linkq.create: rate must be positive";
   if limit_pkts < 1 then invalid_arg "Linkq.create: limit must be >= 1";
   if Engine.Time.( < ) jitter Engine.Time.zero then
     invalid_arg "Linkq.create: negative jitter";
-  {
-    sched; rng; rate_bps; delay; jitter; qdisc;
-    qstate = Qdisc.make_state qdisc;
-    limit_pkts; deliver;
-    queue = Queue.create ();
-    queued_bytes = 0;
-    busy = false;
-    up = true;
-    monitor = None;
-    stats =
-      { enqueued = 0; dropped = 0; delivered = 0; bytes_delivered = 0;
-        busy_ns = 0; lost_down = 0; marked = 0 };
-  }
+  let t =
+    {
+      sched; rng; rate_bps; delay; jitter; qdisc;
+      qstate = Qdisc.make_state qdisc;
+      limit_pkts; deliver; release;
+      queue = Pktring.create ~capacity:(min 64 (limit_pkts + 1)) ();
+      flight = Pktring.create ~capacity:16 ();
+      queued_bytes = 0;
+      busy = false;
+      up = true;
+      monitor = None;
+      tx_done = ignore;
+      arrive_done = ignore;
+      stats =
+        { enqueued = 0; dropped = 0; delivered = 0; bytes_delivered = 0;
+          busy_ns = 0; lost_down = 0; marked = 0 };
+    }
+  in
+  t.tx_done <- (fun () -> start_tx t);
+  t.arrive_done <- (fun () -> arrive t (Pktring.pop t.flight));
+  t
 
-let rec start_tx t =
-  match Queue.take_opt t.queue with
-  | None -> t.busy <- false
-  | Some (p, enqueued_at) ->
+(* A packet in flight when the link goes down never arrives. *)
+and arrive t p =
+  if t.up then begin
+    t.stats.delivered <- t.stats.delivered + 1;
+    t.stats.bytes_delivered <- t.stats.bytes_delivered + p.Packet.size;
+    (match t.monitor with None -> () | Some f -> f (Delivered p));
+    t.deliver p
+  end
+  else begin
+    t.stats.lost_down <- t.stats.lost_down + 1;
+    (match t.monitor with None -> () | Some f -> f (Lost_down p));
+    t.release p
+  end
+
+and start_tx t =
+  if Pktring.is_empty t.queue then t.busy <- false
+  else begin
+    let enqueued_at = Pktring.head_stamp t.queue in
+    let p = Pktring.pop t.queue in
     let now = Engine.Sched.now t.sched in
     t.queued_bytes <- t.queued_bytes - p.Packet.size;
     (* CoDel inspects the head packet's sojourn time and may discard it
@@ -66,61 +103,57 @@ let rec start_tx t =
     then begin
       t.stats.dropped <- t.stats.dropped + 1;
       (match t.monitor with None -> () | Some f -> f (Dropped p));
+      t.release p;
       start_tx t
     end
     else begin
-    t.busy <- true;
-    let tx = Engine.Time.tx_time ~bits:(Packet.wire_bits p) ~rate_bps:t.rate_bps in
-    t.stats.busy_ns <- t.stats.busy_ns + tx;
-    ignore
-      (Engine.Sched.after t.sched tx (fun () ->
-           (* Last bit on the wire: arrival is one propagation delay
-              later; the serializer is free immediately.  A packet in
-              flight when the link goes down never arrives. *)
-           let prop =
-             if t.jitter = Engine.Time.zero then t.delay
-             else
-               Engine.Time.add t.delay
-                 (Engine.Rng.uniform_time t.rng ~lo:Engine.Time.zero
-                    ~hi:t.jitter)
-           in
-           ignore
-             (Engine.Sched.after t.sched prop (fun () ->
-                  if t.up then begin
-                    t.stats.delivered <- t.stats.delivered + 1;
-                    t.stats.bytes_delivered <-
-                      t.stats.bytes_delivered + p.Packet.size;
-                    (match t.monitor with
-                     | None -> ()
-                     | Some f -> f (Delivered p));
-                    t.deliver p
-                  end
-                  else begin
-                    t.stats.lost_down <- t.stats.lost_down + 1;
-                    match t.monitor with
-                    | None -> ()
-                    | Some f -> f (Lost_down p)
-                  end));
-           start_tx t))
+      t.busy <- true;
+      let tx =
+        Engine.Time.tx_time ~bits:(Packet.wire_bits p) ~rate_bps:t.rate_bps
+      in
+      t.stats.busy_ns <- t.stats.busy_ns + tx;
+      (* Last bit on the wire at [now + tx]: the serializer is free then
+         (shared [tx_done] closure), and the packet arrives one
+         propagation delay later.  Both events are scheduled here — the
+         old nested-closure chain allocated a fresh continuation per
+         packet at each stage; [tx_done] first so that a zero-delay link
+         frees the serializer before delivering, as the nesting did. *)
+      Engine.Sched.after_anon t.sched tx t.tx_done;
+      if t.jitter = Engine.Time.zero then begin
+        Pktring.push t.flight p ~stamp:now;
+        Engine.Sched.after_anon t.sched
+          (Engine.Time.add tx t.delay)
+          t.arrive_done
+      end
+      else begin
+        let prop =
+          Engine.Time.add t.delay
+            (Engine.Rng.uniform_time t.rng ~lo:Engine.Time.zero ~hi:t.jitter)
+        in
+        Engine.Sched.after_anon t.sched (Engine.Time.add tx prop) (fun () ->
+            arrive t p)
+      end
     end
+  end
 
 let enqueue t p =
   (* The buffer limit counts queued packets only; the one in the
      serializer has already left the queue (tc semantics). *)
   if not t.up then begin
     t.stats.lost_down <- t.stats.lost_down + 1;
-    match t.monitor with None -> () | Some f -> f (Lost_down p)
+    (match t.monitor with None -> () | Some f -> f (Lost_down p));
+    t.release p
   end
   else begin
     let admit () =
       t.stats.enqueued <- t.stats.enqueued + 1;
-      Queue.add (p, Engine.Sched.now t.sched) t.queue;
+      Pktring.push t.queue p ~stamp:(Engine.Sched.now t.sched);
       t.queued_bytes <- t.queued_bytes + p.Packet.size;
       (match t.monitor with None -> () | Some f -> f (Enqueued p));
       if not t.busy then start_tx t
     in
     match
-      Qdisc.decide t.qdisc t.qstate ~queue_pkts:(Queue.length t.queue)
+      Qdisc.decide t.qdisc t.qstate ~queue_pkts:(Pktring.length t.queue)
         ~limit_pkts:t.limit_pkts
         ~ecn_capable:(p.Packet.ecn <> Packet.Not_ect)
         ~rng:t.rng
@@ -132,10 +165,11 @@ let enqueue t p =
       admit ()
     | Qdisc.Drop ->
       t.stats.dropped <- t.stats.dropped + 1;
-      (match t.monitor with None -> () | Some f -> f (Dropped p))
+      (match t.monitor with None -> () | Some f -> f (Dropped p));
+      t.release p
   end
 
-let queue_pkts t = Queue.length t.queue
+let queue_pkts t = Pktring.length t.queue
 let queued_bytes t = t.queued_bytes
 let stats t = t.stats
 let rate_bps t = t.rate_bps
@@ -146,11 +180,12 @@ let monitor t = t.monitor
 let set_up t up =
   t.up <- up;
   if not up then begin
-    t.stats.lost_down <- t.stats.lost_down + Queue.length t.queue;
+    t.stats.lost_down <- t.stats.lost_down + Pktring.length t.queue;
     (match t.monitor with
      | None -> ()
-     | Some f -> Queue.iter (fun (p, _) -> f (Lost_down p)) t.queue);
-    Queue.clear t.queue;
+     | Some f -> Pktring.iter t.queue (fun p -> f (Lost_down p)));
+    Pktring.iter t.queue t.release;
+    Pktring.clear t.queue;
     t.queued_bytes <- 0
   end
 

@@ -36,11 +36,19 @@ val create :
   qdisc:Qdisc.t ->
   limit_pkts:int ->
   deliver:(Packet.t -> unit) ->
+  ?release:(Packet.t -> unit) ->
   unit -> t
 (** [deliver] runs at the receiving end of the link, [delay] (plus a
     uniform draw from [\[0, jitter\]], default 0) after each packet's
     last bit leaves the serializer.  Jitter can reorder packets — as a
-    wireless or load-balanced hop would. *)
+    wireless or load-balanced hop would.
+
+    [release] (default a no-op) is invoked exactly once on every packet
+    whose terminal fate this queue owns — qdisc drops (enqueue and
+    dequeue) and link-down losses — after the stats and monitor have
+    seen it.  {!Netsim.Net} passes its freelist's release here.
+    Delivered packets are handed to [deliver] instead, which owns their
+    release. *)
 
 val enqueue : t -> Packet.t -> unit
 (** Admits (or drops, per qdisc) one packet. *)

@@ -11,11 +11,25 @@ type monitor = {
   on_no_route : node:int -> Packet.t -> unit;
 }
 
+(* Routing keys are flattened to one immediate int so the per-hop lookup
+   neither allocates a (dst, tag) pair nor runs the polymorphic hash
+   over a block.  20 bits of tag leave 42 for the destination — both far
+   beyond any topology here, and install_route rejects the rest. *)
+let tag_bits = 20
+let tag_mask = (1 lsl tag_bits) - 1
+
+let route_key ~dst ~tag = (dst lsl tag_bits) lor (tag land tag_mask)
+
+let check_route_key ~dst ~tag =
+  if dst < 0 || tag < 0 || tag > tag_mask || dst > max_int lsr tag_bits then
+    invalid_arg "Net.install_route: destination or tag out of range"
+
 type t = {
   sched : Engine.Sched.t;
   topo : Netgraph.Topology.t;
+  pool : Packet.Pool.t;
   mutable linkqs : Linkq.t array array; (* link id -> [| fwd; rev |] *)
-  tables : (Packet.addr * Packet.tag, int) Hashtbl.t array; (* node -> link *)
+  tables : (int, int) Hashtbl.t array; (* node -> route_key -> link *)
   hosts : (Packet.t -> unit) option array;
   taps : (Packet.t -> unit) list array;
   mutable next_id : int;
@@ -25,21 +39,31 @@ type t = {
 
 let dir_index = function Fwd -> 0 | Rev -> 1
 
+let release_pkt t p = Packet.Pool.release t.pool p
+
 let rec receive t ~node p =
   List.iter (fun f -> f p) t.taps.(node);
   if p.Packet.dst = node then begin
     (match t.monitor with None -> () | Some m -> m.on_host_deliver ~node p);
-    match t.hosts.(node) with
+    (match t.hosts.(node) with
     | Some h -> h p
-    | None -> () (* destination without a host: silently sink *)
+    | None -> () (* destination without a host: silently sink *));
+    (* The packet has left the network: the host handler is done with it
+       (anything longer-lived must have copied), so the record can be
+       recycled. *)
+    release_pkt t p
   end
   else forward t ~node p
 
 and forward t ~node p =
-  match Hashtbl.find_opt t.tables.(node) (p.Packet.dst, p.Packet.tag) with
+  match
+    Hashtbl.find_opt t.tables.(node)
+      (route_key ~dst:p.Packet.dst ~tag:p.Packet.tag)
+  with
   | None ->
     t.no_route <- t.no_route + 1;
-    (match t.monitor with None -> () | Some m -> m.on_no_route ~node p)
+    (match t.monitor with None -> () | Some m -> m.on_no_route ~node p);
+    release_pkt t p
   | Some lid ->
     let l = Netgraph.Topology.link t.topo lid in
     let d = if l.Netgraph.Topology.u = node then 0 else 1 in
@@ -51,6 +75,7 @@ let create ~sched ~rng ?(config = default_config) topo =
     {
       sched;
       topo;
+      pool = Packet.Pool.create ();
       linkqs = [||];
       tables = Array.init n (fun _ -> Hashtbl.create 8);
       hosts = Array.make n None;
@@ -67,6 +92,7 @@ let create ~sched ~rng ?(config = default_config) topo =
       ~qdisc:config.qdisc
       ~limit_pkts:config.limit_pkts
       ~deliver:(fun p -> receive t ~node:to_node p)
+      ~release:(fun p -> release_pkt t p)
       ()
   in
   t.linkqs <-
@@ -79,17 +105,21 @@ let create ~sched ~rng ?(config = default_config) topo =
 
 let sched t = t.sched
 let topology t = t.topo
+let pool t = t.pool
 
 let fresh_packet_id t =
   let id = t.next_id in
   t.next_id <- id + 1;
   id
 
+let packets_created t = t.next_id
+
 let install_route t ~node ~dst ~tag ~link =
   let l = Netgraph.Topology.link t.topo link in
   if l.Netgraph.Topology.u <> node && l.Netgraph.Topology.v <> node then
     invalid_arg "Net.install_route: node is not an endpoint of link";
-  Hashtbl.replace t.tables.(node) (dst, tag) link
+  check_route_key ~dst ~tag;
+  Hashtbl.replace t.tables.(node) (route_key ~dst ~tag) link
 
 let install_path t ~tag path =
   let nodes = path.Netgraph.Path.nodes and links = path.Netgraph.Path.links in
@@ -100,7 +130,8 @@ let install_path t ~tag path =
       install_route t ~node:nodes.(i + 1) ~dst:src ~tag ~link:lid)
     links
 
-let route t ~node ~dst ~tag = Hashtbl.find_opt t.tables.(node) (dst, tag)
+let route t ~node ~dst ~tag =
+  Hashtbl.find_opt t.tables.(node) (route_key ~dst ~tag)
 
 let attach_host t ~node h =
   match t.hosts.(node) with

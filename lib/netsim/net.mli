@@ -30,8 +30,20 @@ val create :
 val sched : t -> Engine.Sched.t
 val topology : t -> Netgraph.Topology.t
 
+val pool : t -> Packet.Pool.t
+(** The network's packet freelist.  Every packet that terminates inside
+    the network — host delivery, qdisc drop, link-down loss, no-route —
+    is handed back here exactly once, so senders that allocate through
+    this pool run allocation-flat at steady state.  Host handlers (and
+    taps/monitors) must not retain a packet past their return; copy with
+    {!Packet.copy} if longer retention is needed. *)
+
 val fresh_packet_id : t -> int
 (** Allocates a unique wire id for a new packet. *)
+
+val packets_created : t -> int
+(** Total wire ids handed out so far — the denominator for
+    allocations-per-packet accounting. *)
 
 (** {1 Routing} *)
 

@@ -35,10 +35,10 @@ let cbr ~net ~src ~dst ~tag ~rate_bps ?(pkt_bytes = 1500)
   let rec tick () =
     if t.running && not (expired ()) then begin
       send net t ~src ~dst ~tag ~pkt_bytes;
-      ignore (Engine.Sched.after sched gap tick)
+      Engine.Sched.after_anon sched gap tick
     end
   in
-  ignore (Engine.Sched.at sched start tick);
+  Engine.Sched.at_anon sched start tick;
   t
 
 let on_off ~net ~rng ~src ~dst ~tag ~rate_bps ~mean_on ~mean_off
@@ -60,13 +60,13 @@ let on_off ~net ~rng ~src ~dst ~tag ~rate_bps ~mean_on ~mean_off
     if t.running && not (expired ()) then
       if Engine.Time.( < ) (Engine.Sched.now sched) until then begin
         send net t ~src ~dst ~tag ~pkt_bytes;
-        ignore (Engine.Sched.after sched gap (fun () -> burst until))
+        Engine.Sched.after_anon sched gap (fun () -> burst until)
       end
       else
-        ignore (Engine.Sched.after sched (draw mean_off) start_burst)
+        Engine.Sched.after_anon sched (draw mean_off) start_burst
   and start_burst () =
     if t.running && not (expired ()) then
       burst (Engine.Time.add (Engine.Sched.now sched) (draw mean_on))
   in
-  ignore (Engine.Sched.at sched start start_burst);
+  Engine.Sched.at_anon sched start start_burst;
   t

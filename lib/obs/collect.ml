@@ -57,6 +57,24 @@ let attach_sched t sched =
       | Some m ->
         Metrics.gauge m "engine.heap_depth" (fun () ->
             float_of_int (Engine.Sched.queue_length sched));
+        (* GC counters are process-wide and scheduling-dependent, so —
+           like wall-clock gauges — their names carry "wall" to opt out
+           of cross-run determinism comparisons. *)
+        let gc0 = Engine.Gctune.counters () in
+        Metrics.gauge m "gc.wall.minor_collections" (fun () ->
+            float_of_int
+              ((Engine.Gctune.counters ()).Engine.Gctune.minor_collections
+              - gc0.Engine.Gctune.minor_collections));
+        Metrics.gauge m "gc.wall.major_collections" (fun () ->
+            float_of_int
+              ((Engine.Gctune.counters ()).Engine.Gctune.major_collections
+              - gc0.Engine.Gctune.major_collections));
+        Metrics.gauge m "gc.wall.promoted_words" (fun () ->
+            (Engine.Gctune.counters ()).Engine.Gctune.promoted_words
+            -. gc0.Engine.Gctune.promoted_words);
+        Metrics.gauge m "gc.wall.allocated_words" (fun () ->
+            Engine.Gctune.allocated_words
+              (Engine.Gctune.diff gc0 (Engine.Gctune.counters ())));
         let c = Metrics.counter m "engine.events_dispatched" in
         fun () -> Metrics.incr c
     in
@@ -90,6 +108,19 @@ let attach_net t net =
       and dlv_b = counter "netsim.bytes_delivered"
       and lost = counter "netsim.pkts_lost_down"
       and nort = counter "netsim.no_route" in
+      (* Freelist health: recycled/live counts are functions of the
+         deterministic simulation, so they are safe to compare across
+         job counts. *)
+      (match t.metrics with
+      | Some m ->
+        let pool = Netsim.Net.pool net in
+        Metrics.gauge m "netsim.pool.acquired" (fun () ->
+            float_of_int (Packet.Pool.stats pool).Packet.Pool.acquired);
+        Metrics.gauge m "netsim.pool.recycled" (fun () ->
+            float_of_int (Packet.Pool.stats pool).Packet.Pool.recycled);
+        Metrics.gauge m "netsim.pool.live" (fun () ->
+            float_of_int (Packet.Pool.live pool))
+      | None -> ());
       Netsim.Net.iter_linkqs net (fun ~link ~dir q ->
           let dir_i = match dir with Netsim.Net.Fwd -> 0 | Rev -> 1 in
           let track = track_link ~link ~dir:dir_i in

@@ -4,7 +4,11 @@
     run a real congestion-control loop, the MPTCP data-sequence mapping
     (DSS), and the path {e tag} — the short routing identifier from the
     paper (Motiwala et al.'s path splicing / ECMP-style selector) that
-    pins each subflow to its pre-installed route. *)
+    pins each subflow to its pre-installed route.
+
+    Fields are mutable so {!Pool} can rebuild recycled records in place;
+    outside the pool and the queues' [ecn] marking, treat packets as
+    immutable.  See doc/PERFORMANCE.md for the freelist discipline. *)
 
 type addr = int
 (** Node id in the topology. *)
@@ -25,18 +29,18 @@ type tcp_kind =
   | Fin
 
 type tcp = {
-  conn : int;       (** connection id, unique per simulation *)
-  subflow : int;    (** subflow index within the connection *)
-  kind : tcp_kind;
-  seq : int;        (** subflow-level sequence of the first payload byte *)
-  payload : int;    (** payload length in bytes (0 for pure ACKs) *)
-  ack : int;        (** cumulative subflow-level acknowledgement *)
-  sack : (int * int) list;
+  mutable conn : int;       (** connection id, unique per simulation *)
+  mutable subflow : int;    (** subflow index within the connection *)
+  mutable kind : tcp_kind;
+  mutable seq : int;    (** subflow-level sequence of the first payload byte *)
+  mutable payload : int;    (** payload length in bytes (0 for pure ACKs) *)
+  mutable ack : int;        (** cumulative subflow-level acknowledgement *)
+  mutable sack : (int * int) list;
       (** SACK blocks [(start, end_)] above [ack], at most
           {!max_sack_blocks}, most recently changed first (RFC 2018) *)
-  ece : bool;       (** ECN Echo: the receiver saw Congestion Experienced *)
-  dss : dss option; (** present on MPTCP data segments *)
-  data_ack : int;   (** cumulative connection-level acknowledgement *)
+  mutable ece : bool;  (** ECN Echo: the receiver saw Congestion Experienced *)
+  mutable dss : dss option; (** present on MPTCP data segments *)
+  mutable data_ack : int;   (** cumulative connection-level acknowledgement *)
 }
 
 val max_sack_blocks : int
@@ -55,14 +59,14 @@ type ecn =
   | Ce        (** congestion experienced: marked by a router *)
 
 type t = {
-  id : int;         (** unique wire id, for tracing *)
-  src : addr;
-  dst : addr;
-  tag : tag;
-  size : int;       (** total wire size in bytes, headers included *)
-  body : body;
-  mutable ecn : ecn;     (** mutable: queues mark packets in flight *)
-  born : Engine.Time.t;  (** when the packet entered the network *)
+  mutable id : int;         (** unique wire id, for tracing *)
+  mutable src : addr;
+  mutable dst : addr;
+  mutable tag : tag;
+  mutable size : int;  (** total wire size in bytes, headers included *)
+  mutable body : body;
+  mutable ecn : ecn;        (** queues mark packets in flight *)
+  mutable born : Engine.Time.t;  (** when the packet entered the network *)
 }
 
 val header_bytes : int
@@ -84,11 +88,82 @@ val make_tcp :
   id:int -> src:addr -> dst:addr -> tag:tag -> born:Engine.Time.t
   -> ?ecn:ecn -> tcp -> t
 (** Builds a TCP packet, deriving [size] from kind and payload.
-    [ecn] defaults to [Not_ect]. *)
+    [ecn] defaults to [Not_ect].  The SACK bound check is O(1). *)
 
 val make_plain :
   id:int -> src:addr -> dst:addr -> tag:tag -> born:Engine.Time.t
   -> size:int -> t
 (** Cross-traffic packet of explicit wire [size] (>= 1 byte). *)
+
+val copy : t -> t
+(** Deep snapshot (including the TCP header record).  Anything that
+    retains a packet past the handler it was delivered to — e.g. a
+    capture trace rendered after the run — must copy, because the pool
+    may rewrite the original in place once it is released. *)
+
+val poison_id : int
+(** The id stamped on released packets (-2); never a valid wire id. *)
+
+val is_poisoned : t -> bool
+(** [true] after {!Pool.release} until the record is re-acquired.  Any
+    observation of a poisoned packet outside the pool is a lifecycle
+    bug (use-after-release). *)
+
+(** Per-{!Netsim.Net} packet freelist.
+
+    The steady-state hot path recycles one record per simulated packet
+    instead of allocating: producers acquire, the network releases on
+    every terminal fate (host delivery, qdisc drop, link-down loss,
+    no-route).  Recycling is deterministic (LIFO), so pooled runs stay
+    bit-identical across domain counts.
+
+    In debug mode (enabled by audited scenarios) releases scrub the
+    record, double releases and resurrected packets raise [Failure],
+    and the audit ledger sees poisoned ids as conservation violations. *)
+module Pool : sig
+  type packet = t
+
+  type t
+
+  type stats = {
+    acquired : int;   (** acquire calls (fresh + recycled) *)
+    recycled : int;   (** acquires served from the freelist *)
+    released : int;   (** successful releases *)
+    double_releases : int;
+        (** releases of an already-poisoned packet (0 in a correct run;
+            counted rather than raised unless {!debug} is on) *)
+  }
+
+  val create : ?debug:bool -> unit -> t
+  (** An empty pool; [debug] (default [false]) enables poisoning checks. *)
+
+  val set_debug : t -> bool -> unit
+  val debug : t -> bool
+
+  val stats : t -> stats
+
+  val live : t -> int
+  (** Packets acquired and not yet released. *)
+
+  val acquire_tcp :
+    ?pool:t -> id:int -> src:addr -> dst:addr -> tag:tag
+    -> born:Engine.Time.t -> ?ecn:ecn -> conn:int -> subflow:int
+    -> kind:tcp_kind -> seq:int -> payload:int -> ack:int
+    -> sack:(int * int) list -> ece:bool -> dss:dss option -> data_ack:int
+    -> unit -> packet
+  (** Like {!make_tcp} but recycles a freelist record when [pool] is
+      given and non-empty.  Same validation, zero allocation on the
+      recycle path. *)
+
+  val acquire_plain :
+    ?pool:t -> id:int -> src:addr -> dst:addr -> tag:tag
+    -> born:Engine.Time.t -> size:int -> unit -> packet
+  (** Like {!make_plain}, recycling when possible. *)
+
+  val release : t -> packet -> unit
+  (** Returns a packet to the freelist.  The caller asserts nothing will
+      read the record again.  A double release is counted (and raises
+      [Failure] in debug mode); the record is not pushed twice. *)
+end
 
 val pp : Format.formatter -> t -> unit

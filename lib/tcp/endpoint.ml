@@ -1,7 +1,23 @@
+(* Demux keys are packed to one immediate int — (conn lsl 8) lor subflow —
+   so the per-packet lookup neither allocates a pair nor runs the
+   polymorphic hash over a block.  8 bits of subflow is far beyond the
+   paper's 2–4 subflows; register rejects the rest. *)
+
+let subflow_bits = 8
+let subflow_mask = (1 lsl subflow_bits) - 1
+
+let demux_key ~conn ~subflow = (conn lsl subflow_bits) lor subflow
+
+let check_demux_key ~conn ~subflow =
+  if
+    conn < 0 || subflow < 0 || subflow > subflow_mask
+    || conn > max_int lsr subflow_bits
+  then invalid_arg "Endpoint.register: conn or subflow out of range"
+
 type t = {
   net : Netsim.Net.t;
   node : int;
-  handlers : (int * int, Packet.t -> unit) Hashtbl.t;
+  handlers : (int, Packet.t -> unit) Hashtbl.t;
   mutable plain : (Packet.t -> unit) option;
   mutable unmatched : int;
 }
@@ -14,7 +30,9 @@ let create net ~node =
       | Packet.Plain -> (
         match t.plain with Some f -> f p | None -> ())
       | Packet.Tcp tcp -> (
-        match Hashtbl.find_opt t.handlers (tcp.Packet.conn, tcp.Packet.subflow)
+        match
+          Hashtbl.find_opt t.handlers
+            (demux_key ~conn:tcp.Packet.conn ~subflow:tcp.Packet.subflow)
         with
         | Some f -> f p
         | None -> t.unmatched <- t.unmatched + 1));
@@ -24,10 +42,14 @@ let node t = t.node
 let net t = t.net
 
 let register t ~conn ~subflow f =
-  if Hashtbl.mem t.handlers (conn, subflow) then
+  check_demux_key ~conn ~subflow;
+  let key = demux_key ~conn ~subflow in
+  if Hashtbl.mem t.handlers key then
     invalid_arg "Endpoint.register: already registered";
-  Hashtbl.replace t.handlers (conn, subflow) f
+  Hashtbl.replace t.handlers key f
 
-let unregister t ~conn ~subflow = Hashtbl.remove t.handlers (conn, subflow)
+let unregister t ~conn ~subflow =
+  Hashtbl.remove t.handlers (demux_key ~conn ~subflow)
+
 let on_plain t f = t.plain <- Some f
 let unmatched t = t.unmatched

@@ -32,7 +32,7 @@ let start ~src ~dst ~tag ~conn ?(config = Sender.default_config)
         Sender.create ~sched ~config ~conn ~subflow:0
           ~src:(Endpoint.node src) ~dst:(Endpoint.node dst) ~tag ~fresh_id
           ~transmit:(fun p -> Netsim.Net.inject net ~at:(Endpoint.node src) p)
-          ~source ~cc ();
+          ~pool:(Netsim.Net.pool net) ~source ~cc ();
       delivered = 0;
       completed_at = None;
       total_bytes;
@@ -45,6 +45,7 @@ let start ~src ~dst ~tag ~conn ?(config = Sender.default_config)
       ~peer:(Endpoint.node src) ~tag ~fresh_id
       ~transmit:(fun p ->
         Netsim.Net.inject (Endpoint.net dst) ~at:(Endpoint.node dst) p)
+      ~pool:(Netsim.Net.pool (Endpoint.net dst))
       ~on_deliver:(fun ~seq:_ ~len ~dss:_ ->
         t.delivered <- t.delivered + len;
         match t.total_bytes with
@@ -58,7 +59,7 @@ let start ~src ~dst ~tag ~conn ?(config = Sender.default_config)
       Receiver.handle_data receiver p);
   Endpoint.register src ~conn ~subflow:0 (fun p ->
       Sender.handle_ack t.sender (Packet.tcp_exn p));
-  ignore (Engine.Sched.at sched start_at (fun () -> Sender.kick t.sender));
+  Engine.Sched.at_anon sched start_at (fun () -> Sender.kick t.sender);
   t
 
 let sender t = t.sender

@@ -9,12 +9,16 @@ type t = {
   tag : Packet.tag;
   fresh_id : unit -> int;
   transmit : Packet.t -> unit;
+  pool : Packet.Pool.t option;
   on_deliver : seq:int -> len:int -> dss:Packet.dss option -> unit;
   data_ack : unit -> int;
   delayed_ack : bool;
   ack_delay : Engine.Time.t;
   mutable pending_segs : int; (* in-order segments not yet acknowledged *)
   mutable ack_timer : Engine.Sched.timer option;
+  mutable ack_thunk : unit -> unit;
+      (* delayed-ACK fire action, built once on first arm rather than a
+         fresh closure per armed timer *)
   mutable acks_sent : int;
   mutable rcv_nxt : int;
   mutable ooo : (int * Packet.dss option) Imap.t; (* seq -> len, dss *)
@@ -22,42 +26,85 @@ type t = {
   mutable ce_pending : bool; (* echo Congestion Experienced on the next ACK *)
   mutable segments : int;
   mutable duplicates : int;
+  (* scratch for sack_blocks: merged ranges as parallel arrays, reused
+     across calls so range merging allocates nothing *)
+  mutable scratch_s : int array;
+  mutable scratch_e : int array;
+  mutable scratch_n : int;
   mutable monitor : (monitor_event -> unit) option;
 }
 
 and monitor_event = Delivered of { seq : int; len : int }
 
-let create ~sched ~conn ~subflow ~addr ~peer ~tag ~fresh_id ~transmit
+(* Not-yet-built sentinel for the cached delayed-ACK thunk.  A
+   module-level closure has one stable identity; [ignore] does not — it
+   is the primitive [%ignore], eta-expanded to a distinct closure at
+   every use site, so [t.ack_thunk == ignore] would never be true and
+   the timer would fire the sentinel no-op forever. *)
+let unarmed () = ()
+
+let create ~sched ~conn ~subflow ~addr ~peer ~tag ~fresh_id ~transmit ?pool
     ~on_deliver ~data_ack ?(delayed_ack = false)
     ?(ack_delay = Engine.Time.ms 40) () =
-  { sched; conn; subflow; addr; peer; tag; fresh_id; transmit; on_deliver;
-    data_ack; delayed_ack; ack_delay; pending_segs = 0; ack_timer = None;
-    acks_sent = 0; rcv_nxt = 0; ooo = Imap.empty; last_sacked = -1;
-    ce_pending = false; segments = 0; duplicates = 0; monitor = None }
+  { sched; conn; subflow; addr; peer; tag; fresh_id; transmit; pool;
+    on_deliver; data_ack; delayed_ack; ack_delay; pending_segs = 0;
+    ack_timer = None; ack_thunk = unarmed; acks_sent = 0; rcv_nxt = 0;
+    ooo = Imap.empty;
+    last_sacked = -1; ce_pending = false; segments = 0; duplicates = 0;
+    scratch_s = Array.make 16 0; scratch_e = Array.make 16 0; scratch_n = 0;
+    monitor = None }
+
+let scratch_push t s e =
+  if t.scratch_n = Array.length t.scratch_s then begin
+    let cap = 2 * t.scratch_n in
+    let ns = Array.make cap 0 and ne = Array.make cap 0 in
+    Array.blit t.scratch_s 0 ns 0 t.scratch_n;
+    Array.blit t.scratch_e 0 ne 0 t.scratch_n;
+    t.scratch_s <- ns;
+    t.scratch_e <- ne
+  end;
+  t.scratch_s.(t.scratch_n) <- s;
+  t.scratch_e.(t.scratch_n) <- e;
+  t.scratch_n <- t.scratch_n + 1
 
 (* Merge the out-of-order store into contiguous byte ranges and emit up
    to [Packet.max_sack_blocks], the block containing the newest arrival
-   first (RFC 2018 section 4). *)
+   first (RFC 2018 section 4).  The common case — no out-of-order data —
+   returns the shared empty list; otherwise ranges are merged on the
+   receiver's scratch arrays and only the (bounded) result list is
+   allocated. *)
 let sack_blocks t =
-  let ranges =
-    Imap.fold
-      (fun seq (len, _) acc ->
-        match acc with
-        | (s, e) :: rest when seq <= e -> (s, max e (seq + len)) :: rest
-        | _ -> (seq, seq + len) :: acc)
-      t.ooo []
-    |> List.rev
-  in
-  let newest, others =
-    List.partition (fun (s, e) -> s <= t.last_sacked && t.last_sacked < e)
-      ranges
-  in
-  let ordered = newest @ others in
-  let rec take n = function
-    | [] -> []
-    | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
-  in
-  take Packet.max_sack_blocks ordered
+  if Imap.is_empty t.ooo then []
+  else begin
+    t.scratch_n <- 0;
+    Imap.iter
+      (fun seq (len, _) ->
+        let n = t.scratch_n in
+        if n > 0 && seq <= t.scratch_e.(n - 1) then begin
+          if seq + len > t.scratch_e.(n - 1) then
+            t.scratch_e.(n - 1) <- seq + len
+        end
+        else scratch_push t seq (seq + len))
+      t.ooo;
+    (* Index of the range holding the newest arrival, if any. *)
+    let newest = ref (-1) in
+    for i = 0 to t.scratch_n - 1 do
+      if t.scratch_s.(i) <= t.last_sacked && t.last_sacked < t.scratch_e.(i)
+      then newest := i
+    done;
+    let blocks = ref [] and count = ref 0 in
+    let add i =
+      if !count < Packet.max_sack_blocks then begin
+        blocks := (t.scratch_s.(i), t.scratch_e.(i)) :: !blocks;
+        incr count
+      end
+    in
+    if !newest >= 0 then add !newest;
+    for i = 0 to t.scratch_n - 1 do
+      if i <> !newest then add i
+    done;
+    List.rev !blocks
+  end
 
 let send_ack_now t =
   t.pending_segs <- 0;
@@ -69,23 +116,11 @@ let send_ack_now t =
     t.ack_timer <- None
   | None -> ());
   t.acks_sent <- t.acks_sent + 1;
-  let tcp =
-    {
-      Packet.conn = t.conn;
-      subflow = t.subflow;
-      kind = Packet.Ack;
-      seq = 0;
-      payload = 0;
-      ack = t.rcv_nxt;
-      sack = sack_blocks t;
-      ece;
-      dss = None;
-      data_ack = t.data_ack ();
-    }
-  in
   let p =
-    Packet.make_tcp ~id:(t.fresh_id ()) ~src:t.addr ~dst:t.peer ~tag:t.tag
-      ~born:(Engine.Sched.now t.sched) tcp
+    Packet.Pool.acquire_tcp ?pool:t.pool ~id:(t.fresh_id ()) ~src:t.addr
+      ~dst:t.peer ~tag:t.tag ~born:(Engine.Sched.now t.sched) ~conn:t.conn
+      ~subflow:t.subflow ~kind:Packet.Ack ~seq:0 ~payload:0 ~ack:t.rcv_nxt
+      ~sack:(sack_blocks t) ~ece ~dss:None ~data_ack:(t.data_ack ()) ()
   in
   t.transmit p
 
@@ -96,12 +131,14 @@ let ack_for_in_order t =
   else begin
     t.pending_segs <- t.pending_segs + 1;
     if t.pending_segs >= 2 then send_ack_now t
-    else if t.ack_timer = None then
-      t.ack_timer <-
-        Some
-          (Engine.Sched.after t.sched t.ack_delay (fun () ->
-               t.ack_timer <- None;
-               if t.pending_segs > 0 then send_ack_now t))
+    else if t.ack_timer = None then begin
+      if t.ack_thunk == unarmed then
+        t.ack_thunk <-
+          (fun () ->
+            t.ack_timer <- None;
+            if t.pending_segs > 0 then send_ack_now t);
+      t.ack_timer <- Some (Engine.Sched.after t.sched t.ack_delay t.ack_thunk)
+    end
   end
 
 let rec drain t =
@@ -119,23 +156,11 @@ let rec drain t =
   | Some _ | None -> ()
 
 let send_syn_ack t =
-  let tcp =
-    {
-      Packet.conn = t.conn;
-      subflow = t.subflow;
-      kind = Packet.Syn_ack;
-      seq = 0;
-      payload = 0;
-      ack = 0;
-      sack = [];
-      ece = false;
-      dss = None;
-      data_ack = 0;
-    }
-  in
   t.transmit
-    (Packet.make_tcp ~id:(t.fresh_id ()) ~src:t.addr ~dst:t.peer ~tag:t.tag
-       ~born:(Engine.Sched.now t.sched) tcp)
+    (Packet.Pool.acquire_tcp ?pool:t.pool ~id:(t.fresh_id ()) ~src:t.addr
+       ~dst:t.peer ~tag:t.tag ~born:(Engine.Sched.now t.sched) ~conn:t.conn
+       ~subflow:t.subflow ~kind:Packet.Syn_ack ~seq:0 ~payload:0 ~ack:0
+       ~sack:[] ~ece:false ~dss:None ~data_ack:0 ())
 
 let handle_data t p =
   let tcp = Packet.tcp_exn p in

@@ -17,6 +17,7 @@ val create :
   tag:Packet.tag ->
   fresh_id:(unit -> int) ->
   transmit:(Packet.t -> unit) ->
+  ?pool:Packet.Pool.t ->
   on_deliver:(seq:int -> len:int -> dss:Packet.dss option -> unit) ->
   data_ack:(unit -> int) ->
   ?delayed_ack:bool ->

@@ -70,12 +70,17 @@ type t = {
   tag : Packet.tag;
   fresh_id : unit -> int;
   transmit : Packet.t -> unit;
+  pool : Packet.Pool.t option;
   source : source;
   rtt : Rtt.t;
   mutable cc : Cc.instance option; (* set right after creation *)
   mutable cwnd : float;
   mutable ssthresh : float;
   mutable outstanding : seg Imap.t;
+  mutable pipe_bytes : int;
+      (* RFC 6675 pipe, maintained incrementally across scoreboard flag
+         transitions: the old O(n) fold ran once per packet inside the
+         send loop, turning every window into a quadratic walk *)
   mutable snd_una : int;
   mutable snd_nxt : int;
   mutable snd_max : int;
@@ -86,6 +91,10 @@ type t = {
   mutable recovery_epoch : int;
   mutable highest_sacked : int; (* end of the highest SACKed range seen *)
   mutable rto_timer : Engine.Sched.timer option;
+  mutable rto_thunk : unit -> unit;
+      (* [fun () -> on_rto t], built once on first arm: the RTO is
+         rearmed on every ACK, so a fresh closure per arm is
+         steady-state allocation *)
   mutable established : bool;
   mutable conn_state : conn_state;
   mutable syn_sent_at : Engine.Time.t;
@@ -105,6 +114,13 @@ let cc_exn t =
   | Some cc -> cc
   | None -> assert false
 
+(* Not-yet-built sentinel for the cached RTO thunk.  A module-level
+   closure has one stable identity; [ignore] does not — it is the
+   primitive [%ignore], eta-expanded to a distinct closure at every use
+   site, so [t.rto_thunk == ignore] would never be true and the timer
+   would fire the sentinel no-op forever. *)
+let unarmed () = ()
+
 let default_srtt_s = 0.01 (* before any sample: 10 ms, a LAN-scale guess *)
 
 let srtt_s t =
@@ -122,10 +138,11 @@ let sibling_view t =
   }
 
 let create ~sched ~config ~conn ~subflow ~src ~dst ~tag ~fresh_id ~transmit
-    ~source ~cc ?siblings ?self_index () =
+    ?pool ~source ~cc ?siblings ?self_index () =
   let t =
     {
-      sched; config; conn; subflow; src; dst; tag; fresh_id; transmit; source;
+      sched; config; conn; subflow; src; dst; tag; fresh_id; transmit; pool;
+      source;
       rtt =
         Rtt.create ~initial_rto:config.initial_rto ~min_rto:config.min_rto
           ~max_rto:config.max_rto ();
@@ -133,6 +150,7 @@ let create ~sched ~config ~conn ~subflow ~src ~dst ~tag ~fresh_id ~transmit
       cwnd = config.initial_cwnd;
       ssthresh = config.initial_ssthresh;
       outstanding = Imap.empty;
+      pipe_bytes = 0;
       snd_una = 0;
       snd_nxt = 0;
       snd_max = 0;
@@ -143,6 +161,7 @@ let create ~sched ~config ~conn ~subflow ~src ~dst ~tag ~fresh_id ~transmit
       recovery_epoch = 0;
       highest_sacked = 0;
       rto_timer = None;
+      rto_thunk = unarmed;
       established = false;
       conn_state = (if config.handshake then Closed else Established);
       syn_sent_at = Engine.Time.zero;
@@ -184,6 +203,21 @@ let create ~sched ~config ~conn ~subflow ~src ~dst ~tag ~fresh_id ~transmit
 
 (* --- SACK scoreboard --- *)
 
+(* Scoreboard flag transitions funnel through these helpers so the
+   incremental pipe stays consistent: a segment counts toward the pipe
+   exactly while it is neither SACKed nor marked lost. *)
+let mark_sacked t seg =
+  if not seg.sacked then begin
+    seg.sacked <- true;
+    if not seg.lost then t.pipe_bytes <- t.pipe_bytes - seg.len
+  end
+
+let mark_lost t seg =
+  if not (seg.lost || seg.sacked) then begin
+    seg.lost <- true;
+    t.pipe_bytes <- t.pipe_bytes - seg.len
+  end
+
 let process_sack t blocks =
   List.iter
     (fun (s, e) ->
@@ -192,7 +226,7 @@ let process_sack t blocks =
         Imap.iter
           (fun seq seg ->
             if (not seg.sacked) && seq >= s && seq + seg.len <= e then
-              seg.sacked <- true)
+              mark_sacked t seg)
           t.outstanding
       end)
     blocks
@@ -200,11 +234,17 @@ let process_sack t blocks =
 (* RFC 6675-flavoured pipe: bytes believed in flight.  SACKed segments
    have arrived; segments marked lost are out of the network until their
    retransmission (which clears the mark) puts them back. *)
-let pipe t =
+let pipe t = t.pipe_bytes
+
+(* The scoreboard walk [pipe] used to be; kept as the oracle the
+   invariant auditor compares the incremental counter against. *)
+let pipe_scoreboard t =
   Imap.fold
     (fun _ seg acc ->
       if seg.sacked || seg.lost then acc else acc + seg.len)
     t.outstanding 0
+
+let pipe_consistent t = t.pipe_bytes = pipe_scoreboard t
 
 (* Mark as lost every unsacked segment with SACKed data wholly above it
    that has not already been retransmitted in this recovery (RFC 6675
@@ -216,7 +256,7 @@ let mark_lost_holes t =
         (not seg.sacked)
         && seg.rtx_epoch < t.recovery_epoch
         && seq + seg.len <= t.highest_sacked
-      then seg.lost <- true)
+      then mark_lost t seg)
     t.outstanding
 
 (* Next retransmission candidate under SACK: the lowest lost segment not
@@ -248,32 +288,22 @@ let cancel_rto t =
 
 let rec arm_rto t =
   cancel_rto t;
-  if t.conn_state = Syn_sent || not (Imap.is_empty t.outstanding) then
+  if t.conn_state = Syn_sent || not (Imap.is_empty t.outstanding) then begin
+    if t.rto_thunk == unarmed then t.rto_thunk <- (fun () -> on_rto t);
     t.rto_timer <-
-      Some (Engine.Sched.after t.sched (Rtt.rto t.rtt) (fun () -> on_rto t))
+      Some (Engine.Sched.after t.sched (Rtt.rto t.rtt) t.rto_thunk)
+  end
 
 and send_syn t ~is_retx =
   let now = Engine.Sched.now t.sched in
   t.conn_state <- Syn_sent;
   t.syn_sent_at <- now;
   if is_retx then t.syn_retx <- t.syn_retx + 1;
-  let tcp =
-    {
-      Packet.conn = t.conn;
-      subflow = t.subflow;
-      kind = Packet.Syn;
-      seq = 0;
-      payload = 0;
-      ack = 0;
-      sack = [];
-      ece = false;
-      dss = None;
-      data_ack = 0;
-    }
-  in
   t.transmit
-    (Packet.make_tcp ~id:(t.fresh_id ()) ~src:t.src ~dst:t.dst ~tag:t.tag
-       ~born:now tcp);
+    (Packet.Pool.acquire_tcp ?pool:t.pool ~id:(t.fresh_id ()) ~src:t.src
+       ~dst:t.dst ~tag:t.tag ~born:now ~conn:t.conn ~subflow:t.subflow
+       ~kind:Packet.Syn ~seq:0 ~payload:0 ~ack:0 ~sack:[] ~ece:false
+       ~dss:None ~data_ack:0 ());
   arm_rto t
 
 (* --- transmission --- *)
@@ -283,31 +313,21 @@ and send_seg t seg ~is_retx =
   if t.first_send = None then t.first_send <- Some now;
   t.established <- true;
   seg.sent_at <- now;
-  seg.lost <- false;
+  if seg.lost then begin
+    seg.lost <- false;
+    if not seg.sacked then t.pipe_bytes <- t.pipe_bytes + seg.len
+  end;
   if is_retx then begin
     seg.retx <- seg.retx + 1;
     t.stats.retransmits <- t.stats.retransmits + 1
   end;
   t.stats.segments_sent <- t.stats.segments_sent + 1;
-  let tcp =
-    {
-      Packet.conn = t.conn;
-      subflow = t.subflow;
-      kind = Packet.Data;
-      seq = seg.seq;
-      payload = seg.len;
-      ack = 0;
-      sack = [];
-      ece = false;
-      dss = seg.dss;
-      data_ack = 0;
-    }
-  in
   let p =
-    Packet.make_tcp ~id:(t.fresh_id ()) ~src:t.src ~dst:t.dst ~tag:t.tag
-      ~born:now
+    Packet.Pool.acquire_tcp ?pool:t.pool ~id:(t.fresh_id ()) ~src:t.src
+      ~dst:t.dst ~tag:t.tag ~born:now
       ~ecn:(if t.config.ecn then Packet.Ect else Packet.Not_ect)
-      tcp
+      ~conn:t.conn ~subflow:t.subflow ~kind:Packet.Data ~seq:seg.seq
+      ~payload:seg.len ~ack:0 ~sack:[] ~ece:false ~dss:seg.dss ~data_ack:0 ()
   in
   t.transmit p;
   (match t.monitor with
@@ -375,6 +395,7 @@ and try_send_established t =
                 retx = 0; sacked = false; lost = false; rtx_epoch = -1 }
             in
             t.outstanding <- Imap.add seg.seq seg t.outstanding;
+            t.pipe_bytes <- t.pipe_bytes + len;
             send_seg t seg ~is_retx:false;
             t.snd_nxt <- seg.seq + seg.len;
             t.snd_max <- max t.snd_max t.snd_nxt
@@ -410,8 +431,7 @@ and on_rto t =
     (* Everything unacknowledged and unSACKed is presumed lost; rewind
        and let the (collapsed) window re-send, skipping SACKed segments
        (RFC 6675 section 5.1). *)
-    Imap.iter (fun _ seg -> if not seg.sacked then seg.lost <- true)
-      t.outstanding;
+    Imap.iter (fun _ seg -> mark_lost t seg) t.outstanding;
     t.snd_nxt <- t.snd_una;
     arm_rto t;
     try_send t
@@ -437,7 +457,7 @@ let enter_recovery t =
     (* The segment at snd_una is the surest hole: the duplicate ACKs
        prove data above it arrived. *)
     (match Imap.min_binding_opt t.outstanding with
-    | Some (_, seg) when not seg.sacked -> seg.lost <- true
+    | Some (_, seg) when not seg.sacked -> mark_lost t seg
     | Some _ | None -> ());
     match next_hole t with
     | Some seg ->
@@ -496,6 +516,8 @@ let handle_ack t (tcp : Packet.tcp) =
       match Imap.min_binding_opt t.outstanding with
       | Some (seq, seg) when seq + seg.len <= a ->
         if seg.retx = 0 then sample := Some seg.sent_at;
+        if not (seg.sacked || seg.lost) then
+          t.pipe_bytes <- t.pipe_bytes - seg.len;
         t.outstanding <- Imap.remove seq t.outstanding;
         drop ()
       | Some _ | None -> ()

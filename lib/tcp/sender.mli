@@ -76,13 +76,18 @@ val create :
   tag:Packet.tag ->
   fresh_id:(unit -> int) ->
   transmit:(Packet.t -> unit) ->
+  ?pool:Packet.Pool.t ->
   source:source ->
   cc:Cc.factory ->
   ?siblings:(unit -> Cc.sibling array) ->
   ?self_index:(unit -> int) ->
   unit -> t
 (** [siblings]/[self_index] give coupled controllers their view of the
-    owning connection; they default to "this subflow alone". *)
+    owning connection; they default to "this subflow alone".
+
+    [pool] (normally the owning {!Netsim.Net.pool}) lets the sender
+    recycle released packet records instead of allocating fresh ones;
+    omitted, every segment allocates as before. *)
 
 val handle_ack : t -> Packet.tcp -> unit
 (** Feed an arriving ACK (or SYN-ACK) for this subflow. *)
@@ -109,6 +114,12 @@ val cwnd : t -> float
 val ssthresh : t -> float
 val in_recovery : t -> bool
 val in_flight_bytes : t -> int
+
+val pipe_consistent : t -> bool
+(** [true] iff the incrementally maintained RFC 6675 pipe equals an O(n)
+    recount of the SACK scoreboard.  Audit hook: the send loop gates on
+    the incremental counter, so drift here means wrong pacing. *)
+
 val srtt : t -> Engine.Time.t option
 val rto : t -> Engine.Time.t
 val stats : t -> stats

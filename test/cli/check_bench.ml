@@ -22,6 +22,8 @@ let required =
     "Baseline: single-path TCP";
     "Extension: n pairwise-overlapping paths";
     "Extension: two MPTCP connections";
+    "allocation profile: paper sim (CUBIC)";
+    "words per packet";
     "Bechamel micro-benchmarks";
     "profile: per-phase domain utilisation";
     "[json] wrote";
@@ -50,6 +52,8 @@ let () =
     let json_ok =
       contains j "\"microbench_ns\"" && contains j "\"wall_clock_s\""
       && contains j "\"jobs\": 2" && contains j "\"profile\""
+      && contains j "\"alloc\"" && contains j "\"words_per_packet\""
+      && contains j "\"pool_recycled\""
     in
     if not json_ok then Printf.eprintf "malformed %s:\n%s\n" json j;
     if missing <> [] || not json_ok then exit 1;

@@ -341,6 +341,40 @@ let runner_scenarios_deterministic () =
   in
   Alcotest.(check bool) "jobs:1 = jobs:4" true (summaries 1 = summaries 4)
 
+let runner_pool_deterministic () =
+  (* The freelist is per-Net and sims stay serial inside a domain, so
+     pooling must not perturb parallel determinism: the same batch on 1
+     and 4 domains yields identical results AND identical pool traffic
+     (acquire/recycle/release counts and wire-id totals). *)
+  let specs =
+    List.map (fun seed -> quick_spec ~seed ~duration:1 ()) [ 1; 2; 3 ]
+  in
+  let fingerprint jobs =
+    Core.Runner.scenarios ~jobs specs
+    |> List.map (fun r ->
+           let s = r.Core.Scenario.pool_stats in
+           ( r.Core.Scenario.events_processed,
+             r.Core.Scenario.delivered_bytes,
+             r.Core.Scenario.packets_created,
+             ( s.Packet.Pool.acquired,
+               s.Packet.Pool.recycled,
+               s.Packet.Pool.released,
+               s.Packet.Pool.double_releases ) ))
+  in
+  let f1 = fingerprint 1 and f4 = fingerprint 4 in
+  Alcotest.(check bool) "pool counters identical for jobs 1 and 4" true
+    (f1 = f4);
+  List.iter
+    (fun (_, _, created, (acquired, recycled, released, doubles)) ->
+      Alcotest.(check int) "no double releases" 0 doubles;
+      Alcotest.(check bool) "pool actually used" true (acquired > 0);
+      Alcotest.(check bool) "recycling actually happens" true (recycled > 0);
+      Alcotest.(check bool) "released within acquired" true
+        (released <= acquired);
+      Alcotest.(check bool) "wire ids cover pooled acquisitions" true
+        (created >= acquired))
+    f1
+
 let runner_propagates_failures () =
   let boom = Invalid_argument "Scenario.make: no paths" in
   Alcotest.check_raises "spec validation escapes the pool" boom (fun () ->
@@ -409,6 +443,8 @@ let () =
             runner_jobs_deterministic;
           Alcotest.test_case "scenario batch identical for jobs 1 and 4"
             `Quick runner_scenarios_deterministic;
+          Alcotest.test_case "pool counters identical for jobs 1 and 4"
+            `Quick runner_pool_deterministic;
           Alcotest.test_case "job failures propagate" `Quick
             runner_propagates_failures;
           Alcotest.test_case "figures identical across jobs" `Slow

@@ -94,7 +94,7 @@ let heap_capacity () =
 let heap_compact_basic () =
   let h = Heap.create () in
   List.iteri (fun i k -> Heap.push h ~key:k ~tie:i k) [ 5; 1; 4; 2; 3 ];
-  Heap.compact h ~keep:(fun v -> v mod 2 = 1);
+  Heap.compact h ~keep:(fun ~tie:_ v -> v mod 2 = 1);
   check_int "three survivors" 3 (Heap.length h);
   let popped =
     List.init 3 (fun _ ->
@@ -155,7 +155,7 @@ let heap_qcheck_compact_order =
     (fun entries ->
       let h = Heap.create () in
       List.iteri (fun i (k, keep) -> Heap.push h ~key:k ~tie:i keep) entries;
-      Heap.compact h ~keep:(fun b -> b);
+      Heap.compact h ~keep:(fun ~tie:_ b -> b);
       let surviving =
         List.mapi (fun i (k, keep) -> (k, i, keep)) entries
         |> List.filter (fun (_, _, keep) -> keep)

@@ -98,6 +98,101 @@ let pretty_printing () =
         true (contains ~needle:fragment s))
     [ "DATA"; "tag=2"; "dss=42" ]
 
+(* --- freelist --- *)
+
+let acquire ?pool ~id () =
+  Packet.Pool.acquire_tcp ?pool ~id ~src:0 ~dst:1 ~tag:1 ~born:0 ~conn:1
+    ~subflow:0 ~kind:Packet.Data ~seq:1000 ~payload:Packet.default_mss ~ack:0
+    ~sack:[] ~ece:false ~dss:None ~data_ack:0 ()
+
+let pool_recycles () =
+  let pool = Packet.Pool.create () in
+  let p = acquire ~pool ~id:1 () in
+  Alcotest.(check int) "fresh size" 1500 p.Packet.size;
+  Packet.Pool.release pool p;
+  Alcotest.(check bool) "poisoned after release" true (Packet.is_poisoned p);
+  let q = acquire ~pool ~id:2 () in
+  Alcotest.(check bool) "record physically reused" true (p == q);
+  Alcotest.(check int) "rebuilt id" 2 q.Packet.id;
+  Alcotest.(check bool) "no longer poisoned" false (Packet.is_poisoned q);
+  let s = Packet.Pool.stats pool in
+  Alcotest.(check int) "acquired" 2 s.Packet.Pool.acquired;
+  Alcotest.(check int) "recycled" 1 s.Packet.Pool.recycled;
+  Alcotest.(check int) "released" 1 s.Packet.Pool.released;
+  Alcotest.(check int) "live" 1 (Packet.Pool.live pool)
+
+let pool_without_pool_allocates () =
+  let p = acquire ~id:7 () in
+  Alcotest.(check int) "plain constructor path" 7 p.Packet.id
+
+let pool_double_release_counted () =
+  let pool = Packet.Pool.create () in
+  let p = acquire ~pool ~id:1 () in
+  Packet.Pool.release pool p;
+  Packet.Pool.release pool p;
+  let s = Packet.Pool.stats pool in
+  Alcotest.(check int) "counted once" 1 s.Packet.Pool.double_releases;
+  Alcotest.(check int) "released once" 1 s.Packet.Pool.released;
+  (* The freelist must not hand the same record out twice. *)
+  let a = acquire ~pool ~id:2 () in
+  let b = acquire ~pool ~id:3 () in
+  Alcotest.(check bool) "distinct records" true (not (a == b))
+
+let pool_debug_raises () =
+  let pool = Packet.Pool.create ~debug:true () in
+  let p = acquire ~pool ~id:1 () in
+  Packet.Pool.release pool p;
+  Alcotest.(check bool) "double release raises in debug" true
+    (try
+       Packet.Pool.release pool p;
+       false
+     with Failure _ -> true)
+
+let pool_debug_scrubs () =
+  let pool = Packet.Pool.create ~debug:true () in
+  let p = acquire ~pool ~id:1 () in
+  Packet.Pool.release pool p;
+  Alcotest.(check int) "id poisoned" Packet.poison_id p.Packet.id;
+  Alcotest.(check int) "src scrubbed" (-1) p.Packet.src;
+  let s = Format.asprintf "%a" Packet.pp p in
+  Alcotest.(check bool) "pp guards released records" true
+    (contains ~needle:"released" s)
+
+let copy_is_deep () =
+  let p =
+    Packet.make_tcp ~id:5 ~src:0 ~dst:1 ~tag:2 ~born:0
+      (data_tcp ~dss:(Some { Packet.dseq = 10; dlen = Packet.default_mss }) ())
+  in
+  let c = Packet.copy p in
+  Alcotest.(check bool) "fresh record" true (not (p == c));
+  (match (p.Packet.body, c.Packet.body) with
+  | Packet.Tcp a, Packet.Tcp b ->
+    Alcotest.(check bool) "fresh tcp record" true (not (a == b));
+    a.Packet.seq <- 9999;
+    Alcotest.(check int) "copy unaffected by mutation" 1000 b.Packet.seq
+  | _ -> Alcotest.fail "expected TCP bodies");
+  p.Packet.id <- 42;
+  Alcotest.(check int) "copy keeps original id" 5 c.Packet.id
+
+let sack_bound_o1 () =
+  let sack4 = [ (1, 2); (3, 4); (5, 6); (7, 8) ] in
+  Alcotest.(check bool) "4 blocks rejected" true
+    (try
+       ignore
+         (Packet.make_tcp ~id:1 ~src:0 ~dst:1 ~tag:1 ~born:0
+            { (data_tcp ~payload:0 ()) with
+              Packet.kind = Packet.Ack;
+              sack = sack4 });
+       false
+     with Invalid_argument _ -> true);
+  let sack3 = [ (1, 2); (3, 4); (5, 6) ] in
+  let p =
+    Packet.make_tcp ~id:1 ~src:0 ~dst:1 ~tag:1 ~born:0
+      { (data_tcp ~payload:0 ()) with Packet.kind = Packet.Ack; sack = sack3 }
+  in
+  Alcotest.(check int) "3 blocks accepted" 3
+    (List.length (Packet.tcp_exn p).Packet.sack)
+
 let () =
   Alcotest.run "packet"
     [
@@ -111,5 +206,20 @@ let () =
           Alcotest.test_case "plain size validation" `Quick plain_validation;
           Alcotest.test_case "tcp_exn on plain raises" `Quick tcp_exn_on_plain;
           Alcotest.test_case "pretty printing" `Quick pretty_printing;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "acquire recycles released records" `Quick
+            pool_recycles;
+          Alcotest.test_case "acquire without a pool still works" `Quick
+            pool_without_pool_allocates;
+          Alcotest.test_case "double release counted, freelist safe" `Quick
+            pool_double_release_counted;
+          Alcotest.test_case "debug mode raises on double release" `Quick
+            pool_debug_raises;
+          Alcotest.test_case "debug mode scrubs released records" `Quick
+            pool_debug_scrubs;
+          Alcotest.test_case "copy is deep" `Quick copy_is_deep;
+          Alcotest.test_case "SACK bound check is O(1)" `Quick sack_bound_o1;
         ] );
     ]

@@ -656,6 +656,20 @@ let bench_paper_sim =
      in
      ignore (Core.Scenario.run spec))
 
+(* The fluid analogue of [bench_paper_sim]: compile the paper topology
+   into the ODE model and solve for the equilibrium, end to end.  The
+   gate holds the CUBIC entry to >= 100x faster than the packet sim
+   measured in the same run. *)
+let bench_fluid name controller =
+  Test.make ~name
+    (Staged.stage @@ fun () ->
+     let topo = Core.Paper_net.topology () in
+     let paths = Core.Paper_net.paths topo in
+     let m = Fluid.Model.compile topo ~paths ~controller () in
+     ignore (Fluid.Equilibrium.solve m ()))
+
+let fluid_key = "fluid equilibrium paper (CUBIC)"
+
 let microbench () =
   hr "Bechamel micro-benchmarks (ns per run, OLS on the monotonic clock)";
   let tests =
@@ -666,6 +680,9 @@ let microbench () =
       bench_cc "lia 1k acks" Mptcp.Cc_lia.factory;
       bench_cc "olia 1k acks" Mptcp.Cc_olia.factory;
       bench_reassembly; bench_paper_sim;
+      bench_fluid fluid_key Fluid.Controller.Cubic;
+      bench_fluid "fluid equilibrium paper (LIA)" Fluid.Controller.Lia;
+      bench_fluid "fluid equilibrium paper (OLIA)" Fluid.Controller.Olia;
     ]
   in
   let ols =
@@ -693,7 +710,21 @@ let microbench () =
             Printf.printf "  %-32s (no estimate)\n" (Test.Elt.name elt))
         (Test.elements test))
     tests;
-  List.rev !estimates
+  let estimates = List.rev !estimates in
+  (* The fluid engine's reason to exist: equilibria in microseconds
+     where the packet sim takes milliseconds.  Both sides are measured
+     in this same run, so the ratio is machine-independent. *)
+  (match
+     ( List.assoc_opt "paper sim 200ms (CUBIC)" estimates,
+       List.assoc_opt fluid_key estimates )
+   with
+  | Some sim_ns, Some fluid_ns when fluid_ns > 0.0 ->
+    Printf.printf
+      "  fluid speedup: paper equilibrium in %.0f ns vs %.0f ns packet sim \
+       = %.0fx faster\n"
+      fluid_ns sim_ns (sim_ns /. fluid_ns)
+  | _ -> ());
+  estimates
 
 (* ------------------------------------------------------------------ *)
 (* 5. Invariant audit sweep (opt-in via --audit)                       *)
@@ -875,6 +906,22 @@ let gate_check ~microbench_ns ~alloc =
   (match List.assoc_opt sim_key microbench_ns with
   | Some ns -> check (sim_key ^ " ns/run") ns (json_number base sim_key)
   | None -> Printf.printf "  %s missing from this run, skipped\n" sim_key);
+  (match List.assoc_opt fluid_key microbench_ns with
+  | Some ns -> check (fluid_key ^ " ns/run") ns (json_number base fluid_key)
+  | None -> Printf.printf "  %s missing from this run, skipped\n" fluid_key);
+  (* Absolute floor, not a baseline ratio: the fluid solve must stay
+     >= 100x faster than the packet sim measured in this same run. *)
+  (match
+     (List.assoc_opt sim_key microbench_ns, List.assoc_opt fluid_key
+        microbench_ns)
+   with
+  | Some sim_ns, Some fluid_ns when fluid_ns > 0.0 ->
+    let speedup = sim_ns /. fluid_ns in
+    Printf.printf "  %-34s %12.0fx (floor 100x)%s\n" "fluid speedup vs sim"
+      speedup
+      (if speedup < 100.0 then "  REGRESSION" else "");
+    if speedup < 100.0 then failures := "fluid speedup vs sim" :: !failures
+  | _ -> ());
   check "alloc words_per_packet" alloc.a_words_per_packet
     (json_number base "words_per_packet");
   if !failures = [] then

@@ -288,6 +288,124 @@ let run_cmd =
       $ seed_t $ buffer_t $ csv_t $ ptrace_t $ audit_t $ trace_json_t
       $ trace_csv_t $ metrics_t $ profile_t)
 
+(* --- fluid --- *)
+
+let fluid_cmd =
+  let exec cc default validate timing csv horizon samples tol =
+    let topo = Core.Paper_net.topology () in
+    let paths = Core.Paper_net.tagged_paths ~default topo in
+    let kinds =
+      match String.lowercase_ascii cc with
+      | "all" ->
+        [ Fluid.Controller.Cubic; Fluid.Controller.Lia; Fluid.Controller.Olia ]
+      | s -> (
+        match Fluid.Controller.of_string s with
+        | Some k -> [ k ]
+        | None ->
+          Format.eprintf "unknown fluid controller %S (cubic, reno, lia, olia, all)@." s;
+          exit 2)
+    in
+    let spec_of kind =
+      Core.Scenario.make ~topo ~paths ~cc:(Fluid.Controller.to_algorithm kind)
+        ()
+    in
+    let failures = ref 0 in
+    List.iter
+      (fun kind ->
+        let spec = spec_of kind in
+        let wall0 = Unix.gettimeofday () in
+        let report =
+          if validate then Fluid.Validate.against_sim ~tol spec
+          else Fluid.Validate.equilibrium ~tol spec
+        in
+        let wall_s = Unix.gettimeofday () -. wall0 in
+        match report with
+        | Error msg ->
+          Format.eprintf "fluid %s: %s@." (Fluid.Controller.name kind) msg;
+          incr failures
+        | Ok rep ->
+          Format.printf "%a@." Fluid.Validate.pp rep;
+          if timing then Format.printf "wall time: %.3f ms@." (wall_s *. 1e3);
+          Format.printf "@.";
+          if not rep.Fluid.Validate.diag.Fluid.Equilibrium.converged then
+            incr failures)
+      kinds;
+    (match (csv, kinds) with
+    | None, _ -> ()
+    | Some path, [ kind ] ->
+      let m =
+        Fluid.Model.compile topo ~paths:(List.map snd paths) ~controller:kind
+          ()
+      in
+      let samples', _stats =
+        Fluid.Trajectory.run m ~horizon ~samples ()
+      in
+      let buf = Buffer.create 4096 in
+      let ppf = Format.formatter_of_buffer buf in
+      Fluid.Trajectory.write_csv m ppf samples';
+      Format.pp_print_flush ppf ();
+      Measure.Render.write_file ~path (Buffer.contents buf);
+      Format.printf "wrote %s@." path
+    | Some _, _ ->
+      Format.eprintf "--csv needs a single --cc (not all)@.";
+      exit 2);
+    if !failures > 0 then exit 1
+  in
+  let cc_t =
+    Arg.(
+      value & opt string "all"
+      & info [ "cc" ] ~docv:"ALGO"
+          ~doc:"Fluid controller: cubic, reno, lia, olia, or all.")
+  in
+  let default_t =
+    Arg.(
+      value & opt int 2
+      & info [ "default" ] ~docv:"PATH"
+          ~doc:"Which path (1-3) is the default subflow.")
+  in
+  let validate_t =
+    Arg.(
+      value & flag
+      & info [ "validate" ]
+          ~doc:
+            "Also run the packet-level simulator on the same scenario and \
+             report per-path fluid-vs-sim deviations.")
+  in
+  let timing_t =
+    Arg.(
+      value & flag
+      & info [ "timing" ]
+          ~doc:
+            "Print wall time per solve (off by default so output is \
+             byte-stable for the CLI smoke tests).")
+  in
+  let horizon_t =
+    Arg.(
+      value & opt float 4.0
+      & info [ "horizon" ] ~docv:"SECONDS"
+          ~doc:"Trajectory length for --csv.")
+  in
+  let samples_t =
+    Arg.(
+      value & opt int 200
+      & info [ "samples" ] ~docv:"N" ~doc:"Trajectory samples for --csv.")
+  in
+  let tol_t =
+    Arg.(
+      value & opt float 1e-4
+      & info [ "tol" ] ~docv:"X"
+          ~doc:"Equilibrium residual target (state units per second).")
+  in
+  Cmd.v
+    (Cmd.info "fluid"
+       ~doc:
+         "Solve the fluid (ODE) model of the paper scenario: per-path \
+          equilibrium rates vs the LP optimum, optional simulator \
+          cross-validation and trajectory CSV")
+    Term.(
+      const exec $ cc_t $ default_t $ validate_t $ timing_t $ csv_t
+      $ horizon_t $ samples_t $ tol_t)
+
 (* --- figures --- *)
 
 let figures_cmd =
@@ -409,5 +527,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ paths_cmd; lp_opt_cmd; run_cmd; figures_cmd; sweep_cmd;
-            scaling_cmd ]))
+          [ paths_cmd; lp_opt_cmd; run_cmd; fluid_cmd; figures_cmd;
+            sweep_cmd; scaling_cmd ]))

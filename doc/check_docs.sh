@@ -33,7 +33,7 @@ doc_one() {
     done
     shift
     incs=""
-    for dep in engine packet netgraph netsim tcp mptcp measure lp core audit fuzz obs; do
+    for dep in engine packet netgraph netsim tcp mptcp measure lp core audit fuzz obs fluid; do
         [ -d "$(objs "$dep")" ] && incs="$incs -I $(objs "$dep")"
     done
     # shellcheck disable=SC2086
@@ -62,6 +62,14 @@ doc_one audit -- \
 
 doc_one fuzz -- \
     "$root/lib/fuzz/fuzz.mli"
+
+doc_one fluid Fluid -- \
+    "$root/lib/fluid/controller.mli" \
+    "$root/lib/fluid/ode.mli" \
+    "$root/lib/fluid/model.mli" \
+    "$root/lib/fluid/equilibrium.mli" \
+    "$root/lib/fluid/trajectory.mli" \
+    "$root/lib/fluid/validate.mli"
 
 doc_one obs Obs -- \
     "$root/lib/obs/ring.mli" \

@@ -308,27 +308,31 @@ let check_lp t ~topo ~paths ~measured_bps ?(tolerance = 0.05) () =
     measured_bps;
   let finite x = if Float.is_finite x then x else 0.0 in
   let sys = Netgraph.Constraints.extract topo paths in
+  (* One shared checker decides feasibility for the audit and the fluid
+     validator alike (Netgraph.Constraints.violations); the audit only
+     adds per-row bookkeeping and messages on top. *)
+  let viols =
+    Netgraph.Constraints.violations ~slack_frac:tolerance ~slack_abs:1e6 sys
+      ~x:(Array.map finite measured_bps)
+  in
   Array.iteri
-    (fun i row ->
-      let lhs = ref 0.0 in
-      Array.iteri
-        (fun j aij -> lhs := !lhs +. (aij *. finite measured_bps.(j)))
-        row;
-      let cap = sys.Netgraph.Constraints.b.(i) in
-      let slack = Float.max (cap *. tolerance) 1e6 in
-      check t ~invariant:"lp.feasibility"
-        (!lhs <= cap +. slack)
-        (fun () ->
+    (fun i _ ->
+      let viol =
+        List.find_opt (fun v -> v.Netgraph.Constraints.row = i) viols
+      in
+      check t ~invariant:"lp.feasibility" (viol = None) (fun () ->
+          let v = Option.get viol in
           let l =
-            Netgraph.Topology.link topo
-              sys.Netgraph.Constraints.link_rows.(i)
+            Netgraph.Topology.link topo v.Netgraph.Constraints.link_id
           in
           Printf.sprintf
             "link %s-%s: measured %.2f Mbps exceeds capacity %.2f Mbps \
              (tolerance %.0f%%)"
             (Netgraph.Topology.node_name topo l.Netgraph.Topology.u)
             (Netgraph.Topology.node_name topo l.Netgraph.Topology.v)
-            (!lhs /. 1e6) (cap /. 1e6) (tolerance *. 100.)))
+            (v.Netgraph.Constraints.load_bps /. 1e6)
+            (v.Netgraph.Constraints.cap_bps /. 1e6)
+            (tolerance *. 100.)))
     sys.Netgraph.Constraints.a;
   let first = List.hd paths in
   let src = Netgraph.Path.src first and dst = Netgraph.Path.dst first in

@@ -251,6 +251,13 @@ let run spec =
     obs;
   }
 
+let constraint_system spec =
+  Netgraph.Constraints.extract spec.topo (List.map snd spec.paths)
+
+let optimum_rates spec =
+  (Netgraph.Constraints.optimum spec.topo (List.map snd spec.paths))
+    .Netgraph.Constraints.per_path_bps
+
 let optimal_total_mbps result = result.optimum.Netgraph.Constraints.total_bps /. 1e6
 
 let tail_start result =

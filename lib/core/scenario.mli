@@ -100,6 +100,16 @@ type result = {
 
 val run : spec -> result
 
+val constraint_system : spec -> Netgraph.Constraints.system
+(** The spec's capacity-constraint system, in [spec.paths] order — the
+    same extraction {!run} solves for [result.optimum] and the audit
+    checks feasibility against. *)
+
+val optimum_rates : spec -> float array
+(** Per-path LP-optimal rates in bits per second, in [spec.paths]
+    order: the reusable "what should this scenario achieve" entry point
+    shared by the CLI, the fluid validator and the tests. *)
+
 val optimal_total_mbps : result -> float
 
 val tail_mean_mbps : result -> float

@@ -1,0 +1,28 @@
+(** Sampled transient solutions of a fluid model.
+
+    Integrates the compiled ODE from a start state over a horizon and
+    records evenly spaced samples — the fluid counterpart of the
+    simulator's per-interval measurement, and the data behind the
+    [fluid --csv] trajectory export. *)
+
+type sample = {
+  t : float;                 (** seconds since start *)
+  windows : float array;     (** MSS, per path *)
+  queues : float array;      (** packets, per {!Model.link_ids} entry *)
+  rates_mbps : float array;  (** delivered rate per path *)
+  total_mbps : float;
+}
+
+val run :
+  Model.t -> ?y0:float array -> horizon:float -> samples:int -> ?tol:float
+  -> unit -> sample list * Ode.stats
+(** [run m ~horizon ~samples ()] integrates from [y0] (default
+    {!Model.initial}; not mutated) and returns [samples + 1] samples
+    including both endpoints, in time order.  [samples] must be
+    positive.  [tol] is passed to {!Ode.integrate} (default [1e-6]). *)
+
+val write_csv : Model.t -> Format.formatter -> sample list -> unit
+(** Header then one row per sample: time, per-path windows, per-link
+    queues, per-path delivered rates, total.  Columns are labelled with
+    path indices and topology link ids.  Numbers print with [%.6g], so
+    the output is stable across runs and platforms. *)

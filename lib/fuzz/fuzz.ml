@@ -131,6 +131,31 @@ let pool_test ?(count = 60) () =
         fail "no pooled acquisitions - property is vacuous"
       else true)
 
+let fluid_test ?(count = 100) () =
+  QCheck.Test.make ~count
+    ~name:"fuzz: fluid equilibria are LP-feasible on random topologies"
+    arbitrary
+    (fun c ->
+      (* Same generator as the packet-level sweep, but the property is
+         analytic: compile the scenario's fluid model, solve for the
+         equilibrium, and require the resulting goodputs to sit inside
+         the LP polytope — through the same
+         Netgraph.Constraints.violations checker the audit uses.
+         Algorithms without a fluid counterpart are skipped (the
+         compile step reports them), never silently passed: the match
+         is exhaustive over the compile result. *)
+      match Fluid.Validate.equilibrium (to_spec c) with
+      | Error _ -> true (* BALIA / EWTCP / wVegas: no fluid model *)
+      | Ok v ->
+        if not v.Fluid.Validate.diag.Fluid.Equilibrium.converged then
+          QCheck.Test.fail_reportf "case %s: fluid solve did not converge@.%a"
+            (to_string c) Fluid.Validate.pp v
+        else if not v.Fluid.Validate.lp_feasible then
+          QCheck.Test.fail_reportf
+            "case %s: fluid equilibrium outside the LP polytope@.%a"
+            (to_string c) Fluid.Validate.pp v
+        else true)
+
 let test ?(count = 120) () =
   QCheck.Test.make ~count
     ~name:"fuzz: random audited scenarios are violation-free" arbitrary

@@ -53,6 +53,13 @@ val test : ?count:int -> unit -> QCheck.Test.t
 (** The property: [count] (default 120) random audited scenarios all
     produce violation-free reports. *)
 
+val fluid_test : ?count:int -> unit -> QCheck.Test.t
+(** The analytic property: over [count] (default 100) random scenarios
+    from the same generator, the fluid model (when the drawn algorithm
+    has one) converges and its equilibrium goodputs are LP-feasible —
+    checked through the same {!Netgraph.Constraints.violations} path as
+    the audit's [lp.feasibility] invariant. *)
+
 val pool_test : ?count:int -> unit -> QCheck.Test.t
 (** The freelist property: over [count] (default 60) random audited
     scenarios the packet pool never double-releases or resurrects a live

@@ -30,6 +30,30 @@ let extract topo path_list =
   in
   { paths; link_rows; a; b }
 
+type violation = { row : int; link_id : int; load_bps : float; cap_bps : float }
+
+let violations ?(slack_frac = 0.0) ?(slack_abs = 0.0) sys ~x =
+  let n = Array.length sys.paths in
+  if Array.length x <> n then
+    invalid_arg "Constraints.violations: rate vector has the wrong length";
+  let out = ref [] in
+  for i = Array.length sys.link_rows - 1 downto 0 do
+    let load = ref 0.0 in
+    for j = 0 to n - 1 do load := !load +. (sys.a.(i).(j) *. x.(j)) done;
+    let allowance = Float.max (sys.b.(i) *. slack_frac) slack_abs in
+    if !load > sys.b.(i) +. allowance then
+      out :=
+        { row = i;
+          link_id = sys.link_rows.(i);
+          load_bps = !load;
+          cap_bps = sys.b.(i) }
+        :: !out
+  done;
+  !out
+
+let feasible ?slack_frac ?slack_abs sys ~x =
+  violations ?slack_frac ?slack_abs sys ~x = []
+
 type optimum = {
   total_bps : float;
   per_path_bps : float array;

@@ -15,6 +15,28 @@ type system = {
 val extract : Topology.t -> Path.t list -> system
 (** Raises [Invalid_argument] on an empty path list. *)
 
+(** One capacity constraint exceeded by a rate vector. *)
+type violation = {
+  row : int;           (** row index into {!system} *)
+  link_id : int;       (** topology link id of that row *)
+  load_bps : float;    (** offered load summed over the row's paths *)
+  cap_bps : float;     (** the row's capacity *)
+}
+
+val violations :
+  ?slack_frac:float -> ?slack_abs:float -> system -> x:float array
+  -> violation list
+(** Capacity rows that [x] (bits per second per path, in {!system} path
+    order) overloads by more than [max (cap * slack_frac) slack_abs]
+    (both default 0).  This single checker backs the audit's
+    lp.feasibility invariant and the fluid validator, so "feasible"
+    means the same thing everywhere.  Raises [Invalid_argument] when
+    [x] has the wrong length. *)
+
+val feasible :
+  ?slack_frac:float -> ?slack_abs:float -> system -> x:float array -> bool
+(** [violations = []]. *)
+
 type optimum = {
   total_bps : float;
   per_path_bps : float array;

@@ -25,6 +25,8 @@ let required =
     "allocation profile: paper sim (CUBIC)";
     "words per packet";
     "Bechamel micro-benchmarks";
+    "fluid equilibrium paper (CUBIC)";
+    "fluid speedup: paper equilibrium";
     "profile: per-phase domain utilisation";
     "[json] wrote";
     "=== done ===";

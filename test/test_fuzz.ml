@@ -1,13 +1,18 @@
 (* Seed-pinned property-based fuzzing sweep (also behind the @fuzz
    alias): 120 random audited scenarios — random pairwise-overlap
    topologies, congestion controllers, schedulers, qdiscs, buffers and
-   jitter — must all be violation-free, and 60 more must keep the packet
+   jitter — must all be violation-free, 60 more must keep the packet
    freelist honest (no double release, no resurrection, coherent
-   counters).  The pinned RNG keeps the sweep reproducible; QCheck
-   shrinks any failure to a minimal case. *)
+   counters), and 100 analytic cases must produce converged,
+   LP-feasible fluid equilibria.  The pinned RNG keeps the sweep
+   reproducible; QCheck shrinks any failure to a minimal case. *)
 
 let () =
   exit
     (QCheck_base_runner.run_tests ~colors:false ~verbose:true
        ~rand:(Random.State.make [| 0x5eed |])
-       [ Fuzz.test ~count:120 (); Fuzz.pool_test ~count:60 () ])
+       [
+         Fuzz.test ~count:120 ();
+         Fuzz.pool_test ~count:60 ();
+         Fuzz.fluid_test ~count:100 ();
+       ])

@@ -47,10 +47,11 @@ let flag_value names =
 let csv_dir = flag_value [ "--csv-dir" ]
 
 (* `--gate` turns the run into a perf-regression check: after writing
-   the JSON summary, the paper-sim microbench and the
+   the JSON summary, the paper-sim and fluid microbenches and the
    allocations-per-packet figure are compared against the committed
-   baseline (`--baseline PATH`, default BENCH_results.json) and the
-   process exits non-zero on a >10% regression in either. *)
+   baseline (`--baseline PATH`, default BENCH_results.json), plus the
+   same-run structural floors in [gate_check]; the process exits
+   non-zero on any failure. *)
 let gate = Array.exists (fun a -> a = "--gate") Sys.argv
 
 (* `--alloc-only` runs just the GC-bracketed allocation profile and
@@ -63,7 +64,13 @@ let baseline_path =
   | Some p -> p
   | None -> "BENCH_results.json"
 
-let gate_tolerance = 1.10
+(* Baseline-ratio tolerance.  The reference box is a single loaded
+   core: the microsecond-scale microbenches (fluid solve especially)
+   wander +-15-20% run to run with the code untouched, so a 10%
+   tolerance flagged noise as regression.  The structural floors below
+   (same-run ratios and absolute limits with measured margin) do the
+   strict enforcement; the baseline ratios are a coarse backstop. *)
+let gate_tolerance = 1.25
 
 let jobs =
   match flag_value [ "--jobs"; "-j" ] with
@@ -541,12 +548,17 @@ let two_connections_fairness () =
 open Bechamel
 open Toolkit
 
+(* Keys are microsecond-spaced, like the simulation's real timers
+   (RTTs are milliseconds, events microseconds apart).  The old
+   [i * 7919 mod 1000] keys packed all 1000 entries into a nanosecond
+   range — a single wheel slot — which benchmarks the degenerate dense
+   case instead of the structure; that case keeps its own entry below. *)
 let bench_heap =
   Test.make ~name:"heap push+pop 1k"
     (Staged.stage @@ fun () ->
      let h = Engine.Heap.create () in
      for i = 0 to 999 do
-       Engine.Heap.push h ~key:(i * 7919 mod 1000) ~tie:i i
+       Engine.Heap.push h ~key:(Engine.Time.us (i * 7919 mod 1000)) ~tie:i i
      done;
      while not (Engine.Heap.is_empty h) do
        ignore (Engine.Heap.pop h)
@@ -562,6 +574,103 @@ let bench_heap_compact =
      Engine.Heap.compact h ~keep:(fun ~tie:_ v -> v land 7 = 0);
      while not (Engine.Heap.is_empty h) do
        ignore (Engine.Heap.pop h)
+     done)
+
+let bench_wheel =
+  (* Mirror of [bench_heap]: same keys, same drain — the structural
+     speedup of the timing wheel read off directly. *)
+  Test.make ~name:"wheel push+pop 1k"
+    (Staged.stage @@ fun () ->
+     let w = Engine.Wheel.create () in
+     for i = 0 to 999 do
+       ignore
+         (Engine.Wheel.push w ~key:(Engine.Time.us (i * 7919 mod 1000)) ~tie:i
+            i)
+     done;
+     while not (Engine.Wheel.is_empty w) do
+       ignore (Engine.Wheel.pop_exn w)
+     done)
+
+let bench_wheel_dense =
+  (* Worst case: every key inside one level-0 granule, so pops lean
+     entirely on the sorted-slot path (heapsort over the full slot).
+     Held to stay within the heap's ballpark, not to beat it. *)
+  Test.make ~name:"wheel push+pop 1k dense slot"
+    (Staged.stage @@ fun () ->
+     let w = Engine.Wheel.create () in
+     for i = 0 to 999 do
+       ignore (Engine.Wheel.push w ~key:(i * 7919 mod 1000) ~tie:i i)
+     done;
+     while not (Engine.Wheel.is_empty w) do
+       ignore (Engine.Wheel.pop_exn w)
+     done)
+
+(* Insert/cancel and expiry cost against a standing population of
+   pending timers (the regime where a heap's log n shows): [n] backdrop
+   timers parked far in the future, then 1k operations per run.
+
+   The backdrop is built lazily on the test's first run and at most one
+   is alive at a time — a 100k-cell wheel held live across the whole
+   suite would tax every allocation-heavy benchmark after it with GC
+   marking work and skew their numbers. *)
+let wheel_fixture : (int * int Engine.Wheel.t) option ref = ref None
+
+let wheel_with_pending n =
+  match !wheel_fixture with
+  | Some (m, w) when m = n -> w
+  | _ ->
+    let w = Engine.Wheel.create () in
+    let far = 1 lsl 41 in
+    for i = 0 to n - 1 do
+      ignore (Engine.Wheel.push w ~key:(far + (i * 104729)) ~tie:i i : int)
+    done;
+    wheel_fixture := Some (n, w);
+    w
+
+let bench_wheel_churn n =
+  Test.make ~name:(Printf.sprintf "wheel insert+cancel 1k @%dk pending" (n / 1000))
+    (Staged.stage @@ fun () ->
+     let w = wheel_with_pending n in
+     let handles = Array.make 1000 (-1) in
+     for i = 0 to 999 do
+       handles.(i) <-
+         Engine.Wheel.push w ~key:(i * 7919 mod 100_000) ~tie:(n + i) i
+     done;
+     for i = 0 to 999 do
+       Engine.Wheel.cancel w handles.(i)
+     done)
+
+let bench_wheel_expire n =
+  Test.make ~name:(Printf.sprintf "wheel expire 1k @%dk pending" (n / 1000))
+    (Staged.stage @@ fun () ->
+     let w = wheel_with_pending n in
+     (* Near-future inserts relative to the wheel's moving position,
+        then drain them past the backdrop — steady-state expiry. *)
+     let base = Engine.Wheel.now w + 1 in
+     for i = 0 to 999 do
+       ignore (Engine.Wheel.push w ~key:(base + (i * 7919 mod 100_000)) ~tie:i i : int)
+     done;
+     for _ = 0 to 999 do
+       ignore (Engine.Wheel.pop_exn w)
+     done)
+
+let bench_scoreboard =
+  (* The SACK hot loop: append a window of segments, SACK-mark every
+     other one (binary search + flag flip), then cumulatively ACK the
+     lot off the front. *)
+  Test.make ~name:"scoreboard mark/ack 1k segs"
+    (Staged.stage @@ fun () ->
+     let sb = Tcp.Scoreboard.create () in
+     let mss = 1448 in
+     for i = 0 to 999 do
+       ignore (Tcp.Scoreboard.append sb ~seq:(i * mss) ~len:mss ~dss:None : int)
+     done;
+     for i = 0 to 499 do
+       let lb = Tcp.Scoreboard.lower_bound sb (((2 * i) + 1) * mss) in
+       ignore (Tcp.Scoreboard.mark_sacked sb (Tcp.Scoreboard.idx sb lb) : bool)
+     done;
+     while not (Tcp.Scoreboard.is_empty sb) do
+       Tcp.Scoreboard.pop_front sb
      done)
 
 let bench_sched =
@@ -612,9 +721,17 @@ let bench_cc name factory =
     (Staged.stage @@ fun () ->
      let cwnd = ref 10.0 and ssthresh = ref 1e9 in
      let now = ref 0.0 in
-     let sibling w =
-       { Tcp.Cc.cwnd = w; srtt_s = 0.01; in_slow_start = false;
-         loss_interval_bytes = 100_000; established = true }
+     let g = Tcp.Cc.group_create 3 in
+     Array.iteri
+       (fun i w ->
+         g.Tcp.Cc.cwnds.(i) <- w;
+         g.Tcp.Cc.srtts.(i) <- 0.01;
+         g.Tcp.Cc.loss_intervals.(i) <- 100_000.0;
+         Tcp.Cc.group_set_established g i true)
+       [| 10.0; 20.0; 30.0 |];
+     let group () =
+       g.Tcp.Cc.cwnds.(0) <- !cwnd;
+       g
      in
      let ctx =
        {
@@ -625,7 +742,7 @@ let bench_cc name factory =
          get_ssthresh = (fun () -> !ssthresh);
          set_ssthresh = (fun w -> ssthresh := w);
          srtt_s = (fun () -> 0.01);
-         siblings = (fun () -> [| sibling !cwnd; sibling 20.0; sibling 30.0 |]);
+         group;
          self_index = (fun () -> 0);
        }
      in
@@ -674,7 +791,9 @@ let microbench () =
   hr "Bechamel micro-benchmarks (ns per run, OLS on the monotonic clock)";
   let tests =
     [
-      bench_heap; bench_heap_compact; bench_sched; bench_sched_cancel;
+      bench_heap; bench_heap_compact; bench_wheel; bench_wheel_dense;
+      bench_scoreboard;
+      bench_sched; bench_sched_cancel;
       bench_pool; bench_simplex;
       bench_cc "cubic 1k acks" Tcp.Cc_cubic.factory;
       bench_cc "lia 1k acks" Mptcp.Cc_lia.factory;
@@ -683,6 +802,12 @@ let microbench () =
       bench_fluid fluid_key Fluid.Controller.Cubic;
       bench_fluid "fluid equilibrium paper (LIA)" Fluid.Controller.Lia;
       bench_fluid "fluid equilibrium paper (OLIA)" Fluid.Controller.Olia;
+      (* Standing-population wheel benches last: their lazily built
+         backdrop (up to 100k live cells) must not sit on the major heap
+         while the allocation-sensitive benches above run. *)
+      bench_wheel_churn 1_000; bench_wheel_churn 10_000;
+      bench_wheel_churn 100_000; bench_wheel_expire 1_000;
+      bench_wheel_expire 10_000; bench_wheel_expire 100_000;
     ]
   in
   let ols =
@@ -910,20 +1035,62 @@ let gate_check ~microbench_ns ~alloc =
   | Some ns -> check (fluid_key ^ " ns/run") ns (json_number base fluid_key)
   | None -> Printf.printf "  %s missing from this run, skipped\n" fluid_key);
   (* Absolute floor, not a baseline ratio: the fluid solve must stay
-     >= 100x faster than the packet sim measured in this same run. *)
+     >= 50x faster than the packet sim measured in this same run.  The
+     floor was 100x in the heap era; the round-2 wheel/scoreboard work
+     sped the packet sim (the denominator) ~1.5x with the solver
+     untouched, so ~80x is the new steady state. *)
   (match
      (List.assoc_opt sim_key microbench_ns, List.assoc_opt fluid_key
         microbench_ns)
    with
   | Some sim_ns, Some fluid_ns when fluid_ns > 0.0 ->
     let speedup = sim_ns /. fluid_ns in
-    Printf.printf "  %-34s %12.0fx (floor 100x)%s\n" "fluid speedup vs sim"
+    Printf.printf "  %-34s %12.0fx (floor 50x)%s\n" "fluid speedup vs sim"
       speedup
-      (if speedup < 100.0 then "  REGRESSION" else "");
-    if speedup < 100.0 then failures := "fluid speedup vs sim" :: !failures
+      (if speedup < 50.0 then "  REGRESSION" else "");
+    if speedup < 50.0 then failures := "fluid speedup vs sim" :: !failures
   | _ -> ());
   check "alloc words_per_packet" alloc.a_words_per_packet
     (json_number base "words_per_packet");
+  (* Round-2 structural floors.  Every floor is *same-run* relative or
+     a deterministic counter: absolute wall-clock floors against the
+     heap-era seed numbers proved un-gateable on the 1-core reference
+     box (the identical binary measured sched 1k events anywhere from
+     102 to 186 us depending on background load, around a min-of-N
+     truth of ~77 us vs the 153 us seed).  The measured vs-seed wins
+     are recorded in doc/PERFORMANCE.md "round 2" instead; what is
+     enforced here cannot be washed out by load because both sides of
+     every comparison ran moments apart in this process. *)
+  let floor_check name current limit =
+    Printf.printf "  %-34s current %12.1f floor %12.1f%s\n" name current
+      limit
+      (if current > limit then "  REGRESSION" else "");
+    if current > limit then failures := name :: !failures
+  in
+  (* Load-immune structural check: heap and wheel run the same keys in
+     the same process moments apart, so background noise cancels.  The
+     wheel must beat the heap outright on realistic (us-spaced) keys —
+     measured ~2x; 1.0 is the floor, not the target. *)
+  (match
+     ( List.assoc_opt "wheel push+pop 1k" microbench_ns,
+       List.assoc_opt "heap push+pop 1k" microbench_ns )
+   with
+  | Some wheel_ns, Some heap_ns when heap_ns > 0.0 ->
+    floor_check "wheel <= heap push+pop (same run)" wheel_ns heap_ns
+  | _ -> ());
+  floor_check "alloc words_per_packet < 100" alloc.a_words_per_packet 100.0;
+  (* OLIA's per-ack formula is ~3n float divisions (rate sum, quality
+     pass, coupled term) against CUBIC's division-free cubic update, so
+     a small constant multiple of CUBIC is the honest steady state;
+     measured 2.2-2.9x after the flat-pass rewrite (down from ~7x). *)
+  (match
+     ( List.assoc_opt "olia 1k acks" microbench_ns,
+       List.assoc_opt "cubic 1k acks" microbench_ns )
+   with
+  | Some olia_ns, Some cubic_ns when cubic_ns > 0.0 ->
+    floor_check "olia 1k acks <= 3.5x cubic (same run)" olia_ns
+      (3.5 *. cubic_ns)
+  | _ -> ());
   if !failures = [] then
     Printf.printf "  gate passed (tolerance %.0f%%, baseline %s)\n"
       ((gate_tolerance -. 1.0) *. 100.0)

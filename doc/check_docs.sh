@@ -53,6 +53,7 @@ doc_one() {
 doc_one engine Engine -- \
     "$root/lib/engine/time.mli" \
     "$root/lib/engine/heap.mli" \
+    "$root/lib/engine/wheel.mli" \
     "$root/lib/engine/rng.mli" \
     "$root/lib/engine/sched.mli" \
     "$root/lib/engine/pool.mli"

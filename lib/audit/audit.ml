@@ -226,6 +226,13 @@ let attach_sender t ~label s =
              (fun () ->
                Printf.sprintf
                  "%s: incremental pipe diverged from scoreboard recount"
+                 label);
+           check t ~invariant:"tcp.scoreboard"
+             (Tcp.Sender.scoreboard_consistent s)
+             (fun () ->
+               Printf.sprintf
+                 "%s: flat scoreboard inconsistent (contiguity or SACK \
+                  counter drift)"
                  label)
          | Tcp.Sender.Cwnd_changed _ | Tcp.Sender.State_changed _ ->
            (* observability events; window sanity is re-checked above on

@@ -85,6 +85,9 @@ let endpoints_of_paths paths =
 let run spec =
   let src_node, dst_node = endpoints_of_paths spec.paths in
   let sched = Engine.Sched.create () in
+  (* Audited runs shadow the timing wheel with the reference heap and
+     fail loudly on any dispatch-order divergence. *)
+  if spec.audit then Engine.Sched.set_lockstep sched true;
   let rng = Engine.Rng.create spec.seed in
   let net =
     Netsim.Net.create ~sched ~rng ~config:spec.net_config spec.topo

@@ -1,34 +1,41 @@
 type t = {
-  heap : timer Heap.t;
+  wheel : timer Wheel.t;
   mutable clock : Time.t;
   mutable seq : int;
   mutable fired : int;
   mutable cancelled : int;
-  mutable dead_in_heap : int;
   mutable monitor : (Time.t -> unit) option;
+  mutable shadow : timer Heap.t option;
+      (* lockstep cross-check: mirror of every push, popped (skipping
+         cancelled timers) alongside the wheel under [--audit] *)
 }
 
-and timer = { mutable alive : bool; action : unit -> unit; owner : t }
+and timer = {
+  mutable alive : bool;
+  action : unit -> unit;
+  owner : t;
+  mutable cell : int; (* wheel handle; valid only while [alive] *)
+}
 
 let create () =
   {
-    heap = Heap.create ();
+    wheel = Wheel.create ();
     clock = Time.zero;
     seq = 0;
     fired = 0;
     cancelled = 0;
-    dead_in_heap = 0;
     monitor = None;
+    shadow = None;
   }
 
 let now t = t.clock
 
-(* The heap holds two kinds of entry, told apart by the tie's low bit:
+(* The wheel holds two kinds of entry, told apart by the tie's low bit:
    cancellable timers (a [timer] record, bit 0) and anonymous timers
    (the callback closure itself, bit 1).  Anonymous scheduling skips the
    handle record entirely — most events a simulation fires (link
    serializer done, packet arrival) are never cancelled, so this erases
-   a 4-word allocation from the per-packet path.  The [Obj.magic] is
+   a 5-word allocation from the per-packet path.  The [Obj.magic] is
    confined to this module and guarded by the tie bit: a closure is
    only ever read back as a closure. *)
 
@@ -42,10 +49,17 @@ let check_future t when_ =
       (Format.asprintf "Sched.at: %a is before now (%a)" Time.pp when_
          Time.pp t.clock)
 
+let mirror t ~key ~tie v =
+  match t.shadow with
+  | None -> ()
+  | Some h -> Heap.push h ~key ~tie v
+
 let at t when_ f =
   check_future t when_;
-  let timer = { alive = true; action = f; owner = t } in
-  Heap.push t.heap ~key:when_ ~tie:(fresh_tie t false) timer;
+  let tie = fresh_tie t false in
+  let timer = { alive = true; action = f; owner = t; cell = -1 } in
+  timer.cell <- Wheel.push t.wheel ~key:when_ ~tie timer;
+  mirror t ~key:when_ ~tie timer;
   timer
 
 let after t delay f =
@@ -54,37 +68,68 @@ let after t delay f =
 
 let at_anon t when_ f =
   check_future t when_;
-  Heap.push t.heap ~key:when_ ~tie:(fresh_tie t true) (Obj.magic (f : unit -> unit) : timer)
+  let tie = fresh_tie t true in
+  let v = (Obj.magic (f : unit -> unit) : timer) in
+  ignore (Wheel.push t.wheel ~key:when_ ~tie v : int);
+  mirror t ~key:when_ ~tie v
 
 let after_anon t delay f =
   if Time.( < ) delay Time.zero then invalid_arg "Sched.after: negative delay";
   at_anon t (Time.add t.clock delay) f
 
-let compact t =
-  (* Anonymous entries carry no liveness flag — they are always live. *)
-  Heap.compact t.heap ~keep:(fun ~tie tm -> tie land 1 = 1 || tm.alive);
-  t.dead_in_heap <- 0
-
-(* Cancelled timers stay queued until they reach the root, so a workload
-   that cancels most of what it schedules (TCP retransmit timers are
-   rearmed on every ACK) would otherwise grow the heap with dead weight.
-   Compact once dead entries outnumber live ones; the O(n) rebuild then
-   amortises to O(1) per cancellation. *)
+(* Cancellation unlinks the wheel cell immediately — O(1), no dead
+   entries accumulating, no compaction pass (the heap-era amortisation
+   this replaces).  The shadow heap, when armed, keeps the dead entry
+   and filters it at pop time instead. *)
 let cancel tm =
   if tm.alive then begin
     tm.alive <- false;
     let t = tm.owner in
-    t.cancelled <- t.cancelled + 1;
-    t.dead_in_heap <- t.dead_in_heap + 1;
-    if t.dead_in_heap * 2 > Heap.length t.heap then compact t
+    Wheel.cancel t.wheel tm.cell;
+    tm.cell <- -1;
+    t.cancelled <- t.cancelled + 1
   end
 
 let pending timer = timer.alive
+
+let set_lockstep t on =
+  if on then begin
+    if t.shadow = None then begin
+      if not (Wheel.is_empty t.wheel) then
+        invalid_arg "Sched.set_lockstep: scheduler already has queued events";
+      t.shadow <- Some (Heap.create ())
+    end
+  end
+  else t.shadow <- None
+
+let lockstep t = t.shadow <> None
+
+(* Drop cancelled timers sitting at the shadow root, then demand its
+   live minimum agrees with what the wheel is about to fire. *)
+let check_shadow h ~key ~tie =
+  let rec clean () =
+    match Heap.peek h with
+    | Some (_, ht, v) when ht land 1 = 0 && not v.alive ->
+      ignore (Heap.pop_exn h : timer);
+      clean ()
+    | _ -> ()
+  in
+  clean ();
+  if Heap.is_empty h then
+    failwith "Sched lockstep: wheel has an event the shadow heap lacks";
+  let hk = Heap.min_key_exn h and ht = Heap.min_tie_exn h in
+  if hk <> key || ht <> tie then
+    failwith
+      (Printf.sprintf
+         "Sched lockstep divergence: wheel fires (%d, %d), heap expects (%d, %d)"
+         key tie hk ht);
+  ignore (Heap.pop_exn h : timer)
 
 let fire t when_ timer =
   t.clock <- when_;
   if timer.alive then begin
     timer.alive <- false;
+    timer.cell <- -1;
     t.fired <- t.fired + 1;
     (match t.monitor with None -> () | Some f -> f when_);
     timer.action ()
@@ -93,21 +138,21 @@ let fire t when_ timer =
 (* min_key_exn + pop_exn instead of [pop]: no option or tuple boxed per
    event — this is the innermost loop of every simulation. *)
 let step t =
-  if Heap.is_empty t.heap then false
+  if Wheel.is_empty t.wheel then false
   else begin
-    let when_ = Heap.min_key_exn t.heap in
-    let anon = Heap.min_tie_exn t.heap land 1 = 1 in
-    let v = Heap.pop_exn t.heap in
-    if anon then begin
+    let when_ = Wheel.min_key_exn t.wheel in
+    let tie = Wheel.min_tie_exn t.wheel in
+    (match t.shadow with
+    | None -> ()
+    | Some h -> check_shadow h ~key:when_ ~tie);
+    let v = Wheel.pop_exn t.wheel in
+    if tie land 1 = 1 then begin
       t.clock <- when_;
       t.fired <- t.fired + 1;
       (match t.monitor with None -> () | Some f -> f when_);
       (Obj.magic (v : timer) : unit -> unit) ()
     end
-    else begin
-      if not v.alive then t.dead_in_heap <- t.dead_in_heap - 1;
-      fire t when_ v
-    end;
+    else fire t when_ v;
     true
   end
 
@@ -117,13 +162,13 @@ let run ?until t =
   | Some horizon ->
     let continue = ref true in
     while !continue do
-      if Heap.is_empty t.heap || Time.( < ) horizon (Heap.min_key_exn t.heap)
+      if Wheel.is_empty t.wheel || Time.( < ) horizon (Wheel.min_key_exn t.wheel)
       then continue := false
       else ignore (step t)
     done;
     if Time.( < ) t.clock horizon then t.clock <- horizon
 
-let queue_length t = Heap.length t.heap - t.dead_in_heap
+let queue_length t = Wheel.length t.wheel
 let events_processed t = t.fired
 let cancelled_count t = t.cancelled
 

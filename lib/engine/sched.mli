@@ -34,9 +34,10 @@ val after_anon : t -> Time.t -> (unit -> unit) -> unit
 
 val cancel : timer -> unit
 (** Prevents a pending event from firing.  Cancelling an already-fired or
-    already-cancelled timer is a no-op.  Once cancelled timers outnumber
-    live ones the queue is compacted in place, so workloads that rearm
-    timers constantly (TCP retransmission) stay O(live events). *)
+    already-cancelled timer is a no-op.  The timing wheel unlinks the
+    entry immediately — O(1), no dead entries retained — so workloads
+    that rearm timers constantly (TCP retransmission) pay nothing
+    beyond the unlink. *)
 
 val pending : timer -> bool
 (** [pending tm] is [true] until the timer fires or is cancelled. *)
@@ -63,6 +64,19 @@ type stats = { pending : int; fired : int; cancelled : int }
 val stats : t -> stats
 (** Snapshot of {!queue_length}, {!events_processed} and
     {!cancelled_count} — cheap enough for per-event instrumentation. *)
+
+val set_lockstep : t -> bool -> unit
+(** Arms (or disarms) the cross-check shadow queue: every subsequent
+    event is mirrored into a reference {!Heap}, and each dispatch pops
+    both queues and raises [Failure] on any (time, insertion-order)
+    divergence between the timing wheel and the heap.  Must be armed
+    while the queue is empty ([Invalid_argument] otherwise).
+    [Core.Scenario.run] arms it whenever the scenario's audit flag is
+    set, so every [--audit] run exercises the wheel against the
+    reference implementation end-to-end. *)
+
+val lockstep : t -> bool
+(** Whether the lockstep shadow queue is armed. *)
 
 val set_monitor : t -> (Time.t -> unit) option -> unit
 (** Installs (or clears) an event-dispatch tap: the callback fires once

@@ -1,0 +1,99 @@
+module type S = sig
+  type 'a t
+  type 'a handle
+
+  val create : unit -> 'a t
+  val length : 'a t -> int
+  val is_empty : 'a t -> bool
+  val push : 'a t -> key:int -> tie:int -> 'a -> 'a handle
+  val cancel : 'a t -> 'a handle -> unit
+  val min_key_exn : 'a t -> int
+  val min_tie_exn : 'a t -> int
+  val pop_exn : 'a t -> 'a
+end
+
+module Of_wheel : S = struct
+  (* The wheel removes cancelled cells eagerly and recycles their
+     slots, so a raw cell index must not be cancelled twice or after
+     its pop.  Queued values are boxed with an [alive] flag that the
+     pop clears, which honours the interface's idempotent-cancel
+     contract without touching the wheel itself. *)
+  type 'a box = { mutable alive : bool; mutable cell : int; v : 'a }
+  type 'a handle = 'a box
+  type 'a t = 'a box Wheel.t
+
+  let create () = Wheel.create ()
+  let length = Wheel.length
+  let is_empty = Wheel.is_empty
+
+  let push t ~key ~tie v =
+    let b = { alive = true; cell = -1; v } in
+    b.cell <- Wheel.push t ~key ~tie b;
+    b
+
+  let cancel t b =
+    if b.alive then begin
+      b.alive <- false;
+      Wheel.cancel t b.cell
+    end
+
+  let min_key_exn = Wheel.min_key_exn
+  let min_tie_exn = Wheel.min_tie_exn
+
+  let pop_exn t =
+    let b = Wheel.pop_exn t in
+    b.alive <- false;
+    b.v
+end
+
+module Of_heap : S = struct
+  (* The heap has no random-access removal, so cancellation marks the
+     entry dead and pops filter: before any root read the dead prefix
+     is dropped, which makes the observable pop stream identical to the
+     wheel's eager removal. *)
+  type 'a cell = { mutable alive : bool; v : 'a }
+  type 'a handle = 'a cell
+  type 'a t = { heap : 'a cell Heap.t; mutable live : int }
+
+  let create () = { heap = Heap.create (); live = 0 }
+  let length t = t.live
+  let is_empty t = t.live = 0
+
+  let push t ~key ~tie v =
+    let cell = { alive = true; v } in
+    Heap.push t.heap ~key ~tie cell;
+    t.live <- t.live + 1;
+    cell
+
+  let cancel t cell =
+    if cell.alive then begin
+      cell.alive <- false;
+      t.live <- t.live - 1;
+      if t.live * 2 < Heap.length t.heap then
+        Heap.compact t.heap ~keep:(fun ~tie:_ c -> c.alive)
+    end
+
+  let rec clean t =
+    if not (Heap.is_empty t.heap) then begin
+      match Heap.peek t.heap with
+      | Some (_, _, c) when not c.alive ->
+        ignore (Heap.pop_exn t.heap);
+        clean t
+      | _ -> ()
+    end
+
+  let min_key_exn t =
+    clean t;
+    Heap.min_key_exn t.heap
+
+  let min_tie_exn t =
+    clean t;
+    Heap.min_tie_exn t.heap
+
+  let pop_exn t =
+    clean t;
+    let c = Heap.pop_exn t.heap in
+    c.alive <- false;
+    t.live <- t.live - 1;
+    c.v
+end

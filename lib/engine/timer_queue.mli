@@ -1,0 +1,51 @@
+(** The timer-queue contract shared by {!Heap} and {!Wheel}.
+
+    {!Sched} runs on the wheel; the heap stays alive as the reference
+    implementation.  Both are wrapped here behind one signature with
+    handle-based cancellation, which is what lets the fuzz suite drive
+    the two with identical random insert/cancel/pop programs and demand
+    bit-identical pop streams ([Fuzz.wheel_equivalence]), and what the
+    scheduler's [--audit] lockstep shadow mode (see
+    {!Sched.set_lockstep}) checks end-to-end on real simulations. *)
+
+module type S = sig
+  type 'a t
+
+  type 'a handle
+  (** Handle for one queued entry, valid until it pops. *)
+
+  val create : unit -> 'a t
+
+  val length : 'a t -> int
+  (** Queued, not-cancelled entries. *)
+
+  val is_empty : 'a t -> bool
+
+  val push : 'a t -> key:int -> tie:int -> 'a -> 'a handle
+  (** Queue a value; among equal keys the smaller [tie] pops first.
+      Keys must be non-negative. *)
+
+  val cancel : 'a t -> 'a handle -> unit
+  (** Remove a queued entry.  Idempotent; cancelling after the entry
+      popped is a no-op. *)
+
+  val min_key_exn : 'a t -> int
+  (** Key of the minimum live entry; raises [Invalid_argument] when
+      empty. *)
+
+  val min_tie_exn : 'a t -> int
+  (** Tie of the minimum live entry; raises [Invalid_argument] when
+      empty. *)
+
+  val pop_exn : 'a t -> 'a
+  (** Remove and return the minimum live entry's value; raises
+      [Invalid_argument] when empty. *)
+end
+
+module Of_wheel : S
+(** {!Wheel} behind the shared signature. *)
+
+module Of_heap : S
+(** {!Heap} behind the shared signature: cancellation marks entries
+    dead and pops filter them, so the observable pop stream matches
+    {!Of_wheel}'s eager removal exactly. *)

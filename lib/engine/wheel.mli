@@ -1,0 +1,61 @@
+(** Hierarchical timing wheel — the event queue behind {!Sched}.
+
+    Same ordering contract as {!Heap} (pop in lexicographic (key, tie)
+    order, exact, deterministic) but with O(1) insert, O(1) cancel via
+    an explicit cell handle, and amortised O(1) expiry: eight levels of
+    32 slots over a coarse 2{^12} ns level-0 granule cover 2{^52} ns of
+    future, entries beyond that wait in an overflow heap and migrate in
+    as the wheel drains.  Timer cells are
+    free-listed parallel arrays, so steady-state operation allocates
+    nothing.
+
+    Keys must be non-negative (they are {!Time.t} nanosecond stamps in
+    the scheduler).  Unlike a search structure, the wheel has a notion
+    of current position: it only moves forward, so a key below the
+    highest key already popped still pops correctly (it is queued as
+    overdue) but costs a scan rather than O(1). *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** Fresh empty wheel with [capacity] timer cells preallocated
+    (default 256); the cell pool grows as needed. *)
+
+val length : 'a t -> int
+(** Number of queued, not-cancelled entries. *)
+
+val is_empty : 'a t -> bool
+
+val now : 'a t -> int
+(** The wheel's internal position: no queued key is known to be below
+    it.  Diagnostic — callers track simulated time themselves. *)
+
+val push : 'a t -> key:int -> tie:int -> 'a -> int
+(** [push t ~key ~tie v] queues [v]; among equal keys the smaller [tie]
+    pops first.  Returns the cell handle used by {!cancel}.  The handle
+    is valid until the entry pops or is cancelled — using it after
+    either is an error the wheel cannot always detect, so callers keep
+    their own liveness flag (as {!Sched} does).  Raises
+    [Invalid_argument] on a negative key. *)
+
+val cancel : 'a t -> int -> unit
+(** Removes a queued entry by handle in O(1) (overflow entries are
+    marked dead and reaped when they outnumber live ones).  Raises
+    [Invalid_argument] on a handle already popped or cancelled. *)
+
+val min_key_exn : 'a t -> int
+(** Key of the minimum entry without removing it; raises
+    [Invalid_argument] when empty.  With {!min_tie_exn} and {!pop_exn}
+    this is the same allocation-free pop protocol as {!Heap}. *)
+
+val min_tie_exn : 'a t -> int
+(** Tie of the minimum entry without removing it; raises
+    [Invalid_argument] when empty. *)
+
+val pop_exn : 'a t -> 'a
+(** Removes the minimum entry and returns its value alone; raises
+    [Invalid_argument] when empty. *)
+
+val cascade_count : 'a t -> int
+(** Total slot redistributions performed (diagnostics: each cascade
+    relinks one slot's cells one level down). *)

@@ -56,7 +56,7 @@ val extra_dim : kind -> int
 (** Number of auxiliary ODE states per subflow (0 except CUBIC's 2). *)
 
 (** Read-only snapshot of every subflow, the fluid analogue of
-    {!Tcp.Cc.sibling}: filled in by {!Model.deriv} before the window
+    {!Tcp.Cc.group}: filled in by {!Model.deriv} before the window
     laws run.  Arrays are indexed by subflow. *)
 type view = {
   n : int;

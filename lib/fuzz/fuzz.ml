@@ -156,6 +156,249 @@ let fluid_test ?(count = 100) () =
             (to_string c) Fluid.Validate.pp v
         else true)
 
+(* --- timing-wheel vs reference-heap equivalence --- *)
+
+module Wq = Engine.Timer_queue.Of_wheel
+module Hq = Engine.Timer_queue.Of_heap
+
+(* A program is a list of (opcode, operand) pairs interpreted against
+   both queue implementations in lockstep.  Keys are derived from the
+   operand so that shrinking stays meaningful, and deliberately cover
+   the wheel's awkward regions: overdue keys (below the last popped
+   key), far-future keys several levels up, and beyond-span keys that
+   land in the overflow heap. *)
+let wheel_ops =
+  QCheck.(
+    list_of_size Gen.(int_range 1 300)
+      (pair (int_range 0 5) (int_range 0 1_000_000)))
+
+let wheel_test ?(count = 400) () =
+  QCheck.Test.make ~count
+    ~name:"fuzz: timing wheel and reference heap pop identically" wheel_ops
+    (fun prog ->
+      let w = Wq.create () and h = Hq.create () in
+      let handles = ref [] and n_handles = ref 0 in
+      let tie = ref 0 and clock = ref 0 in
+      let fail fmt = QCheck.Test.fail_reportf fmt in
+      let agree ctx =
+        if Wq.length w <> Hq.length h then
+          fail "%s: wheel length %d <> heap length %d" ctx (Wq.length w)
+            (Hq.length h)
+        else if
+          Wq.length w > 0
+          && (Wq.min_key_exn w <> Hq.min_key_exn h
+             || Wq.min_tie_exn w <> Hq.min_tie_exn h)
+        then
+          fail "%s: wheel min (%d,%d) <> heap min (%d,%d)" ctx
+            (Wq.min_key_exn w) (Wq.min_tie_exn w) (Hq.min_key_exn h)
+            (Hq.min_tie_exn h)
+      in
+      let pop_both () =
+        agree "pre-pop";
+        if Wq.length w > 0 then begin
+          clock := max !clock (Wq.min_key_exn w);
+          let vw = Wq.pop_exn w and vh = Hq.pop_exn h in
+          if vw <> vh then fail "pop: wheel value %d <> heap value %d" vw vh
+        end
+      in
+      List.iter
+        (fun (code, a) ->
+          match code with
+          | 0 | 1 ->
+            (* Push: bucket the operand into key regimes. *)
+            let key =
+              match a mod 5 with
+              | 0 -> !clock + (a / 5 mod 1_000)          (* near future *)
+              | 1 -> max 0 (!clock - (a / 5 mod 1_000))  (* overdue *)
+              | 2 -> !clock + (a / 5 * 1_000_000)        (* higher levels *)
+              | 3 -> !clock + (1 lsl 52) + a             (* overflow heap *)
+              | _ -> a                                   (* anywhere *)
+            in
+            incr tie;
+            let v = !tie in
+            let hw = Wq.push w ~key ~tie:!tie v in
+            let hh = Hq.push h ~key ~tie:!tie v in
+            handles := (hw, hh) :: !handles;
+            incr n_handles
+          | 2 | 3 ->
+            (* Cancel a random handle — possibly one already popped or
+               already cancelled, exercising idempotence. *)
+            if !n_handles > 0 then begin
+              let hw, hh = List.nth !handles (a mod !n_handles) in
+              Wq.cancel w hw;
+              Hq.cancel h hh
+            end
+          | _ -> pop_both ())
+        prog;
+      (* Drain: the full residual pop streams must match. *)
+      while Wq.length w > 0 || Hq.length h > 0 do
+        pop_both ()
+      done;
+      true)
+
+(* --- flat scoreboard vs reference model --- *)
+
+(* Reference model: a plain list of (seq, len, sacked, lost) cells kept
+   in append order — the same information the ring stores, maintained
+   naively. *)
+type sb_cell = {
+  m_seq : int;
+  m_len : int;
+  mutable m_sacked : bool;
+  mutable m_lost : bool;
+}
+
+let scoreboard_ops =
+  QCheck.(
+    list_of_size Gen.(int_range 1 300)
+      (pair (int_range 0 7) (int_range 0 1_000_000)))
+
+let scoreboard_test ?(count = 400) () =
+  QCheck.Test.make ~count
+    ~name:"fuzz: flat scoreboard matches reference model on random traces"
+    scoreboard_ops
+    (fun prog ->
+      let sb = Tcp.Scoreboard.create () in
+      let model = ref [] in (* newest first; reversed for logical order *)
+      let n = ref 0 and next_seq = ref 0 in
+      let fail fmt = QCheck.Test.fail_reportf fmt in
+      let logical () = List.rev !model in
+      let nth_cell i = List.nth (logical ()) i in
+      let verify ctx =
+        if Tcp.Scoreboard.length sb <> !n then
+          fail "%s: length %d <> model %d" ctx (Tcp.Scoreboard.length sb) !n;
+        if not (Tcp.Scoreboard.consistent sb) then
+          fail "%s: consistency check failed" ctx;
+        let sacked = ref 0 and pipe = ref 0 in
+        List.iteri
+          (fun i c ->
+            let p = Tcp.Scoreboard.idx sb i in
+            if
+              Tcp.Scoreboard.seq_at sb p <> c.m_seq
+              || Tcp.Scoreboard.len_at sb p <> c.m_len
+              || Tcp.Scoreboard.sacked_at sb p <> c.m_sacked
+              || Tcp.Scoreboard.lost_at sb p <> c.m_lost
+            then
+              fail "%s: segment %d is (%d,%d,%b,%b), model (%d,%d,%b,%b)" ctx
+                i
+                (Tcp.Scoreboard.seq_at sb p)
+                (Tcp.Scoreboard.len_at sb p)
+                (Tcp.Scoreboard.sacked_at sb p)
+                (Tcp.Scoreboard.lost_at sb p)
+                c.m_seq c.m_len c.m_sacked c.m_lost;
+            if c.m_sacked then incr sacked;
+            if (not c.m_sacked) && not c.m_lost then pipe := !pipe + c.m_len)
+          (logical ());
+        if Tcp.Scoreboard.sacked_count sb <> !sacked then
+          fail "%s: sacked_count %d <> model %d" ctx
+            (Tcp.Scoreboard.sacked_count sb)
+            !sacked;
+        if Tcp.Scoreboard.pipe_recount sb <> !pipe then
+          fail "%s: pipe_recount %d <> model %d" ctx
+            (Tcp.Scoreboard.pipe_recount sb)
+            !pipe
+      in
+      List.iter
+        (fun (code, a) ->
+          (match code with
+          | 0 | 1 | 2 ->
+            let len = 1 + (a mod 1448) in
+            ignore
+              (Tcp.Scoreboard.append sb ~seq:!next_seq ~len ~dss:None : int);
+            model :=
+              { m_seq = !next_seq; m_len = len; m_sacked = false;
+                m_lost = false }
+              :: !model;
+            next_seq := !next_seq + len;
+            incr n
+          | 3 ->
+            if !n > 0 then begin
+              Tcp.Scoreboard.pop_front sb;
+              model := List.rev (List.tl (logical ()));
+              decr n
+            end
+          | 4 ->
+            if !n > 0 then begin
+              let i = a mod !n in
+              let c = nth_cell i in
+              let was = c.m_sacked in
+              c.m_sacked <- true;
+              let transition =
+                Tcp.Scoreboard.mark_sacked sb (Tcp.Scoreboard.idx sb i)
+              in
+              if transition <> not was then
+                fail "mark_sacked transition %b, model %b" transition
+                  (not was)
+            end
+          | 5 ->
+            if !n > 0 then begin
+              let i = a mod !n in
+              (nth_cell i).m_lost <- true;
+              Tcp.Scoreboard.mark_lost sb (Tcp.Scoreboard.idx sb i)
+            end
+          | 6 ->
+            if !n > 0 then begin
+              let i = a mod !n in
+              (nth_cell i).m_lost <- false;
+              Tcp.Scoreboard.clear_lost sb (Tcp.Scoreboard.idx sb i)
+            end
+          | _ ->
+            (* Probe the searches against the model. *)
+            if !n > 0 then begin
+              let first = (nth_cell 0).m_seq in
+              let x = first + (a mod (!next_seq - first + 20)) - 10 in
+              let cells = logical () in
+              let expect_lb =
+                let rec go i = function
+                  | [] -> !n
+                  | c :: tl -> if c.m_seq >= x then i else go (i + 1) tl
+                in
+                go 0 cells
+              in
+              let lb = Tcp.Scoreboard.lower_bound sb x in
+              if lb <> expect_lb then
+                fail "lower_bound %d = %d, model %d" x lb expect_lb;
+              let expect_find =
+                List.exists (fun c -> c.m_seq = x) cells
+              in
+              let f = Tcp.Scoreboard.find sb x in
+              if (f >= 0) <> expect_find then
+                fail "find %d = %d, model %b" x f expect_find;
+              if f >= 0 && Tcp.Scoreboard.seq_at sb f <> x then
+                fail "find %d returned segment at %d" x
+                  (Tcp.Scoreboard.seq_at sb f)
+            end);
+          verify "post-op")
+        prog;
+      true)
+
+(* --- parallel-sweep determinism (wheel edition) --- *)
+
+let determinism_test ?(count = 20) () =
+  QCheck.Test.make ~count
+    ~name:
+      "fuzz: random scenario batches identical for jobs 1 and 4 (wheel \
+       lockstep armed)"
+    QCheck.(pair arbitrary arbitrary)
+    (fun (c1, c2) ->
+      (* Both runs are audited, so the scheduler replays every event
+         through the heap shadow as well — parallel domains must still
+         be bit-identical to the serial run. *)
+      let specs = [ to_spec c1; to_spec c2 ] in
+      let fingerprint jobs =
+        Core.Runner.scenarios ~jobs specs
+        |> List.map (fun r ->
+               ( r.Core.Scenario.events_processed,
+                 r.Core.Scenario.delivered_bytes,
+                 Format.asprintf "%a" Core.Scenario.pp_summary r ))
+      in
+      let f1 = fingerprint 1 and f4 = fingerprint 4 in
+      if f1 <> f4 then
+        QCheck.Test.fail_reportf
+          "cases %s / %s: jobs=1 and jobs=4 runs diverge" (to_string c1)
+          (to_string c2)
+      else true)
+
 let test ?(count = 120) () =
   QCheck.Test.make ~count
     ~name:"fuzz: random audited scenarios are violation-free" arbitrary

@@ -66,3 +66,24 @@ val pool_test : ?count:int -> unit -> QCheck.Test.t
     record (audit mode arms the pool's poison checks, so a violation
     raises mid-run) and its end-of-run counters are coherent
     ([double_releases = 0], [recycled <= released <= acquired]). *)
+
+val wheel_test : ?count:int -> unit -> QCheck.Test.t
+(** Timer-queue equivalence: [count] (default 400) random
+    insert/cancel/pop programs driven against {!Engine.Timer_queue}'s
+    wheel and heap implementations in lockstep must produce identical
+    lengths, minima and pop streams.  Keys cover overdue pushes,
+    multi-level cascades and beyond-span overflow entries. *)
+
+val scoreboard_test : ?count:int -> unit -> QCheck.Test.t
+(** Scoreboard equivalence: [count] (default 400) random
+    append/ack/SACK/loss traces driven against {!Tcp.Scoreboard} and a
+    naive list model must agree on every segment's flags, the O(1)
+    SACK counter, the RFC 6675 pipe recount and both binary searches,
+    with {!Tcp.Scoreboard.consistent} holding after every step. *)
+
+val determinism_test : ?count:int -> unit -> QCheck.Test.t
+(** Parallel determinism: [count] (default 20) random audited scenario
+    pairs run through {!Core.Runner.scenarios} with [jobs = 1] and
+    [jobs = 4] must be bit-identical — with the audit's heap shadow
+    lockstep armed, so the timing wheel is cross-checked on every
+    dispatch of both runs. *)

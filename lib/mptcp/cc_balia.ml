@@ -1,15 +1,15 @@
 open Tcp
 
 let alpha ctx =
-  let sibs = Coupled.active (ctx.Cc.siblings ()) in
+  let g = ctx.Cc.group () in
   let x_r = ctx.Cc.get_cwnd () /. ctx.Cc.srtt_s () in
-  if x_r <= 0.0 then 1.0 else Float.max 1.0 (Coupled.max_rate sibs /. x_r)
+  if x_r <= 0.0 then 1.0 else Float.max 1.0 (Coupled.max_rate g /. x_r)
 
 let factory (ctx : Cc.ctx) =
   let on_ack ~acked =
     if not (Cc.slow_start_ack ctx ~acked) then begin
-      let sibs = Coupled.active (ctx.Cc.siblings ()) in
-      let sum = Coupled.rate_sum sibs in
+      let g = ctx.Cc.group () in
+      let sum = Coupled.rate_sum g in
       if sum > 0.0 then begin
         let w = ctx.Cc.get_cwnd () in
         let rtt = ctx.Cc.srtt_s () in

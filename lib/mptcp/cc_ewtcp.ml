@@ -3,7 +3,7 @@ open Tcp
 let factory (ctx : Cc.ctx) =
   let on_ack ~acked =
     if not (Cc.slow_start_ack ctx ~acked) then begin
-      let n = Array.length (Coupled.active (ctx.Cc.siblings ())) in
+      let n = Coupled.active_count (ctx.Cc.group ()) in
       let gain = 1.0 /. Float.sqrt (float_of_int (max 1 n)) in
       let w = ctx.Cc.get_cwnd () in
       let acked_mss = float_of_int acked /. float_of_int ctx.Cc.mss in

@@ -3,12 +3,12 @@ open Tcp
 let factory (ctx : Cc.ctx) =
   let on_ack ~acked =
     if not (Cc.slow_start_ack ctx ~acked) then begin
-      let sibs = Coupled.active (ctx.Cc.siblings ()) in
-      let w_total = Coupled.total_cwnd sibs in
-      let denom = Coupled.rate_sum sibs in
+      let g = ctx.Cc.group () in
+      let w_total = Coupled.total_cwnd g in
+      let denom = Coupled.rate_sum g in
       let alpha =
         if denom <= 0.0 || w_total <= 0.0 then 0.0
-        else w_total *. Coupled.max_rate2 sibs /. (denom *. denom)
+        else w_total *. Coupled.max_rate2 g /. (denom *. denom)
       in
       let w = ctx.Cc.get_cwnd () in
       let acked_mss = float_of_int acked /. float_of_int ctx.Cc.mss in

@@ -10,8 +10,7 @@ let gamma = 1.0 (* backlog (packets) that ends slow start *)
 
 (* This path's share of the global backlog budget, by rate. *)
 let quota st (ctx : Cc.ctx) =
-  let sibs = Coupled.active (ctx.Cc.siblings ()) in
-  let total_rate = Coupled.rate_sum sibs in
+  let total_rate = Coupled.rate_sum (ctx.Cc.group ()) in
   let own_rate = ctx.Cc.get_cwnd () /. ctx.Cc.srtt_s () in
   if total_rate <= 0.0 then 2.0
   else Float.max 2.0 (st.total_alpha *. own_rate /. total_rate)

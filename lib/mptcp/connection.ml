@@ -189,8 +189,16 @@ let establish ~net ~src ~dst ~conn ~paths ~cc ?(config = default_config)
   in
   let fresh_id () = Netsim.Net.fresh_packet_id net in
   let pool = Netsim.Net.pool net in
-  let siblings () =
-    Array.map (fun sf -> Tcp.Sender.sibling_view (sender_exn sf)) t.subflows
+  (* One flat coupled-CC group for the whole connection, refreshed in
+     place from each subflow's sender — the per-ACK sibling snapshot
+     this replaces allocated a record array every time a coupled
+     controller looked around. *)
+  let cc_group = Tcp.Cc.group_create (Array.length t.subflows) in
+  let group () =
+    Array.iteri
+      (fun i sf -> Tcp.Sender.sync_group_slot (sender_exn sf) cc_group i)
+      t.subflows;
+    cc_group
   in
   let src_node = Tcp.Endpoint.node src and dst_node = Tcp.Endpoint.node dst in
   Array.iter
@@ -228,7 +236,7 @@ let establish ~net ~src ~dst ~conn ~paths ~cc ?(config = default_config)
           ~transmit:(fun p -> Netsim.Net.inject net ~at:src_node p)
           ~pool
           ~source:(fun ~max_len -> source t sf ~max_len)
-          ~cc:(Algorithm.factory cc) ~siblings
+          ~cc:(Algorithm.factory cc) ~group
           ~self_index:(fun () -> sf.index)
           ()
       in

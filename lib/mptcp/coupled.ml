@@ -1,25 +1,62 @@
 open Tcp
-let active siblings =
-  let est = Array.of_list
-      (List.filter (fun s -> s.Cc.established) (Array.to_list siblings))
-  in
-  if Array.length est = 0 then siblings else est
 
-let rate_sum siblings =
-  Array.fold_left (fun acc s -> acc +. (s.Cc.cwnd /. s.Cc.srtt_s)) 0.0 siblings
+(* The coupling sums run over the "active" set: established subflows
+   only, falling back to every slot when none is established yet
+   (connection start-up).  The old implementation materialised that set
+   as a filtered copy of a sibling-record array per call; here it is a
+   skip test over the group's flat arrays — same slots in the same
+   order, so every fold below is float-for-float identical, with the
+   established count read from the group's incrementally maintained
+   aggregate instead of recounted.
 
-let max_rate2 siblings =
-  Array.fold_left
-    (fun acc s -> Float.max acc (s.Cc.cwnd /. (s.Cc.srtt_s *. s.Cc.srtt_s)))
-    0.0 siblings
+   The accumulator is the group's own [scratch] cell: float-array
+   stores are unboxed, so the folds allocate nothing per ACK (a local
+   [ref] would box every update without flambda), and because the cell
+   belongs to the group — not the module — scenario runs on parallel
+   pool domains never share it.  Within one (single-threaded)
+   simulation the folds never nest, so one cell per group is safe. *)
 
-let max_rate siblings =
-  Array.fold_left
-    (fun acc s -> Float.max acc (s.Cc.cwnd /. s.Cc.srtt_s))
-    0.0 siblings
+let use g i = g.Cc.n_established = 0 || g.Cc.established.(i)
 
-let total_cwnd siblings =
-  Array.fold_left (fun acc s -> acc +. s.Cc.cwnd) 0.0 siblings
+let active_count g =
+  if g.Cc.n_established = 0 then g.Cc.n else g.Cc.n_established
+
+let rate_sum g =
+  let n = g.Cc.n in
+  let cwnds = g.Cc.cwnds and srtts = g.Cc.srtts and acc = g.Cc.scratch in
+  acc.(0) <- 0.0;
+  for i = 0 to n - 1 do
+    if use g i then acc.(0) <- acc.(0) +. (cwnds.(i) /. srtts.(i))
+  done;
+  acc.(0)
+
+let max_rate2 g =
+  let n = g.Cc.n in
+  let cwnds = g.Cc.cwnds and srtts = g.Cc.srtts and acc = g.Cc.scratch in
+  acc.(0) <- 0.0;
+  for i = 0 to n - 1 do
+    if use g i then
+      acc.(0) <- Float.max acc.(0) (cwnds.(i) /. (srtts.(i) *. srtts.(i)))
+  done;
+  acc.(0)
+
+let max_rate g =
+  let n = g.Cc.n in
+  let cwnds = g.Cc.cwnds and srtts = g.Cc.srtts and acc = g.Cc.scratch in
+  acc.(0) <- 0.0;
+  for i = 0 to n - 1 do
+    if use g i then acc.(0) <- Float.max acc.(0) (cwnds.(i) /. srtts.(i))
+  done;
+  acc.(0)
+
+let total_cwnd g =
+  let n = g.Cc.n in
+  let cwnds = g.Cc.cwnds and acc = g.Cc.scratch in
+  acc.(0) <- 0.0;
+  for i = 0 to n - 1 do
+    if use g i then acc.(0) <- acc.(0) +. cwnds.(i)
+  done;
+  acc.(0)
 
 let halve_on_loss (ctx : Cc.ctx) =
   let half = Float.max Cc.min_cwnd (ctx.Cc.get_cwnd () /. 2.0) in

@@ -1,24 +1,31 @@
 (** Shared arithmetic for coupled congestion controllers.
 
     All quantities are in MSS units (windows) and seconds (RTTs), the
-    conventions of RFC 6356 and the OLIA/BALIA papers.  Subflows that
-    have not yet sent anything are excluded: they would otherwise
-    contribute a bogus initial window to the coupling sums. *)
+    conventions of RFC 6356 and the OLIA/BALIA papers.  Every sum and
+    max runs over the "active" slots of the connection's flat
+    {!Tcp.Cc.group}: subflows that have not yet sent anything are
+    excluded (they would otherwise contribute a bogus initial window to
+    the coupling sums), falling back to every slot when none is
+    established yet (connection start-up).  The folds iterate the
+    group's unboxed float arrays directly — nothing is filtered,
+    copied or boxed per ACK. *)
 
-val active : Tcp.Cc.sibling array -> Tcp.Cc.sibling array
-(** Established subflows only; falls back to the full array when none is
-    established yet (connection start-up). *)
+val use : Tcp.Cc.group -> int -> bool
+(** Whether slot [i] participates in the coupling sums. *)
 
-val rate_sum : Tcp.Cc.sibling array -> float
+val active_count : Tcp.Cc.group -> int
+(** Number of participating slots, O(1). *)
+
+val rate_sum : Tcp.Cc.group -> float
 (** [Σ_p w_p / rtt_p]. *)
 
-val max_rate2 : Tcp.Cc.sibling array -> float
+val max_rate2 : Tcp.Cc.group -> float
 (** [max_p w_p / rtt_p²]. *)
 
-val max_rate : Tcp.Cc.sibling array -> float
+val max_rate : Tcp.Cc.group -> float
 (** [max_p w_p / rtt_p]. *)
 
-val total_cwnd : Tcp.Cc.sibling array -> float
+val total_cwnd : Tcp.Cc.group -> float
 
 val halve_on_loss : Tcp.Cc.ctx -> unit
 (** The standard multiplicative decrease shared by LIA/OLIA/EWTCP:

@@ -1,0 +1,100 @@
+(** Flat SACK scoreboard: the sender's retransmission queue.
+
+    A ring buffer of parallel arrays over the in-flight sequence range.
+    The sender's access pattern makes this exact: segments are appended
+    only at the right edge (new data always leaves at [snd_nxt =
+    snd_max], so sequence numbers are contiguous and increasing) and
+    removed only at the left (cumulative ACKs drop covered segments
+    from the front; SACKed segments stay until cumulatively covered).
+    Appends, front drops and flag flips are O(1) and allocation-free;
+    position lookups are binary searches.
+
+    Physical indices returned by {!append}/{!find}/{!idx} are stable
+    until the next {!append} (growth re-bases the ring), which suits
+    the sender's per-ACK usage; logical index 0 is the oldest segment.
+
+    The QCheck equivalence suite ([Fuzz.scoreboard_equivalence]) drives
+    this module against a reference [Map.Make(Int)] model on random
+    SACK/loss traces, and the [tcp.scoreboard] audit invariant recounts
+    {!consistent} plus the RFC 6675 pipe on every cumulative ACK of an
+    audited run. *)
+
+type t
+
+val create : unit -> t
+
+val length : t -> int
+(** Number of outstanding segments. *)
+
+val is_empty : t -> bool
+
+val idx : t -> int -> int
+(** [idx t i] is the physical position of logical segment [i]
+    (0 = oldest).  No bounds check. *)
+
+val append : t -> seq:int -> len:int -> dss:Packet.dss option -> int
+(** Append a fresh segment at the right edge and return its physical
+    position.  Raises [Invalid_argument] if [len <= 0] or [seq] does
+    not continue the last segment exactly. *)
+
+val pop_front : t -> unit
+(** Drop the oldest segment.  Raises [Invalid_argument] when empty. *)
+
+val lower_bound : t -> int -> int
+(** [lower_bound t x] is the logical index of the first segment whose
+    sequence number is [>= x], or [length t] if none is. *)
+
+val find : t -> int -> int
+(** Physical position of the segment starting exactly at the given
+    sequence number, or [-1]. *)
+
+val end_seq : t -> int
+(** Sequence number one past the last segment.  Raises
+    [Invalid_argument] when empty. *)
+
+(** {2 Per-segment accessors (physical positions)} *)
+
+val seq_at : t -> int -> int
+val len_at : t -> int -> int
+
+val end_at : t -> int -> int
+(** [seq_at + len_at]. *)
+
+val dss_at : t -> int -> Packet.dss option
+val sent_at : t -> int -> Engine.Time.t
+val set_sent_at : t -> int -> Engine.Time.t -> unit
+
+val retx_at : t -> int -> int
+(** Times this segment has been retransmitted. *)
+
+val incr_retx : t -> int -> unit
+
+val epoch_at : t -> int -> int
+(** Recovery epoch of the segment's last hole retransmission
+    ([-1] until the first). *)
+
+val set_epoch : t -> int -> int -> unit
+val sacked_at : t -> int -> bool
+val lost_at : t -> int -> bool
+
+val mark_sacked : t -> int -> bool
+(** Flag the segment SACKed; [true] iff this was a transition (so the
+    caller can maintain its incremental pipe). *)
+
+val mark_lost : t -> int -> unit
+(** Flag the segment presumed lost (idempotent; caller maintains the
+    pipe across the transition). *)
+
+val clear_lost : t -> int -> unit
+(** Clear the lost flag (the segment was just retransmitted). *)
+
+val sacked_count : t -> int
+(** Segments currently flagged SACKed, O(1). *)
+
+val pipe_recount : t -> int
+(** O(n) recount of bytes neither SACKed nor lost — the oracle the
+    [tcp.pipe] audit invariant compares the incremental counter to. *)
+
+val consistent : t -> bool
+(** Structural self-check: contiguous increasing segments and a SACK
+    counter that matches a recount. *)

@@ -46,20 +46,6 @@ type monitor_event =
   | Cwnd_changed of { cwnd : float }
   | State_changed of { state : cc_state }
 
-type seg = {
-  seq : int;
-  len : int;
-  dss : Packet.dss option;
-  mutable sent_at : Engine.Time.t;
-  mutable retx : int;
-  mutable sacked : bool;
-  mutable lost : bool;
-      (* presumed lost: excluded from pipe until retransmitted *)
-  mutable rtx_epoch : int; (* recovery epoch of the last hole retransmit *)
-}
-
-module Imap = Map.Make (Int)
-
 type t = {
   sched : Engine.Sched.t;
   config : config;
@@ -76,7 +62,10 @@ type t = {
   mutable cc : Cc.instance option; (* set right after creation *)
   mutable cwnd : float;
   mutable ssthresh : float;
-  mutable outstanding : seg Imap.t;
+  sb : Scoreboard.t;
+      (* outstanding segments, oldest first: the flat ring that replaced
+         the [Map.Make(Int)] scoreboard (see scoreboard.ml's header for
+         why the access pattern makes a ring exact) *)
   mutable pipe_bytes : int;
       (* RFC 6675 pipe, maintained incrementally across scoreboard flag
          transitions: the old O(n) fold ran once per packet inside the
@@ -90,6 +79,14 @@ type t = {
   mutable inflation : float; (* MSS; dup-ACK inflation (non-SACK mode) *)
   mutable recovery_epoch : int;
   mutable highest_sacked : int; (* end of the highest SACKed range seen *)
+  mutable holes_below : int;
+      (* loss-marking cursor: every segment ending at or below this has
+         been considered by [mark_lost_holes] in the current recovery *)
+  mutable hole_seq : int;
+      (* retransmission cursor: no unhandled hole starts below this.
+         Pulled back whenever a segment below it is marked lost, reset
+         on entering recovery — so [next_hole] is amortised O(1) instead
+         of a scan from the left edge per call *)
   mutable rto_timer : Engine.Sched.timer option;
   mutable rto_thunk : unit -> unit;
       (* [fun () -> on_rto t], built once on first arm: the RTO is
@@ -128,17 +125,19 @@ let srtt_s t =
   | Some v -> Engine.Time.to_float_s v
   | None -> default_srtt_s
 
-let sibling_view t =
-  {
-    Cc.cwnd = t.cwnd;
-    srtt_s = srtt_s t;
-    in_slow_start = t.cwnd < t.ssthresh;
-    loss_interval_bytes = max t.interval_cur t.interval_prev;
-    established = t.established;
-  }
+(* Refresh this subflow's slot of the coupled-CC group in place: plain
+   float/flag stores into the flat arrays, no snapshot records.  The
+   previous design rebuilt a boxed sibling-record array on every ACK of
+   every subflow. *)
+let sync_group_slot t (g : Cc.group) i =
+  g.Cc.cwnds.(i) <- t.cwnd;
+  g.Cc.srtts.(i) <- srtt_s t;
+  g.Cc.loss_intervals.(i) <-
+    float_of_int (max t.interval_cur t.interval_prev);
+  Cc.group_set_established g i t.established
 
 let create ~sched ~config ~conn ~subflow ~src ~dst ~tag ~fresh_id ~transmit
-    ?pool ~source ~cc ?siblings ?self_index () =
+    ?pool ~source ~cc ?group ?self_index () =
   let t =
     {
       sched; config; conn; subflow; src; dst; tag; fresh_id; transmit; pool;
@@ -149,7 +148,7 @@ let create ~sched ~config ~conn ~subflow ~src ~dst ~tag ~fresh_id ~transmit
       cc = None;
       cwnd = config.initial_cwnd;
       ssthresh = config.initial_ssthresh;
-      outstanding = Imap.empty;
+      sb = Scoreboard.create ();
       pipe_bytes = 0;
       snd_una = 0;
       snd_nxt = 0;
@@ -160,6 +159,8 @@ let create ~sched ~config ~conn ~subflow ~src ~dst ~tag ~fresh_id ~transmit
       inflation = 0.0;
       recovery_epoch = 0;
       highest_sacked = 0;
+      holes_below = 0;
+      hole_seq = 0;
       rto_timer = None;
       rto_thunk = unarmed;
       established = false;
@@ -176,8 +177,16 @@ let create ~sched ~config ~conn ~subflow ~src ~dst ~tag ~fresh_id ~transmit
           fast_recoveries = 0; bytes_acked = 0 };
     }
   in
-  let siblings =
-    match siblings with Some f -> f | None -> fun () -> [| sibling_view t |]
+  let group =
+    match group with
+    | Some f -> f
+    | None ->
+      (* Single-path default: a one-slot group refreshed from this
+         sender alone. *)
+      let g = Cc.group_create 1 in
+      fun () ->
+        sync_group_slot t g 0;
+        g
   in
   let self_index = match self_index with Some f -> f | None -> fun () -> 0 in
   let ctx =
@@ -194,7 +203,7 @@ let create ~sched ~config ~conn ~subflow ~src ~dst ~tag ~fresh_id ~transmit
       get_ssthresh = (fun () -> t.ssthresh);
       set_ssthresh = (fun w -> t.ssthresh <- Float.max Cc.min_cwnd w);
       srtt_s = (fun () -> srtt_s t);
-      siblings;
+      group;
       self_index;
     }
   in
@@ -206,16 +215,17 @@ let create ~sched ~config ~conn ~subflow ~src ~dst ~tag ~fresh_id ~transmit
 (* Scoreboard flag transitions funnel through these helpers so the
    incremental pipe stays consistent: a segment counts toward the pipe
    exactly while it is neither SACKed nor marked lost. *)
-let mark_sacked t seg =
-  if not seg.sacked then begin
-    seg.sacked <- true;
-    if not seg.lost then t.pipe_bytes <- t.pipe_bytes - seg.len
-  end
+let mark_sacked t p =
+  if Scoreboard.mark_sacked t.sb p then
+    if not (Scoreboard.lost_at t.sb p) then
+      t.pipe_bytes <- t.pipe_bytes - Scoreboard.len_at t.sb p
 
-let mark_lost t seg =
-  if not (seg.lost || seg.sacked) then begin
-    seg.lost <- true;
-    t.pipe_bytes <- t.pipe_bytes - seg.len
+let mark_lost t p =
+  if not (Scoreboard.lost_at t.sb p || Scoreboard.sacked_at t.sb p) then begin
+    Scoreboard.mark_lost t.sb p;
+    t.pipe_bytes <- t.pipe_bytes - Scoreboard.len_at t.sb p;
+    let s = Scoreboard.seq_at t.sb p in
+    if s < t.hole_seq then t.hole_seq <- s
   end
 
 let process_sack t blocks =
@@ -223,11 +233,23 @@ let process_sack t blocks =
     (fun (s, e) ->
       if e > s then begin
         if e > t.highest_sacked then t.highest_sacked <- e;
-        Imap.iter
-          (fun seq seg ->
-            if (not seg.sacked) && seq >= s && seq + seg.len <= e then
-              mark_sacked t seg)
-          t.outstanding
+        (* Outstanding segments are contiguous, so the block covers the
+           run of segments from the first starting at or above [s] up
+           to the last ending at or below [e] — a binary search and a
+           walk over the covered range, where the map version visited
+           every outstanding segment per block. *)
+        let sb = t.sb in
+        let n = Scoreboard.length sb in
+        let i = ref (Scoreboard.lower_bound sb s) in
+        let inside = ref true in
+        while !inside && !i < n do
+          let p = Scoreboard.idx sb !i in
+          if Scoreboard.end_at sb p <= e then begin
+            if not (Scoreboard.sacked_at sb p) then mark_sacked t p;
+            incr i
+          end
+          else inside := false
+        done
       end)
     blocks
 
@@ -238,43 +260,61 @@ let pipe t = t.pipe_bytes
 
 (* The scoreboard walk [pipe] used to be; kept as the oracle the
    invariant auditor compares the incremental counter against. *)
-let pipe_scoreboard t =
-  Imap.fold
-    (fun _ seg acc ->
-      if seg.sacked || seg.lost then acc else acc + seg.len)
-    t.outstanding 0
+let pipe_scoreboard t = Scoreboard.pipe_recount t.sb
 
 let pipe_consistent t = t.pipe_bytes = pipe_scoreboard t
 
+let scoreboard_consistent t = Scoreboard.consistent t.sb
+
 (* Mark as lost every unsacked segment with SACKed data wholly above it
    that has not already been retransmitted in this recovery (RFC 6675
-   IsLost, simplified to the one-block criterion). *)
+   IsLost, simplified to the one-block criterion).  The [holes_below]
+   cursor makes the repeated per-ACK calls walk only the range newly
+   covered by [highest_sacked]: below the cursor every segment is
+   already lost, SACKed, or retransmitted in this epoch, and none of
+   those can become a fresh candidate within the epoch. *)
 let mark_lost_holes t =
-  Imap.iter
-    (fun seq seg ->
-      if
-        (not seg.sacked)
-        && seg.rtx_epoch < t.recovery_epoch
-        && seq + seg.len <= t.highest_sacked
-      then mark_lost t seg)
-    t.outstanding
+  if t.highest_sacked > t.holes_below then begin
+    let sb = t.sb in
+    let n = Scoreboard.length sb in
+    let i0 = Scoreboard.lower_bound sb t.holes_below in
+    let i = ref (if i0 > 0 then i0 - 1 else 0) in
+    let inside = ref true in
+    while !inside && !i < n do
+      let p = Scoreboard.idx sb !i in
+      if Scoreboard.end_at sb p <= t.highest_sacked then begin
+        if
+          (not (Scoreboard.sacked_at sb p))
+          && Scoreboard.epoch_at sb p < t.recovery_epoch
+        then mark_lost t p;
+        incr i
+      end
+      else inside := false
+    done;
+    t.holes_below <- t.highest_sacked
+  end
 
 (* Next retransmission candidate under SACK: the lowest lost segment not
-   yet retransmitted in this recovery. *)
+   yet retransmitted in this recovery.  Resumes from the [hole_seq]
+   cursor; segments skipped are SACKed or already retransmitted in this
+   epoch, neither of which can turn back into a candidate, and any
+   late marking below the cursor pulls it back (see [mark_lost]). *)
 let next_hole t =
-  let found = ref None in
-  (try
-     Imap.iter
-       (fun _ seg ->
-         if
-           seg.lost && (not seg.sacked)
-           && seg.rtx_epoch < t.recovery_epoch
-         then begin
-           found := Some seg;
-           raise Exit
-         end)
-       t.outstanding
-   with Exit -> ());
+  let sb = t.sb in
+  let n = Scoreboard.length sb in
+  let i = ref (Scoreboard.lower_bound sb t.hole_seq) in
+  let found = ref (-1) in
+  while !found < 0 && !i < n do
+    let p = Scoreboard.idx sb !i in
+    if
+      Scoreboard.lost_at sb p
+      && (not (Scoreboard.sacked_at sb p))
+      && Scoreboard.epoch_at sb p < t.recovery_epoch
+    then found := p
+    else incr i
+  done;
+  if !found >= 0 then t.hole_seq <- Scoreboard.seq_at sb !found
+  else if n > 0 then t.hole_seq <- Scoreboard.end_seq sb;
   !found
 
 (* --- timers --- *)
@@ -288,7 +328,7 @@ let cancel_rto t =
 
 let rec arm_rto t =
   cancel_rto t;
-  if t.conn_state = Syn_sent || not (Imap.is_empty t.outstanding) then begin
+  if t.conn_state = Syn_sent || not (Scoreboard.is_empty t.sb) then begin
     if t.rto_thunk == unarmed then t.rto_thunk <- (fun () -> on_rto t);
     t.rto_timer <-
       Some (Engine.Sched.after t.sched (Rtt.rto t.rtt) t.rto_thunk)
@@ -308,31 +348,35 @@ and send_syn t ~is_retx =
 
 (* --- transmission --- *)
 
-and send_seg t seg ~is_retx =
+and send_seg t p ~is_retx =
   let now = Engine.Sched.now t.sched in
   if t.first_send = None then t.first_send <- Some now;
   t.established <- true;
-  seg.sent_at <- now;
-  if seg.lost then begin
-    seg.lost <- false;
-    if not seg.sacked then t.pipe_bytes <- t.pipe_bytes + seg.len
+  let sb = t.sb in
+  let seq = Scoreboard.seq_at sb p and len = Scoreboard.len_at sb p in
+  Scoreboard.set_sent_at sb p now;
+  if Scoreboard.lost_at sb p then begin
+    Scoreboard.clear_lost sb p;
+    if not (Scoreboard.sacked_at sb p) then
+      t.pipe_bytes <- t.pipe_bytes + len
   end;
   if is_retx then begin
-    seg.retx <- seg.retx + 1;
+    Scoreboard.incr_retx sb p;
     t.stats.retransmits <- t.stats.retransmits + 1
   end;
   t.stats.segments_sent <- t.stats.segments_sent + 1;
-  let p =
+  let pkt =
     Packet.Pool.acquire_tcp ?pool:t.pool ~id:(t.fresh_id ()) ~src:t.src
       ~dst:t.dst ~tag:t.tag ~born:now
       ~ecn:(if t.config.ecn then Packet.Ect else Packet.Not_ect)
-      ~conn:t.conn ~subflow:t.subflow ~kind:Packet.Data ~seq:seg.seq
-      ~payload:seg.len ~ack:0 ~sack:[] ~ece:false ~dss:seg.dss ~data_ack:0 ()
+      ~conn:t.conn ~subflow:t.subflow ~kind:Packet.Data ~seq
+      ~payload:len ~ack:0 ~sack:[] ~ece:false
+      ~dss:(Scoreboard.dss_at sb p) ~data_ack:0 ()
   in
-  t.transmit p;
+  t.transmit pkt;
   (match t.monitor with
   | None -> ()
-  | Some f -> f (Seg_sent { seq = seg.seq; len = seg.len; retx = is_retx }));
+  | Some f -> f (Seg_sent { seq; len; retx = is_retx }));
   if t.rto_timer = None then arm_rto t
 
 and window_bytes t =
@@ -358,48 +402,45 @@ and try_send_established t =
     else begin
       (* Highest priority: SACK hole retransmission during recovery. *)
       let hole =
-        if t.config.sack && t.in_recovery then next_hole t else None
+        if t.config.sack && t.in_recovery then next_hole t else -1
       in
-      match hole with
-      | Some seg ->
-        seg.rtx_epoch <- t.recovery_epoch;
-        send_seg t seg ~is_retx:true
-      | None ->
-        if t.snd_nxt < t.snd_max then begin
-          (* Go-back-N resend of an already-mapped segment (post-RTO);
-             skip segments the scoreboard knows have arrived. *)
-          match Imap.find_opt t.snd_nxt t.outstanding with
-          | Some seg ->
-            if seg.sacked then t.snd_nxt <- seg.seq + seg.len
-            else begin
-              send_seg t seg ~is_retx:true;
-              t.snd_nxt <- seg.seq + seg.len
-            end
-          | None -> (
-            (* Hole created by an odd partial ACK: skip to the next known
-               segment boundary. *)
-            match
-              Imap.find_first_opt (fun s -> s > t.snd_nxt) t.outstanding
-            with
-            | Some (s, _) -> t.snd_nxt <- s
-            | None -> t.snd_nxt <- t.snd_max)
+      if hole >= 0 then begin
+        Scoreboard.set_epoch t.sb hole t.recovery_epoch;
+        send_seg t hole ~is_retx:true
+      end
+      else if t.snd_nxt < t.snd_max then begin
+        (* Go-back-N resend of an already-mapped segment (post-RTO);
+           skip segments the scoreboard knows have arrived. *)
+        let p = Scoreboard.find t.sb t.snd_nxt in
+        if p >= 0 then begin
+          if Scoreboard.sacked_at t.sb p then
+            t.snd_nxt <- Scoreboard.end_at t.sb p
+          else begin
+            send_seg t p ~is_retx:true;
+            t.snd_nxt <- Scoreboard.end_at t.sb p
+          end
         end
         else begin
-          match t.source ~max_len:t.config.mss with
-          | None -> continue := false
-          | Some { dss; len } ->
-            if len <= 0 || len > t.config.mss then
-              invalid_arg "Sender: source returned an invalid chunk length";
-            let seg =
-              { seq = t.snd_nxt; len; dss; sent_at = Engine.Time.zero;
-                retx = 0; sacked = false; lost = false; rtx_epoch = -1 }
-            in
-            t.outstanding <- Imap.add seg.seq seg t.outstanding;
-            t.pipe_bytes <- t.pipe_bytes + len;
-            send_seg t seg ~is_retx:false;
-            t.snd_nxt <- seg.seq + seg.len;
-            t.snd_max <- max t.snd_max t.snd_nxt
+          (* Hole created by an odd partial ACK: skip to the next known
+             segment boundary. *)
+          let i = Scoreboard.lower_bound t.sb (t.snd_nxt + 1) in
+          if i < Scoreboard.length t.sb then
+            t.snd_nxt <- Scoreboard.seq_at t.sb (Scoreboard.idx t.sb i)
+          else t.snd_nxt <- t.snd_max
         end
+      end
+      else begin
+        match t.source ~max_len:t.config.mss with
+        | None -> continue := false
+        | Some { dss; len } ->
+          if len <= 0 || len > t.config.mss then
+            invalid_arg "Sender: source returned an invalid chunk length";
+          let p = Scoreboard.append t.sb ~seq:t.snd_nxt ~len ~dss in
+          t.pipe_bytes <- t.pipe_bytes + len;
+          send_seg t p ~is_retx:false;
+          t.snd_nxt <- t.snd_nxt + len;
+          t.snd_max <- max t.snd_max t.snd_nxt
+      end
     end
   done
 
@@ -417,7 +458,7 @@ and on_rto t =
     Rtt.backoff t.rtt;
     send_syn t ~is_retx:true
   end
-  else if not (Imap.is_empty t.outstanding) then begin
+  else if not (Scoreboard.is_empty t.sb) then begin
     t.stats.timeouts <- t.stats.timeouts + 1;
     loss_event t;
     (cc_exn t).Cc.on_rto ();
@@ -431,16 +472,17 @@ and on_rto t =
     (* Everything unacknowledged and unSACKed is presumed lost; rewind
        and let the (collapsed) window re-send, skipping SACKed segments
        (RFC 6675 section 5.1). *)
-    Imap.iter (fun _ seg -> mark_lost t seg) t.outstanding;
+    for i = 0 to Scoreboard.length t.sb - 1 do
+      mark_lost t (Scoreboard.idx t.sb i)
+    done;
     t.snd_nxt <- t.snd_una;
     arm_rto t;
     try_send t
   end
 
 let retransmit_at t seq =
-  match Imap.find_opt seq t.outstanding with
-  | Some seg -> send_seg t seg ~is_retx:true
-  | None -> ()
+  let p = Scoreboard.find t.sb seq in
+  if p >= 0 then send_seg t p ~is_retx:true
 
 let enter_recovery t =
   t.in_recovery <- true;
@@ -449,6 +491,8 @@ let enter_recovery t =
   | Some f -> f (State_changed { state = Recovery }));
   t.recover <- t.snd_max;
   t.recovery_epoch <- t.recovery_epoch + 1;
+  t.holes_below <- 0;
+  t.hole_seq <- 0;
   t.stats.fast_recoveries <- t.stats.fast_recoveries + 1;
   loss_event t;
   (cc_exn t).Cc.on_loss ();
@@ -456,14 +500,15 @@ let enter_recovery t =
     mark_lost_holes t;
     (* The segment at snd_una is the surest hole: the duplicate ACKs
        prove data above it arrived. *)
-    (match Imap.min_binding_opt t.outstanding with
-    | Some (_, seg) when not seg.sacked -> mark_lost t seg
-    | Some _ | None -> ());
-    match next_hole t with
-    | Some seg ->
-      seg.rtx_epoch <- t.recovery_epoch;
-      send_seg t seg ~is_retx:true
-    | None -> ()
+    if not (Scoreboard.is_empty t.sb) then begin
+      let p = Scoreboard.idx t.sb 0 in
+      if not (Scoreboard.sacked_at t.sb p) then mark_lost t p
+    end;
+    let hole = next_hole t in
+    if hole >= 0 then begin
+      Scoreboard.set_epoch t.sb hole t.recovery_epoch;
+      send_seg t hole ~is_retx:true
+    end
   end
   else begin
     t.inflation <- float_of_int t.config.dupack_threshold;
@@ -471,9 +516,7 @@ let enter_recovery t =
   end;
   arm_rto t
 
-let sacked_segments t =
-  Imap.fold (fun _ seg acc -> if seg.sacked then acc + 1 else acc)
-    t.outstanding 0
+let sacked_segments t = Scoreboard.sacked_count t.sb
 
 (* ECN response (RFC 3168 section 6.1.2): treat an ECN Echo like a loss
    for the congestion controller, at most once per window of data. *)
@@ -509,24 +552,25 @@ let handle_ack t (tcp : Packet.tcp) =
     let newly = a - t.snd_una in
     t.stats.bytes_acked <- t.stats.bytes_acked + newly;
     t.interval_cur <- t.interval_cur + newly;
-    (* Remove covered segments; RTT sample from the newest segment that
-       was never retransmitted (Karn's rule). *)
-    let sample = ref None in
-    let rec drop () =
-      match Imap.min_binding_opt t.outstanding with
-      | Some (seq, seg) when seq + seg.len <= a ->
-        if seg.retx = 0 then sample := Some seg.sent_at;
-        if not (seg.sacked || seg.lost) then
-          t.pipe_bytes <- t.pipe_bytes - seg.len;
-        t.outstanding <- Imap.remove seq t.outstanding;
-        drop ()
-      | Some _ | None -> ()
-    in
-    drop ();
-    (match !sample with
-    | Some sent_at ->
-      Rtt.sample t.rtt (Engine.Time.diff (Engine.Sched.now t.sched) sent_at)
-    | None -> ());
+    (* Drop covered segments from the front; RTT sample from the newest
+       segment that was never retransmitted (Karn's rule).  [-1] is the
+       no-sample sentinel — send times are never negative. *)
+    let sample = ref (-1) in
+    let dropping = ref true in
+    while !dropping && not (Scoreboard.is_empty t.sb) do
+      let p = Scoreboard.idx t.sb 0 in
+      if Scoreboard.end_at t.sb p <= a then begin
+        if Scoreboard.retx_at t.sb p = 0 then
+          sample := Scoreboard.sent_at t.sb p;
+        if
+          not (Scoreboard.sacked_at t.sb p || Scoreboard.lost_at t.sb p)
+        then t.pipe_bytes <- t.pipe_bytes - Scoreboard.len_at t.sb p;
+        Scoreboard.pop_front t.sb
+      end
+      else dropping := false
+    done;
+    if !sample >= 0 then
+      Rtt.sample t.rtt (Engine.Time.diff (Engine.Sched.now t.sched) !sample);
     t.snd_una <- a;
     if t.snd_nxt < a then t.snd_nxt <- a;
     (match t.monitor with
@@ -548,10 +592,10 @@ let handle_ack t (tcp : Packet.tcp) =
         retransmit_at t a
     end
     else (cc_exn t).Cc.on_ack ~acked:newly;
-    if Imap.is_empty t.outstanding then cancel_rto t else arm_rto t;
+    if Scoreboard.is_empty t.sb then cancel_rto t else arm_rto t;
     try_send t
   end
-  else if not (Imap.is_empty t.outstanding) then begin
+  else if not (Scoreboard.is_empty t.sb) then begin
     (* Duplicate ACK. *)
     t.dupacks <- t.dupacks + 1;
     if t.in_recovery then begin

@@ -79,11 +79,13 @@ val create :
   ?pool:Packet.Pool.t ->
   source:source ->
   cc:Cc.factory ->
-  ?siblings:(unit -> Cc.sibling array) ->
+  ?group:(unit -> Cc.group) ->
   ?self_index:(unit -> int) ->
   unit -> t
-(** [siblings]/[self_index] give coupled controllers their view of the
-    owning connection; they default to "this subflow alone".
+(** [group]/[self_index] give coupled controllers their view of the
+    owning connection — [group ()] returns the connection's flat
+    {!Cc.group} with every slot synced to its sender's live state; they
+    default to "this subflow alone" (a private 1-slot group).
 
     [pool] (normally the owning {!Netsim.Net.pool}) lets the sender
     recycle released packet records instead of allocating fresh ones;
@@ -119,6 +121,13 @@ val pipe_consistent : t -> bool
 (** [true] iff the incrementally maintained RFC 6675 pipe equals an O(n)
     recount of the SACK scoreboard.  Audit hook: the send loop gates on
     the incremental counter, so drift here means wrong pacing. *)
+
+val scoreboard_consistent : t -> bool
+(** [true] iff the flat scoreboard is structurally sound: outstanding
+    segments contiguous and increasing, and the O(1) SACKed-segment
+    counter equal to a recount.  Audit hook ([tcp.scoreboard]): fast
+    retransmit triggers off the counter, so drift here means wrong
+    recovery entry. *)
 
 val srtt : t -> Engine.Time.t option
 val rto : t -> Engine.Time.t
@@ -157,8 +166,12 @@ val monitor : t -> (monitor_event -> unit) option
 (** The currently installed tap, so a second subscriber can chain
     rather than clobber it. *)
 
-val sibling_view : t -> Cc.sibling
-(** Snapshot used by coupled congestion control on sibling subflows. *)
+val sync_group_slot : t -> Cc.group -> int -> unit
+(** [sync_group_slot t g i] refreshes slot [i] of the flat coupled-CC
+    group [g] from this sender's live state (cwnd, smoothed RTT, loss
+    interval, established flag) — in place, no allocation.  Called by
+    the owning connection for every subflow before handing [g] to a
+    coupled controller. *)
 
 val throughput_bps : t -> now:Engine.Time.t -> float
 (** Average acknowledged goodput since the first transmission. *)

@@ -164,6 +164,117 @@ let heap_qcheck_compact_order =
       in
       drain_pairs h = surviving)
 
+(* --- Wheel --- *)
+
+let wheel_drain w =
+  let rec go acc =
+    if Wheel.is_empty w then List.rev acc
+    else
+      let k = Wheel.min_key_exn w and t = Wheel.min_tie_exn w in
+      let v = Wheel.pop_exn w in
+      go ((k, t, v) :: acc)
+  in
+  go []
+
+let wheel_basic () =
+  let w = Wheel.create () in
+  check_bool "empty" true (Wheel.is_empty w);
+  ignore (Wheel.push w ~key:5 ~tie:2 "five");
+  ignore (Wheel.push w ~key:1 ~tie:0 "one");
+  ignore (Wheel.push w ~key:3 ~tie:1 "three");
+  check_int "length" 3 (Wheel.length w);
+  check_int "min key" 1 (Wheel.min_key_exn w);
+  Alcotest.(check (list string)) "sorted" [ "one"; "three"; "five" ]
+    (List.map (fun (_, _, v) -> v) (wheel_drain w));
+  check_bool "drained" true (Wheel.is_empty w)
+
+let wheel_fifo_ties () =
+  let w = Wheel.create () in
+  List.iteri (fun i v -> ignore (Wheel.push w ~key:7 ~tie:i v)) [ "a"; "b"; "c" ];
+  Alcotest.(check (list string)) "FIFO among equal keys" [ "a"; "b"; "c" ]
+    (List.map (fun (_, _, v) -> v) (wheel_drain w))
+
+let wheel_overdue_push () =
+  (* Popping advances the wheel's position; a later push below that
+     position is "overdue" and must still pop first, in full (key, tie)
+     order against other overdue entries. *)
+  let w = Wheel.create () in
+  ignore (Wheel.push w ~key:1_000_000 ~tie:0 "future");
+  check_int "positioned" 1_000_000 (Wheel.min_key_exn w);
+  ignore (Wheel.pop_exn w);
+  ignore (Wheel.push w ~key:10 ~tie:1 "overdue-b");
+  ignore (Wheel.push w ~key:3 ~tie:2 "overdue-a");
+  ignore (Wheel.push w ~key:2_000_000 ~tie:3 "future-2");
+  Alcotest.(check (list string)) "overdue first, ordered"
+    [ "overdue-a"; "overdue-b"; "future-2" ]
+    (List.map (fun (_, _, v) -> v) (wheel_drain w))
+
+let wheel_cancel () =
+  let w = Wheel.create () in
+  let _a = Wheel.push w ~key:1 ~tie:0 "a" in
+  let b = Wheel.push w ~key:2 ~tie:1 "b" in
+  let _c = Wheel.push w ~key:3 ~tie:2 "c" in
+  Wheel.cancel w b;
+  check_int "length after cancel" 2 (Wheel.length w);
+  Alcotest.(check (list string)) "survivors in order" [ "a"; "c" ]
+    (List.map (fun (_, _, v) -> v) (wheel_drain w));
+  check_bool "stale handle rejected" true
+    (try Wheel.cancel w b; false with Invalid_argument _ -> true)
+
+let wheel_negative_key_rejected () =
+  let w = Wheel.create () in
+  check_bool "raises" true
+    (try ignore (Wheel.push w ~key:(-1) ~tie:0 ()); false
+     with Invalid_argument _ -> true)
+
+let wheel_overflow_level () =
+  (* Keys beyond the wheel's 2^52 ns span wait in the overflow heap and
+     must migrate in as the wheel drains — including after a cancel. *)
+  let span = 1 lsl 52 in
+  let w = Wheel.create () in
+  ignore (Wheel.push w ~key:5 ~tie:0 "near");
+  ignore (Wheel.push w ~key:(span + 7) ~tie:1 "far-b");
+  let dead = Wheel.push w ~key:(span + 3) ~tie:2 "dead" in
+  ignore (Wheel.push w ~key:(span + 1) ~tie:3 "far-a");
+  check_int "all queued" 4 (Wheel.length w);
+  Wheel.cancel w dead;
+  Alcotest.(check (list string)) "near then migrated overflow in order"
+    [ "near"; "far-a"; "far-b" ]
+    (List.map (fun (_, _, v) -> v) (wheel_drain w))
+
+let wheel_qcheck_vs_heap =
+  (* The wheel and the heap implement the same ordering contract: any
+     multiset of (key, tie) pairs drains identically, across level
+     boundaries and into the overflow region. *)
+  QCheck.Test.make ~name:"wheel pops exactly like the heap" ~count:200
+    QCheck.(list (pair (int_bound 5_000_000) (int_bound 1000)))
+    (fun pairs ->
+      let w = Wheel.create ~capacity:4 () in
+      let h = Heap.create () in
+      (* Make ties unique so the expected order is total. *)
+      List.iteri
+        (fun i (k, t) ->
+          let tie = (t * 10_000) + i in
+          ignore (Wheel.push w ~key:k ~tie i);
+          Heap.push h ~key:k ~tie i)
+        pairs;
+      let rec drain_heap acc =
+        match Heap.pop h with
+        | None -> List.rev acc
+        | Some (k, t, v) -> drain_heap ((k, t, v) :: acc)
+      in
+      wheel_drain w = drain_heap [])
+
+let wheel_cascades_counted () =
+  let w = Wheel.create () in
+  (* Spread entries over several levels, then drain: redistributions
+     must have happened and been counted. *)
+  for i = 0 to 199 do
+    ignore (Wheel.push w ~key:(i * 7919) ~tie:i i)
+  done;
+  ignore (wheel_drain w);
+  check_bool "cascades happened" true (Wheel.cascade_count w > 0)
+
 (* --- Sched --- *)
 
 let sched_ordering () =
@@ -314,6 +425,32 @@ let sched_qcheck_cancel_order =
       in
       List.rev !log = expected)
 
+let sched_lockstep_shadow () =
+  (* With the heap shadow armed, every dispatch is cross-checked; a
+     mixed workload with cancellation must run to completion in the
+     same order (any divergence raises Failure mid-run). *)
+  let s = Sched.create () in
+  Sched.set_lockstep s true;
+  check_bool "armed" true (Sched.lockstep s);
+  let log = ref [] in
+  let victim = Sched.at s (Time.ms 4) (fun () -> log := "victim" :: !log) in
+  ignore (Sched.at s (Time.ms 2) (fun () -> log := "a" :: !log));
+  ignore
+    (Sched.at s (Time.ms 3) (fun () ->
+         log := "b" :: !log;
+         ignore (Sched.after s (Time.ms 5) (fun () -> log := "c" :: !log))));
+  Sched.cancel victim;
+  Sched.run s;
+  Alcotest.(check (list string)) "order under lockstep" [ "a"; "b"; "c" ]
+    (List.rev !log)
+
+let sched_lockstep_requires_empty () =
+  let s = Sched.create () in
+  ignore (Sched.at s (Time.ms 1) (fun () -> ()));
+  Alcotest.check_raises "non-empty rejected"
+    (Invalid_argument "Sched.set_lockstep: scheduler already has queued events")
+    (fun () -> Sched.set_lockstep s true)
+
 let sched_past_rejected () =
   let s = Sched.create () in
   ignore (Sched.at s (Time.ms 5) (fun () -> ()));
@@ -404,6 +541,21 @@ let () =
           QCheck_alcotest.to_alcotest heap_qcheck_key_tie_order;
           QCheck_alcotest.to_alcotest heap_qcheck_compact_order;
         ] );
+      ( "wheel",
+        [
+          Alcotest.test_case "push/pop basic" `Quick wheel_basic;
+          Alcotest.test_case "FIFO tie-break" `Quick wheel_fifo_ties;
+          Alcotest.test_case "overdue push still ordered" `Quick
+            wheel_overdue_push;
+          Alcotest.test_case "cancel unlinks, stale handle rejected" `Quick
+            wheel_cancel;
+          Alcotest.test_case "negative key rejected" `Quick
+            wheel_negative_key_rejected;
+          Alcotest.test_case "overflow level migrates in order" `Quick
+            wheel_overflow_level;
+          Alcotest.test_case "cascades counted" `Quick wheel_cascades_counted;
+          QCheck_alcotest.to_alcotest wheel_qcheck_vs_heap;
+        ] );
       ( "sched",
         [
           Alcotest.test_case "events fire in time order" `Quick sched_ordering;
@@ -421,6 +573,10 @@ let () =
           Alcotest.test_case "stats snapshot" `Quick sched_stats;
           Alcotest.test_case "mass cancellation compacts" `Quick
             sched_mass_cancel_compacts;
+          Alcotest.test_case "lockstep shadow agrees" `Quick
+            sched_lockstep_shadow;
+          Alcotest.test_case "lockstep requires empty queue" `Quick
+            sched_lockstep_requires_empty;
           QCheck_alcotest.to_alcotest sched_qcheck_cancel_order;
         ] );
       ( "rng",

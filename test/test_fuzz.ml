@@ -4,7 +4,11 @@
    jitter — must all be violation-free, 60 more must keep the packet
    freelist honest (no double release, no resurrection, coherent
    counters), and 100 analytic cases must produce converged,
-   LP-feasible fluid equilibria.  The pinned RNG keeps the sweep
+   LP-feasible fluid equilibria.  The data-structure properties drive
+   the timing wheel against the reference heap and the flat SACK
+   scoreboard against a naive list model on random programs, and a
+   final sweep re-checks jobs=1 vs jobs=4 bit-identity with the
+   wheel's heap-shadow lockstep armed.  The pinned RNG keeps the sweep
    reproducible; QCheck shrinks any failure to a minimal case. *)
 
 let () =
@@ -15,4 +19,7 @@ let () =
          Fuzz.test ~count:120 ();
          Fuzz.pool_test ~count:60 ();
          Fuzz.fluid_test ~count:100 ();
+         Fuzz.wheel_test ~count:400 ();
+         Fuzz.scoreboard_test ~count:400 ();
+         Fuzz.determinism_test ~count:20 ();
        ])

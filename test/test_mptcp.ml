@@ -151,16 +151,23 @@ let qcheck_reassembly_oracle =
 
 type fake_sub = { mutable cwnd : float; mutable ssthresh : float }
 
+(* One slot's worth of state for a hand-built coupled-CC group. *)
 let sibling ~cwnd ~rtt_s ?(loss_bytes = 0) ?(established = true) () =
-  {
-    Tcp.Cc.cwnd;
-    srtt_s = rtt_s;
-    in_slow_start = false;
-    loss_interval_bytes = loss_bytes;
-    established;
-  }
+  (cwnd, rtt_s, loss_bytes, established)
+
+let group_of sibs =
+  let g = Tcp.Cc.group_create (Array.length sibs) in
+  Array.iteri
+    (fun i (cwnd, rtt_s, loss_bytes, established) ->
+      g.Tcp.Cc.cwnds.(i) <- cwnd;
+      g.Tcp.Cc.srtts.(i) <- rtt_s;
+      g.Tcp.Cc.loss_intervals.(i) <- float_of_int loss_bytes;
+      Tcp.Cc.group_set_established g i established)
+    sibs;
+  g
 
 let coupled_ctx sub ~rtt_s ~siblings ~self_index =
+  let g = group_of siblings in
   {
     Tcp.Cc.now_s = (fun () -> 0.0);
     mss;
@@ -169,7 +176,7 @@ let coupled_ctx sub ~rtt_s ~siblings ~self_index =
     get_ssthresh = (fun () -> sub.ssthresh);
     set_ssthresh = (fun w -> sub.ssthresh <- Float.max 2.0 w);
     srtt_s = (fun () -> rtt_s);
-    siblings = (fun () -> siblings);
+    group = (fun () -> g);
     self_index = (fun () -> self_index);
   }
 
@@ -322,12 +329,14 @@ let wvegas_backs_off_on_delay () =
      quota's alpha+2 dead zone (diff = w/2 > 12). *)
   let sub = { cwnd = 30.0; ssthresh = 5.0 } in
   let rtt = ref 0.01 in
-  let sibs () = [| sibling ~cwnd:sub.cwnd ~rtt_s:!rtt () |] in
+  let group () = group_of [| sibling ~cwnd:sub.cwnd ~rtt_s:!rtt () |] in
   let ctx =
-    { (coupled_ctx sub ~rtt_s:0.01 ~siblings:[||] ~self_index:0) with
+    { (coupled_ctx sub ~rtt_s:0.01
+         ~siblings:[| sibling ~cwnd:sub.cwnd ~rtt_s:0.01 () |] ~self_index:0)
+      with
       Tcp.Cc.now_s = (fun () -> !now);
       srtt_s = (fun () -> !rtt);
-      siblings = sibs } in
+      group } in
   let cc = Mptcp.Cc_wvegas.factory ctx in
   now := 0.0;
   cc.Tcp.Cc.on_ack ~acked:mss; (* learn base = 0.01 *)

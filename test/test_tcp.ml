@@ -65,20 +65,15 @@ let rtt_max_cap () =
 
 type fake_sub = { mutable cwnd : float; mutable ssthresh : float }
 
-let fake_ctx ?(rtt_s = 0.1) ?(now = ref 0.0) ?(siblings = fun () -> [||]) sub =
-  let self =
-    {
-      Tcp.Cc.cwnd = sub.cwnd;
-      srtt_s = rtt_s;
-      in_slow_start = sub.cwnd < sub.ssthresh;
-      loss_interval_bytes = 0;
-      established = true;
-    }
-  in
-  let sibs () =
-    let arr = siblings () in
-    if Array.length arr = 0 then [| { self with Tcp.Cc.cwnd = sub.cwnd } |]
-    else arr
+let fake_ctx ?(rtt_s = 0.1) ?(now = ref 0.0) sub =
+  (* A private 1-slot group tracking this subflow, re-synced on read —
+     the single-path view a plain TCP controller sees. *)
+  let own = Tcp.Cc.group_create 1 in
+  let group () =
+    own.Tcp.Cc.cwnds.(0) <- sub.cwnd;
+    own.Tcp.Cc.srtts.(0) <- rtt_s;
+    Tcp.Cc.group_set_established own 0 true;
+    own
   in
   {
     Tcp.Cc.now_s = (fun () -> !now);
@@ -88,7 +83,7 @@ let fake_ctx ?(rtt_s = 0.1) ?(now = ref 0.0) ?(siblings = fun () -> [||]) sub =
     get_ssthresh = (fun () -> sub.ssthresh);
     set_ssthresh = (fun w -> sub.ssthresh <- Float.max 2.0 w);
     srtt_s = (fun () -> rtt_s);
-    siblings = sibs;
+    group;
     self_index = (fun () -> 0);
   }
 

@@ -112,9 +112,7 @@ let with_out path f =
 
 let run_cmd =
   let exec cc default scheduler duration sampling seed buffer csv ptrace audit
-      trace_json trace_csv metrics_path profile =
-    let topo = Core.Paper_net.topology () in
-    let paths = Core.Paper_net.tagged_paths ~default topo in
+      trace_json trace_csv metrics_path profile topo_file xp_file =
     let want_trace = trace_json <> None || trace_csv <> None in
     let obs =
       if want_trace || metrics_path <> None then
@@ -126,13 +124,41 @@ let run_cmd =
           }
       else None
     in
-    let spec =
-      Core.Scenario.make ~topo ~paths ~cc ~scheduler
-        ~duration:(Engine.Time.of_float_s duration)
-        ~sampling:(Engine.Time.of_float_s sampling)
-        ~seed ?send_buffer:buffer
-        ?trace_limit:(Option.map (fun _ -> 50_000) ptrace)
-        ~audit ?obs ()
+    let spec, title =
+      match (topo_file, xp_file) with
+      | Some topo_file, Some xp_file ->
+        (* Scenario as data: the experiment file fixes everything except
+           the output/audit switches, which stay CLI-controlled. *)
+        let _topo, spec =
+          try Core.Expfile.load ~topo_file ~xp_file
+          with Events.Sexp.Parse_error msg ->
+            Format.eprintf "%s@." msg;
+            exit 2
+        in
+        ( {
+            spec with
+            Core.Scenario.audit;
+            obs;
+            trace_limit = Option.map (fun _ -> 50_000) ptrace;
+          },
+          Printf.sprintf "experiment %s (cc=%s, Mbps)"
+            (Filename.basename xp_file)
+            (Mptcp.Algorithm.name spec.Core.Scenario.cc) )
+      | None, None ->
+        let topo = Core.Paper_net.topology () in
+        let paths = Core.Paper_net.tagged_paths ~default topo in
+        ( Core.Scenario.make ~topo ~paths ~cc ~scheduler
+            ~duration:(Engine.Time.of_float_s duration)
+            ~sampling:(Engine.Time.of_float_s sampling)
+            ~seed ?send_buffer:buffer
+            ?trace_limit:(Option.map (fun _ -> 50_000) ptrace)
+            ~audit ?obs (),
+          Printf.sprintf "MPTCP-%s on the paper network (Mbps)"
+            (String.uppercase_ascii (Mptcp.Algorithm.name cc)) )
+      | _ ->
+        Format.eprintf
+          "--topology and --experiment must be given together@.";
+        exit 2
     in
     let wall0 = Unix.gettimeofday () in
     let result = Core.Scenario.run spec in
@@ -143,12 +169,7 @@ let run_cmd =
         result.Core.Scenario.per_tag
       @ [ ("total", result.Core.Scenario.total) ]
     in
-    print_string
-      (Measure.Render.ascii_chart ~y_max:100.0
-         ~title:
-           (Printf.sprintf "MPTCP-%s on the paper network (Mbps)"
-              (String.uppercase_ascii (Mptcp.Algorithm.name cc)))
-         named);
+    print_string (Measure.Render.ascii_chart ~y_max:100.0 ~title named);
     Format.printf "%a@." Core.Scenario.pp_summary result;
     Format.printf "LP optimum %.1f Mbps; measured tail %.1f Mbps@."
       (Core.Scenario.optimal_total_mbps result)
@@ -281,12 +302,35 @@ let run_cmd =
              conservation, queue occupancy, sequence monotonicity, LP \
              feasibility) and print its report; exits 1 on any violation.")
   in
+  let topo_file_t =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "t"; "topology" ] ~docv:"FILE"
+          ~doc:
+            "Topology file (S-expression).  Replaces the paper network; \
+             requires --experiment.")
+  in
+  let xp_file_t =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "x"; "experiment" ] ~docv:"FILE"
+          ~doc:
+            "Experiment file (S-expression): paths, congestion control, \
+             transfer size and timed events (failover, capacity ramps, \
+             subflow churn, cross-traffic).  Overrides the scenario \
+             flags; requires --topology.")
+  in
   Cmd.v
-    (Cmd.info "run" ~doc:"Run one MPTCP scenario on the paper's network")
+    (Cmd.info "run"
+       ~doc:
+         "Run one MPTCP scenario on the paper's network, or an experiment \
+          file with -t/-x")
     Term.(
       const exec $ cc_t $ default_t $ sched_t $ duration_t $ sampling_t
       $ seed_t $ buffer_t $ csv_t $ ptrace_t $ audit_t $ trace_json_t
-      $ trace_csv_t $ metrics_t $ profile_t)
+      $ trace_csv_t $ metrics_t $ profile_t $ topo_file_t $ xp_file_t)
 
 (* --- fluid --- *)
 

@@ -33,7 +33,7 @@ doc_one() {
     done
     shift
     incs=""
-    for dep in engine packet netgraph netsim tcp mptcp measure lp core audit fuzz obs fluid; do
+    for dep in engine packet netgraph netsim tcp mptcp measure lp core audit fuzz obs fluid events; do
         [ -d "$(objs "$dep")" ] && incs="$incs -I $(objs "$dep")"
     done
     # shellcheck disable=SC2086
@@ -77,5 +77,10 @@ doc_one obs Obs -- \
     "$root/lib/obs/trace.mli" \
     "$root/lib/obs/metrics.mli" \
     "$root/lib/obs/collect.mli"
+
+doc_one events Events -- \
+    "$root/lib/events/sexp.mli" \
+    "$root/lib/events/event.mli" \
+    "$root/lib/events/parse.mli"
 
 echo "documentation gate passed"

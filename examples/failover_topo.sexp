@@ -1,0 +1,10 @@
+; Two disjoint paths from a to z: a slow primary through p1 and a fast
+; backup through p2.  Used by failover_xp.sexp (primary killed
+; mid-transfer) and lossy_xp.sexp (primary made 10% lossy).
+(topology
+ (nodes a p1 p2 z)
+ (links
+  (a p1 (mbps 10) (delay-ms 5))
+  (p1 z (mbps 10) (delay-ms 5))
+  (a p2 (mbps 90) (delay-ms 5))
+  (p2 z (mbps 90) (delay-ms 5))))

@@ -1,0 +1,21 @@
+; Primary-path kill mid-transfer: the resilience headline.  An 8 MB
+; MPTCP transfer over both paths; at 0.5 s the primary's access link is
+; cut.  With (rto-cap 2) the sender declares the subflow dead after two
+; silent retransmission timeouts and re-sends its stranded chunks on the
+; backup, so the transfer still completes.  Compare tcp_killed_xp.sexp,
+; where a single-path flow pinned to the primary simply stalls.
+;
+;   dune exec bin/mptcp_sim.exe -- run -t examples/failover_topo.sexp \
+;     -x examples/failover_xp.sexp
+(experiment
+ (cc lia)
+ (scheduler min-rtt)
+ (duration-s 3)
+ (sampling-ms 100)
+ (seed 1)
+ (total-mb 8)
+ (rto-cap 2)
+ (limit-pkts 64)
+ (paths (a p1 z) (a p2 z))
+ (events
+  (at-s 0.5 (link-down a p1))))

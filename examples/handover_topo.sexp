@@ -1,0 +1,10 @@
+; A phone with WiFi and LTE access to the same server — the classic
+; MPTCP mobility setup.  WiFi is fast with a short RTT, LTE slower with
+; a long one.  Used by handover_xp.sexp.
+(topology
+ (nodes phone wifi lte server)
+ (links
+  (phone wifi (mbps 50) (delay-ms 3))
+  (phone lte (mbps 30) (delay-ms 25))
+  (wifi server (mbps 100) (delay-ms 5))
+  (lte server (mbps 100) (delay-ms 5))))

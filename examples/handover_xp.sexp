@@ -1,0 +1,23 @@
+; WiFi -> LTE handover: the phone walks away from the access point.
+; From 1 s the WiFi link's capacity ramps down to 2 Mbps over 1.5 s
+; while its delay jumps, and at 3 s the association drops entirely.
+; The coupled controller shifts the transfer onto LTE as WiFi degrades,
+; and the rto-cap failover rescues whatever was stranded when the link
+; finally dies.
+;
+;   dune exec bin/mptcp_sim.exe -- run -t examples/handover_topo.sexp \
+;     -x examples/handover_xp.sexp
+(experiment
+ (cc lia)
+ (scheduler min-rtt)
+ (duration-s 5)
+ (sampling-ms 100)
+ (seed 1)
+ (total-mb 10)
+ (rto-cap 2)
+ (limit-pkts 64)
+ (paths (phone wifi server) (phone lte server))
+ (events
+  (at-s 1 (capacity-ramp phone wifi (mbps 2) (over-s 1.5) (steps 6)))
+  (at-s 1.8 (delay-set phone wifi (ms 40)))
+  (at-s 3 (link-down phone wifi))))

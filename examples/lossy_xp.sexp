@@ -1,0 +1,17 @@
+; The 10% lossy-link regime: from 0.5 s the primary path drops every
+; tenth packet at random.  Loss-based congestion control collapses on
+; that subflow (the square-root-of-p law), so nearly all throughput
+; migrates to the clean backup — without any explicit failover.
+;
+;   dune exec bin/mptcp_sim.exe -- run -t examples/failover_topo.sexp \
+;     -x examples/lossy_xp.sexp
+(experiment
+ (cc lia)
+ (scheduler min-rtt)
+ (duration-s 4)
+ (sampling-ms 100)
+ (seed 1)
+ (limit-pkts 64)
+ (paths (a p1 z) (a p2 z))
+ (events
+  (at-s 0.5 (loss-set a p1 0.1))))

@@ -1,0 +1,16 @@
+; The single-path contrast to failover_xp.sexp: the same transfer pinned
+; to the primary path alone.  When the link dies at 0.5 s there is
+; nowhere to reroute — delivery stops and the transfer never completes.
+;
+;   dune exec bin/mptcp_sim.exe -- run -t examples/failover_topo.sexp \
+;     -x examples/tcp_killed_xp.sexp
+(experiment
+ (cc reno)
+ (duration-s 3)
+ (sampling-ms 100)
+ (seed 1)
+ (total-mb 8)
+ (limit-pkts 64)
+ (paths (a p1 z))
+ (events
+  (at-s 0.5 (link-down a p1))))

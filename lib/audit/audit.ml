@@ -167,7 +167,13 @@ let attach_net t net =
                    p.Packet.id)
            | Netsim.Linkq.Delivered p ->
              assert_live t p
-               ~where:(Printf.sprintf "delivered by link %d/%s" link dir_name)
+               ~where:(Printf.sprintf "delivered by link %d/%s" link dir_name);
+             check t ~invariant:"link.down-delivery"
+               (Netsim.Linkq.is_up q)
+               (fun () ->
+                 Printf.sprintf
+                   "link %d/%s: packet id %d delivered while the link is down"
+                   link dir_name p.Packet.id)
            | Netsim.Linkq.Dropped p ->
              if
                settle t p
@@ -264,6 +270,31 @@ let attach_connection t ~label conn =
       last_data_ack_rx = Mptcp.Connection.data_ack_rx conn;
     }
     :: t.conns;
+  (* Scheduler-decision invariants: the scheduler must never map data
+     onto a dead subflow, and liveness transitions must actually
+     alternate (a repeated down or up for the same subflow means the
+     idempotence guard broke).  The audit claims the monitor slot first;
+     the observability collector chains onto it. *)
+  let active = Array.make (Mptcp.Connection.subflow_count conn) true in
+  Mptcp.Connection.set_monitor conn
+    (Some
+       (function
+       | Mptcp.Connection.Sched_grant { subflow; dseq; len = _ } ->
+         check t ~invariant:"mptcp.grant-inactive"
+           (active.(subflow) && Mptcp.Connection.subflow_active conn subflow)
+           (fun () ->
+             Printf.sprintf
+               "%s: scheduler granted dseq %d to inactive subflow %d" label
+               dseq subflow)
+       | Mptcp.Connection.Subflow_state { subflow; active = a } ->
+         check t ~invariant:"mptcp.subflow-churn"
+           (active.(subflow) <> a)
+           (fun () ->
+             Printf.sprintf
+               "%s: subflow %d reported %s twice in a row" label subflow
+               (if a then "active" else "inactive"));
+         active.(subflow) <- a
+       | Mptcp.Connection.Sched_defer _ | Mptcp.Connection.Reinjected _ -> ()));
   for i = 0 to Mptcp.Connection.subflow_count conn - 1 do
     let sub_label = Printf.sprintf "%s/sf%d" label i in
     attach_sender t ~label:sub_label (Mptcp.Connection.subflow_sender conn i);
@@ -381,17 +412,20 @@ let finish t ?elapsed () =
                   (Netsim.Linkq.queue_pkts q)
                   (Netsim.Linkq.limit_pkts q));
             let rate = Netsim.Linkq.rate_bps q in
-            (* Serializing at [rate] for the whole run bounds delivered
-               bits; two wire MTUs of slack cover boundary packets. *)
+            (* The capacity integral over every rate regime bounds
+               delivered bits even when events re-rated the link mid-run;
+               two wire MTUs of slack cover boundary packets. *)
+            let cap_bits = Netsim.Linkq.capacity_bits q ~now:elapsed in
             check t ~invariant:"link.rate"
               (elapsed_s <= 0.0
               || float_of_int (st.Netsim.Linkq.bytes_delivered * 8)
-                 <= (float_of_int rate *. elapsed_s *. 1.01) +. 24_000.)
+                 <= (cap_bits *. 1.01) +. 24_000.)
               (fun () ->
                 Printf.sprintf
-                  "link %d/%s: delivered %dB in %.3fs exceeds the %d bps \
-                   serializer rate"
-                  link dir_name st.Netsim.Linkq.bytes_delivered elapsed_s rate);
+                  "link %d/%s: delivered %dB in %.3fs exceeds the link's \
+                   %.0f-bit capacity budget"
+                  link dir_name st.Netsim.Linkq.bytes_delivered elapsed_s
+                  cap_bits);
             let busy_slack =
               Engine.Time.tx_time ~bits:24_000 ~rate_bps:rate
             in

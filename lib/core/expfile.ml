@@ -1,0 +1,99 @@
+open Events.Sexp
+
+(* (experiment
+    (cc lia)
+    (scheduler min-rtt)
+    (duration-s 12)
+    (sampling-ms 100)
+    (seed 1)
+    (total-mb 8)
+    (rto-cap 2)
+    (limit-pkts 16)
+    (paths (a p1 z) (a p2 z))
+    (events
+     (at-s 3.6 (link-down a p1)))) *)
+
+let path_of topo form =
+  match form with
+  | List names ->
+    let names = List.map atom_exn names in
+    (try Netgraph.Path.of_names topo names
+     with Invalid_argument msg | Failure msg ->
+       fail "bad path (%s): %s" (String.concat " " names) msg
+     | Not_found ->
+       fail "bad path (%s): unknown node" (String.concat " " names))
+  | Atom _ -> fail "expected a path (node node ...), got %s" (to_string form)
+
+let spec_of_sexps ~topo sexps =
+  let body =
+    match sexps with
+    | [ List (Atom "experiment" :: body) ] -> body
+    | _ -> fail "expected a single (experiment ...) form"
+  in
+  let one name conv = Option.map conv (find_field name body) in
+  let scalar name conv =
+    one name (function
+      | [ x ] -> conv x
+      | _ -> fail "(%s ...) takes exactly one value" name)
+  in
+  let cc =
+    match scalar "cc" atom_exn with
+    | None -> Mptcp.Algorithm.Lia
+    | Some name -> (
+      match Mptcp.Algorithm.of_string name with
+      | Some cc -> cc
+      | None -> fail "unknown congestion control %s" name)
+  in
+  let scheduler =
+    match scalar "scheduler" atom_exn with
+    | None -> Mptcp.Scheduler.Min_rtt
+    | Some name -> (
+      (* the DSL spells multi-word atoms with dashes; policy_of_string
+         expects underscores *)
+      let canon = String.map (function '-' -> '_' | c -> c) name in
+      match Mptcp.Scheduler.policy_of_string canon with
+      | Some p -> p
+      | None -> fail "unknown scheduler %s" name)
+  in
+  let duration =
+    match scalar "duration-s" float_exn with
+    | Some s -> Events.Parse.time_of_s s
+    | None -> Engine.Time.s 4
+  in
+  let sampling =
+    match scalar "sampling-ms" float_exn with
+    | Some ms -> Events.Parse.time_of_s (ms /. 1e3)
+    | None -> Engine.Time.ms 100
+  in
+  let seed = Option.value (scalar "seed" int_exn) ~default:1 in
+  let total_bytes =
+    match (scalar "total-mb" float_exn, scalar "total-bytes" int_exn) with
+    | Some mb, _ -> Some (int_of_float (mb *. 1e6))
+    | None, (Some _ as b) -> b
+    | None, None -> None
+  in
+  let rto_cap = scalar "rto-cap" int_exn in
+  let send_buffer = scalar "send-buffer-bytes" int_exn in
+  let net_config =
+    match scalar "limit-pkts" int_exn with
+    | Some limit_pkts ->
+      { Scenario.default_net_config with Netsim.Net.limit_pkts }
+    | None -> Scenario.default_net_config
+  in
+  let paths =
+    match find_field "paths" body with
+    | Some (_ :: _ as forms) ->
+      Mptcp.Path_manager.tag_paths (List.map (path_of topo) forms)
+    | Some [] | None -> fail "experiment: missing (paths (a b c) ...)"
+  in
+  let events =
+    match find_field "events" body with
+    | Some forms -> Events.Parse.events topo forms
+    | None -> []
+  in
+  Scenario.make ~topo ~paths ~cc ~scheduler ~duration ~sampling ~seed
+    ~net_config ?send_buffer ?total_bytes ~events ?rto_cap ()
+
+let load ~topo_file ~xp_file =
+  let topo = Events.Parse.load_topology topo_file in
+  (topo, spec_of_sexps ~topo (Events.Sexp.load xp_file))

@@ -16,6 +16,8 @@ type spec = {
   trace_limit : int option;
   audit : bool;
   obs : Obs.Collect.conf option;
+  events : Events.Event.t list;
+  rto_cap : int option;
 }
 
 (* The paper's Mininet links have shallow buffers relative to the
@@ -32,12 +34,21 @@ let make ~topo ~paths ~cc ?(scheduler = Mptcp.Scheduler.Min_rtt)
     ?(sender_config = Tcp.Sender.default_config)
     ?(join_delay = Engine.Time.ms 10) ?(start_jitter = Engine.Time.ms 2)
     ?(delayed_ack = false) ?send_buffer ?total_bytes ?trace_limit
-    ?(audit = false) ?obs () =
+    ?(audit = false) ?obs ?(events = []) ?rto_cap () =
   if paths = [] then invalid_arg "Scenario.make: no paths";
+  (match
+     Events.Event.validate ~topo ~num_subflows:(List.length paths)
+       ~reserved_tags:(List.map fst paths) events
+   with
+  | [] -> ()
+  | errs ->
+    invalid_arg
+      (Printf.sprintf "Scenario.make: invalid events: %s"
+         (String.concat "; " errs)));
   {
     topo; paths; cc; scheduler; duration; sampling; seed; net_config;
     sender_config; join_delay; start_jitter; delayed_ack; send_buffer;
-    total_bytes; trace_limit; audit; obs;
+    total_bytes; trace_limit; audit; obs; events; rto_cap;
   }
 
 type subflow_report = {
@@ -61,6 +72,9 @@ type result = {
   optimum : Netgraph.Constraints.optimum;
   subflows : subflow_report list;
   delivered_bytes : int;
+  completed_at_s : float option;
+  subflow_churn : int;
+  cross_traffic_bytes : int;
   queue_drops : int;
   events_processed : int;
   packets_created : int;
@@ -120,6 +134,7 @@ let run spec =
       start_jitter = spec.start_jitter;
       delayed_ack = spec.delayed_ack;
       reinjection = false;
+      rto_cap = spec.rto_cap;
     }
   in
   let conn =
@@ -168,6 +183,9 @@ let run spec =
       in
       arm spec.sampling)
     obs;
+  (* Timed events arm last, after the audit's and collector's link taps
+     are in place, so every event-induced packet fate is observed. *)
+  let traffic = Events.Event.arm ~sched ~net ~conn spec.events in
   let probes =
     List.init (Mptcp.Connection.subflow_count conn) (fun i ->
         let sender = Mptcp.Connection.subflow_sender conn i in
@@ -245,6 +263,12 @@ let run spec =
     optimum;
     subflows;
     delivered_bytes = Mptcp.Connection.delivered_bytes conn;
+    completed_at_s =
+      Option.map Engine.Time.to_float_s (Mptcp.Connection.completed_at conn);
+    subflow_churn =
+      Mptcp.Path_manager.Liveness.churn (Mptcp.Connection.liveness conn);
+    cross_traffic_bytes =
+      List.fold_left (fun acc s -> acc + Netsim.Traffic.bytes_sent s) 0 traffic;
     queue_drops = Netsim.Net.total_drops net;
     events_processed = Engine.Sched.events_processed sched;
     packets_created = Netsim.Net.packets_created net;
@@ -292,6 +316,14 @@ let pp_summary fmt result =
     | Some t -> Printf.sprintf "%.2fs" t
     | None -> "never")
     result.delivered_bytes result.queue_drops;
+  (match (result.spec.total_bytes, result.completed_at_s) with
+  | Some total, Some t ->
+    Format.fprintf fmt "transfer of %d bytes completed at %.2fs@," total t
+  | Some total, None ->
+    Format.fprintf fmt "transfer of %d bytes did not complete@," total
+  | None, _ -> ());
+  if result.subflow_churn > 0 then
+    Format.fprintf fmt "subflow liveness transitions: %d@," result.subflow_churn;
   List.iter
     (fun r ->
       Format.fprintf fmt

@@ -35,6 +35,13 @@ type spec = {
           [--trace]/[--metrics] CLI flags set it.  [None] (default)
           leaves every monitor hook untouched, so the run is
           bit-identical to a pre-observability build *)
+  events : Events.Event.t list;
+      (** timed scenario events (failover, ramps, churn, cross-traffic),
+          validated by {!make} and armed on the run's scheduler; default
+          empty — the static setup of the paper's grid *)
+  rto_cap : int option;
+      (** MPTCP failover threshold, passed through to
+          {!Mptcp.Connection.config.rto_cap}; default [None] *)
 }
 
 val default_net_config : Netsim.Net.config
@@ -50,11 +57,14 @@ val make :
   -> ?net_config:Netsim.Net.config -> ?sender_config:Tcp.Sender.config
   -> ?join_delay:Engine.Time.t -> ?start_jitter:Engine.Time.t
   -> ?delayed_ack:bool -> ?send_buffer:int -> ?total_bytes:int
-  -> ?trace_limit:int -> ?audit:bool -> ?obs:Obs.Collect.conf -> unit -> spec
+  -> ?trace_limit:int -> ?audit:bool -> ?obs:Obs.Collect.conf
+  -> ?events:Events.Event.t list -> ?rto_cap:int -> unit -> spec
 (** Defaults: min-RTT scheduler, 4 s at 100 ms sampling (the paper's
     Fig. 2a/2b setup), seed 1, {!default_net_config}, default sender
     config, 10 ms join delay with up to 2 ms of seeded start jitter,
-    unlimited buffer and bulk data. *)
+    unlimited buffer and bulk data, no timed events, no failover cap.
+    Raises [Invalid_argument] when {!Events.Event.validate} rejects the
+    event list. *)
 
 type subflow_report = {
   tag : Packet.tag;
@@ -79,6 +89,14 @@ type result = {
   optimum : Netgraph.Constraints.optimum;
   subflows : subflow_report list;
   delivered_bytes : int;  (** connection-level in-order goodput *)
+  completed_at_s : float option;
+      (** when the [total_bytes] transfer finished, in seconds; [None]
+          when unbounded or unfinished — the failover scenarios' key
+          output *)
+  subflow_churn : int;
+      (** path-liveness transitions over the run (failover + recovery) *)
+  cross_traffic_bytes : int;
+      (** bytes emitted by event-scripted traffic sources *)
   queue_drops : int;
   events_processed : int;
   packets_created : int;

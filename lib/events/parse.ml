@@ -1,0 +1,171 @@
+open Sexp
+
+let time_of_s x =
+  if x < 0.0 || not (Float.is_finite x) then fail "bad time %g s" x
+  else Engine.Time.of_float_s x
+
+(* A rate is written [(mbps X)] (decimal megabits) or [(bps N)]. *)
+let rate_exn s =
+  let r =
+    match s with
+    | List [ Atom "mbps"; v ] -> int_of_float (float_exn v *. 1e6)
+    | List [ Atom "bps"; v ] -> int_exn v
+    | _ -> fail "expected (mbps X) or (bps N), got %s" (to_string s)
+  in
+  if r <= 0 then fail "rate must be positive, got %s" (to_string s);
+  r
+
+(* A duration is written [(ms X)], [(us X)] or [(s X)]. *)
+let duration_exn s =
+  match s with
+  | List [ Atom "ms"; v ] -> time_of_s (float_exn v /. 1e3)
+  | List [ Atom "us"; v ] -> time_of_s (float_exn v /. 1e6)
+  | List [ Atom "s"; v ] -> time_of_s (float_exn v)
+  | _ -> fail "expected (ms X), (us X) or (s X), got %s" (to_string s)
+
+(* --- topology files ---
+
+   (topology
+    (nodes a p1 p2 z)
+    (links
+     (a p1 (mbps 10) (delay-ms 5))
+     (p1 z (mbps 10) (delay-ms 5))))  *)
+
+let topology sexps =
+  let body =
+    match sexps with
+    | [ List (Atom "topology" :: body) ] -> body
+    | _ -> fail "expected a single (topology ...) form"
+  in
+  let b = Netgraph.Topology.builder () in
+  let ids = Hashtbl.create 16 in
+  (match find_field "nodes" body with
+  | Some nodes ->
+    List.iter
+      (fun n ->
+        let name = atom_exn n in
+        Hashtbl.replace ids name (Netgraph.Topology.add_node b name))
+      nodes
+  | None -> fail "topology: missing (nodes ...)");
+  let node name =
+    match Hashtbl.find_opt ids name with
+    | Some id -> id
+    | None -> fail "topology: unknown node %s" name
+  in
+  (match find_field "links" body with
+  | Some links ->
+    List.iter
+      (fun l ->
+        match l with
+        | List (u :: v :: attrs) ->
+          let capacity_bps =
+            match find_field "mbps" attrs with
+            | Some [ x ] -> int_of_float (float_exn x *. 1e6)
+            | Some _ | None -> (
+              match find_field "bps" attrs with
+              | Some [ x ] -> int_exn x
+              | Some _ | None ->
+                fail "link %s-%s: missing (mbps X) or (bps N)" (atom_exn u)
+                  (atom_exn v))
+          in
+          let delay =
+            match find_field "delay-ms" attrs with
+            | Some [ x ] -> time_of_s (float_exn x /. 1e3)
+            | Some _ | None -> (
+              match find_field "delay-us" attrs with
+              | Some [ x ] -> time_of_s (float_exn x /. 1e6)
+              | Some _ | None ->
+                fail "link %s-%s: missing (delay-ms X) or (delay-us X)"
+                  (atom_exn u) (atom_exn v))
+          in
+          ignore
+            (Netgraph.Topology.add_link b ~u:(node (atom_exn u))
+               ~v:(node (atom_exn v)) ~capacity_bps ~delay)
+        | _ -> fail "topology: malformed link %s" (to_string l))
+      links
+  | None -> fail "topology: missing (links ...)");
+  Netgraph.Topology.build b
+
+let load_topology path = topology (Sexp.load path)
+
+(* --- event forms ---
+
+   (at-s 3.6 (link-down a p1))
+   (at-s 2 (capacity-ramp a p2 (mbps 40) (over-s 2) (steps 8)))
+   (at-s 1 (traffic-start n1 z (tag 9) (mbps 20) (stop-s 8)))  *)
+
+let link_ref topo u v =
+  let id name =
+    try Netgraph.Topology.node_id topo name
+    with Not_found -> fail "unknown node %s" name
+  in
+  match Netgraph.Topology.find_link topo ~u:(id u) ~v:(id v) with
+  | Some l -> l.Netgraph.Topology.id
+  | None -> fail "no link between %s and %s" u v
+
+let action topo s =
+  match s with
+  | List [ Atom "link-down"; u; v ] ->
+    Event.Link_down { link = link_ref topo (atom_exn u) (atom_exn v) }
+  | List [ Atom "link-up"; u; v ] ->
+    Event.Link_up { link = link_ref topo (atom_exn u) (atom_exn v) }
+  | List [ Atom "capacity-set"; u; v; rate ] ->
+    Event.Capacity_set
+      { link = link_ref topo (atom_exn u) (atom_exn v);
+        rate_bps = rate_exn rate }
+  | List (Atom "capacity-ramp" :: u :: v :: rate :: attrs) ->
+    let over =
+      match find_field "over-s" attrs with
+      | Some [ x ] -> time_of_s (float_exn x)
+      | Some _ | None -> fail "capacity-ramp: missing (over-s X)"
+    in
+    let steps =
+      match find_field "steps" attrs with
+      | Some [ x ] -> int_exn x
+      | Some _ | None -> 8
+    in
+    Event.Capacity_ramp
+      { link = link_ref topo (atom_exn u) (atom_exn v);
+        to_bps = rate_exn rate; over; steps }
+  | List [ Atom "delay-set"; u; v; d ] ->
+    Event.Delay_set
+      { link = link_ref topo (atom_exn u) (atom_exn v);
+        delay = duration_exn d }
+  | List [ Atom "loss-set"; u; v; p ] ->
+    Event.Loss_set
+      { link = link_ref topo (atom_exn u) (atom_exn v); loss = float_exn p }
+  | List [ Atom "subflow-close"; i ] ->
+    Event.Subflow_close { subflow = int_exn i }
+  | List [ Atom "subflow-add"; i ] -> Event.Subflow_add { subflow = int_exn i }
+  | List (Atom "traffic-start" :: src :: dst :: attrs) ->
+    let node name =
+      try Netgraph.Topology.node_id topo name
+      with Not_found -> fail "unknown node %s" name
+    in
+    let tag =
+      match find_field "tag" attrs with
+      | Some [ x ] -> int_exn x
+      | Some _ | None -> fail "traffic-start: missing (tag N)"
+    in
+    let rate_bps =
+      match find_field "mbps" attrs with
+      | Some [ x ] -> int_of_float (float_exn x *. 1e6)
+      | Some _ | None -> fail "traffic-start: missing (mbps X)"
+    in
+    let stop_at =
+      match find_field "stop-s" attrs with
+      | Some [ x ] -> Some (time_of_s (float_exn x))
+      | Some _ | None -> None
+    in
+    Event.Traffic_start
+      { src = node (atom_exn src); dst = node (atom_exn dst); tag; rate_bps;
+        stop_at }
+  | _ -> fail "unknown event action %s" (to_string s)
+
+let event topo s =
+  match s with
+  | List [ Atom "at-s"; when_; act ] ->
+    { Event.at = time_of_s (float_exn when_); action = action topo act }
+  | _ -> fail "expected (at-s T (action ...)), got %s" (to_string s)
+
+let events topo sexps = List.map (event topo) sexps

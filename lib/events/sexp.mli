@@ -1,0 +1,38 @@
+(** Minimal S-expression reader for the scenario file formats.
+
+    The container ships no sexp library, and the topology/experiment
+    grammar is flat enough that a ~60-line reader with line-numbered
+    errors beats a dependency: atoms are runs of non-delimiter
+    characters, [;] comments run to end of line, no quoting. *)
+
+type t = Atom of string | List of t list
+
+exception Parse_error of string
+
+val parse_string : string -> t list
+(** All top-level expressions in the string.  Raises {!Parse_error}
+    with a line number on malformed input. *)
+
+val load : string -> t list
+(** {!parse_string} over a file's contents. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** {1 Accessors}
+
+    Small helpers the file formats share; all raise {!Parse_error} on
+    shape mismatches so loaders report the offending form. *)
+
+val fail : ('a, unit, string, 'b) format4 -> 'a
+(** [fail fmt ...] raises {!Parse_error} with the formatted message. *)
+
+val atom_exn : t -> string
+val int_exn : t -> int
+val float_exn : t -> float
+
+val field : string -> t -> t list option
+(** [field name s] is [Some rest] when [s] is [(name rest...)]. *)
+
+val find_field : string -> t list -> t list option
+(** First matching {!field} among the items. *)

@@ -51,7 +51,7 @@ let to_string c =
     | Some b -> string_of_int b)
     c.duration_ms c.seed
 
-let to_spec c =
+let build_spec ?rto_cap ?(events_of = fun _ -> []) c =
   let topo, paths =
     Netgraph.Generate.pairwise_overlap ~n:c.n
       ~cap_bps:
@@ -69,7 +69,10 @@ let to_spec c =
     ~duration:(Engine.Time.ms c.duration_ms)
     ~sampling:(Engine.Time.ms (max 20 (c.duration_ms / 5)))
     ~seed:c.seed ~net_config ~delayed_ack:c.delayed_ack
-    ?send_buffer:(send_buffer c) ~audit:true ()
+    ?send_buffer:(send_buffer c) ~audit:true ?rto_cap
+    ~events:(events_of topo) ()
+
+let to_spec c = build_spec c
 
 let run_case c =
   let result = Core.Scenario.run (to_spec c) in
@@ -397,6 +400,147 @@ let determinism_test ?(count = 20) () =
         QCheck.Test.fail_reportf
           "cases %s / %s: jobs=1 and jobs=4 runs diverge" (to_string c1)
           (to_string c2)
+      else true)
+
+(* --- dynamic-events fuzzing --- *)
+
+module E = Events.Event
+
+type ev = { kind : int; which : int; t_pct : int; mag : int }
+type events_case = { base : case; rto_sel : int; evs : ev list }
+
+let events_rto_cap ec = if ec.rto_sel = 0 then None else Some (1 + ec.rto_sel)
+
+let ev_to_string e =
+  Printf.sprintf "(k%d w%d t%d m%d)" e.kind e.which e.t_pct e.mag
+
+let events_to_string ec =
+  Printf.sprintf "%s rto_cap=%s events=[%s]" (to_string ec.base)
+    (match events_rto_cap ec with
+    | None -> "-"
+    | Some c -> string_of_int c)
+    (String.concat " " (List.map ev_to_string ec.evs))
+
+(* Turn the compact descriptors into concrete, validate-clean events
+   against the generated topology.  Fire times sit in [10%, 75%] of the
+   run so dynamics always land while traffic flows; capacity targets
+   stay in [25%, 100%] of the declared rate so the static LP remains a
+   valid upper bound; loss tops out at 29%. *)
+let materialise_events ec topo =
+  let dur = Engine.Time.ms ec.base.duration_ms in
+  let num_links = Netgraph.Topology.num_links topo in
+  let num_nodes = Netgraph.Topology.num_nodes topo in
+  List.mapi
+    (fun i e ->
+      let t_at =
+        Engine.Time.scale dur ((10. +. float (e.t_pct mod 66)) /. 100.)
+      in
+      let link = e.which mod num_links in
+      let cap = (Netgraph.Topology.link topo link).Netgraph.Topology.capacity_bps in
+      let shrunk = max 1 (cap * (25 + (e.mag mod 76)) / 100) in
+      let action =
+        match e.kind mod 8 with
+        | 0 -> E.Link_down { link }
+        | 1 -> E.Link_up { link }
+        | 2 -> E.Capacity_set { link; rate_bps = shrunk }
+        | 3 ->
+          E.Capacity_ramp
+            {
+              link;
+              to_bps = shrunk;
+              over = Engine.Time.ms (10 + (e.mag mod 50));
+              steps = 2 + (e.mag mod 4);
+            }
+        | 4 -> E.Delay_set { link; delay = Engine.Time.us (100 + (e.mag mod 5000)) }
+        | 5 -> E.Loss_set { link; loss = float_of_int (e.mag mod 30) /. 100. }
+        | 6 ->
+          let subflow = e.which mod ec.base.n in
+          if e.mag land 1 = 0 then E.Subflow_close { subflow }
+          else E.Subflow_add { subflow }
+        | _ ->
+          let src = e.which mod num_nodes in
+          let dst = (src + 1 + (e.which / 7 mod (num_nodes - 1))) mod num_nodes in
+          E.Traffic_start
+            {
+              src;
+              dst;
+              tag = 100 + i;
+              rate_bps = max 1 (cap / 4);
+              stop_at =
+                Some (Engine.Time.add t_at (Engine.Time.ms (20 + (e.mag mod 100))));
+            }
+      in
+      E.at action ~at:t_at)
+    ec.evs
+
+let to_events_spec ec =
+  build_spec
+    ?rto_cap:(events_rto_cap ec)
+    ~events_of:(materialise_events ec) ec.base
+
+let events_arbitrary =
+  let open QCheck in
+  let build (base, rto_sel, raw) =
+    {
+      base;
+      rto_sel;
+      evs =
+        List.map (fun (kind, which, t_pct, mag) -> { kind; which; t_pct; mag }) raw;
+    }
+  and strip ec =
+    ( ec.base,
+      ec.rto_sel,
+      List.map (fun e -> (e.kind, e.which, e.t_pct, e.mag)) ec.evs )
+  in
+  set_print events_to_string
+    (map ~rev:strip build
+       (triple arbitrary (int_range 0 3)
+          (list_of_size
+             Gen.(int_range 1 6)
+             (quad (int_range 0 7) (int_range 0 10_000) (int_range 0 100)
+                (int_range 0 10_000)))))
+
+let events_test ?(count = 200) () =
+  QCheck.Test.make ~count
+    ~name:
+      "fuzz: random timed events over random topologies stay violation-free"
+    events_arbitrary
+    (fun ec ->
+      let r = Core.Scenario.run (to_events_spec ec) in
+      let rep =
+        match r.Core.Scenario.audit with
+        | Some rep -> rep
+        | None -> assert false
+      in
+      if rep.Audit.total_violations > 0 then
+        QCheck.Test.fail_reportf "case %s@.%a" (events_to_string ec)
+          Audit.pp_report rep
+      else if rep.Audit.checks = 0 || rep.Audit.ledger.Audit.injected_pkts = 0
+      then
+        QCheck.Test.fail_reportf "case %s: no checks performed (%d injected)"
+          (events_to_string ec) rep.Audit.ledger.Audit.injected_pkts
+      else true)
+
+let events_determinism_test ?(count = 12) () =
+  QCheck.Test.make ~count
+    ~name:"fuzz: dynamic-event batches identical for jobs 1 and 4"
+    QCheck.(pair events_arbitrary events_arbitrary)
+    (fun (e1, e2) ->
+      let specs = [ to_events_spec e1; to_events_spec e2 ] in
+      let fingerprint jobs =
+        Core.Runner.scenarios ~jobs specs
+        |> List.map (fun r ->
+               ( r.Core.Scenario.events_processed,
+                 r.Core.Scenario.delivered_bytes,
+                 r.Core.Scenario.subflow_churn,
+                 r.Core.Scenario.cross_traffic_bytes,
+                 Format.asprintf "%a" Core.Scenario.pp_summary r ))
+      in
+      let f1 = fingerprint 1 and f4 = fingerprint 4 in
+      if f1 <> f4 then
+        QCheck.Test.fail_reportf
+          "cases %s / %s: jobs=1 and jobs=4 dynamic runs diverge"
+          (events_to_string e1) (events_to_string e2)
       else true)
 
 let test ?(count = 120) () =

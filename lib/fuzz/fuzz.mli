@@ -87,3 +87,37 @@ val determinism_test : ?count:int -> unit -> QCheck.Test.t
     [jobs = 4] must be bit-identical — with the audit's heap shadow
     lockstep armed, so the timing wheel is cross-checked on every
     dispatch of both runs. *)
+
+type events_case = {
+  base : case;
+  rto_sel : int;  (** 0 = no failover cap, else rto_cap = 1 + rto_sel *)
+  evs : ev list;  (** compact timed-event descriptors (1-6 of them) *)
+}
+(** A {!case} plus a random timed-event script: link kills and repairs,
+    capacity cuts and ramps, delay and loss changes, subflow churn and
+    cross-traffic, all materialised against the generated topology by
+    {!to_events_spec}. *)
+
+and ev = { kind : int; which : int; t_pct : int; mag : int }
+
+val to_events_spec : events_case -> Core.Scenario.spec
+(** Build the audited dynamic scenario.  Event times land in the first
+    three quarters of the run, capacity targets never exceed a link's
+    declared rate (the static LP stays a valid bound) and loss stays
+    below 30%.  Deterministic in the case. *)
+
+val events_to_string : events_case -> string
+val events_arbitrary : events_case QCheck.arbitrary
+
+val events_test : ?count:int -> unit -> QCheck.Test.t
+(** The dynamic property: [count] (default 200) random timed-event
+    scripts interleaved with random topologies keep the full audit
+    clean — conservation ledger (including lost-on-down-link fates),
+    no delivery through a down link, monotone subflow liveness, and
+    tail rates inside the static LP polytope. *)
+
+val events_determinism_test : ?count:int -> unit -> QCheck.Test.t
+(** Dynamic parallel determinism: [count] (default 12) random
+    dynamic-scenario pairs run with [jobs = 1] and [jobs = 4] must
+    agree on every counter — event processing, goodput, liveness churn
+    and cross-traffic — and on the printed summary. *)

@@ -6,6 +6,7 @@ type config = {
   start_jitter : Engine.Time.t;
   delayed_ack : bool;
   reinjection : bool;
+  rto_cap : int option;
 }
 
 let default_config =
@@ -17,6 +18,7 @@ let default_config =
     start_jitter = Engine.Time.zero;
     delayed_ack = false;
     reinjection = false;
+    rto_cap = None;
   }
 
 type subflow = {
@@ -34,6 +36,7 @@ type monitor_event =
   | Sched_grant of { subflow : int; dseq : int; len : int }
   | Sched_defer of { subflow : int; preferred : int option }
   | Reinjected of { subflow : int; dseq : int; len : int; owner : int }
+  | Subflow_state of { subflow : int; active : bool }
 
 type t = {
   sched : Engine.Sched.t;
@@ -49,10 +52,18 @@ type t = {
   (* Which subflow a connection-level chunk was (last) mapped to, for
      reinjection; entries below data_ack_rx are garbage-collected. *)
   chunk_owner : (int, int * int) Hashtbl.t; (* dseq -> owner index, len *)
+  liveness : Path_manager.Liveness.t;
+  mutable pending : (int * int * int) list;
+      (* (dseq, len, dead owner) chunks orphaned by a deactivation,
+         ascending by dseq; drained by live subflows before new data *)
   mutable reinjections : int;
   mutable completed_at : Engine.Time.t option;
   mutable monitor : (monitor_event -> unit) option;
 }
+
+(* Chunk ownership is needed both for opportunistic reinjection and to
+   find what a freshly-dead subflow was carrying. *)
+let track_owners t = t.config.reinjection || t.config.rto_cap <> None
 
 let emit t ev = match t.monitor with None -> () | Some f -> f ev
 
@@ -75,8 +86,12 @@ let candidates t =
           (match Tcp.Sender.srtt s with
           | Some v -> Engine.Time.to_float_s v
           | None -> 0.01);
-        (* A subflow that has not joined yet must never attract data. *)
-        window_space = (if sf.joined then window_space s else 0);
+        (* A subflow that has not joined yet, or whose path is dead,
+           must never attract data. *)
+        window_space =
+          (if sf.joined && Path_manager.Liveness.is_active t.liveness ~tag:sf.tag
+           then window_space s
+           else 0);
       })
     t.subflows
 
@@ -111,10 +126,43 @@ let remaining t ~from =
   | None -> max_int
   | Some total -> total - from
 
+let subflow_is_active t sf =
+  Path_manager.Liveness.is_active t.liveness ~tag:sf.tag
+
+(* Hand [sf] the oldest chunk orphaned by a subflow death, if any.
+   These are already-mapped connection-level bytes, so they bypass the
+   connection window (re-sending them is what un-blocks it). *)
+let grant_pending t sf ~max_len =
+  let rec pop () =
+    match t.pending with
+    | [] -> None
+    | (dseq, len, owner) :: rest ->
+      if dseq + len <= t.data_ack_rx then begin
+        (* Already delivered another way (e.g. a redundant copy). *)
+        t.pending <- rest;
+        pop ()
+      end
+      else begin
+        let granted = min len max_len in
+        t.pending <-
+          (if granted < len then (dseq + granted, len - granted, owner) :: rest
+           else rest);
+        Hashtbl.replace t.chunk_owner dseq (sf.index, granted);
+        t.reinjections <- t.reinjections + 1;
+        emit t (Reinjected { subflow = sf.index; dseq; len = granted; owner });
+        Some
+          { Tcp.Sender.dss = Some { Packet.dseq; dlen = granted };
+            len = granted }
+      end
+  in
+  pop ()
+
 (* Data source for one subflow: consulted by its sender whenever the
    congestion window opens. *)
 let source t sf ~max_len =
-  match t.config.scheduler with
+  if not (subflow_is_active t sf) then None
+  else
+    match t.config.scheduler with
   | Scheduler.Redundant ->
     let len = min max_len (remaining t ~from:sf.cursor) in
     if len <= 0 then None
@@ -125,6 +173,9 @@ let source t sf ~max_len =
       Some { Tcp.Sender.dss = Some { Packet.dseq; dlen = len }; len }
     end
   | Scheduler.Min_rtt | Scheduler.Round_robin ->
+    (match grant_pending t sf ~max_len with
+    | Some _ as g -> g
+    | None ->
     let len = min max_len (remaining t ~from:t.next_dseq) in
     if len <= 0 then None
     else if not (conn_window_open t) then
@@ -137,7 +188,7 @@ let source t sf ~max_len =
       | Scheduler.Grant ->
         let dseq = t.next_dseq in
         t.next_dseq <- dseq + len;
-        if t.config.reinjection then begin
+        if track_owners t then begin
           gc_chunk_owners t;
           Hashtbl.replace t.chunk_owner dseq (sf.index, len)
         end;
@@ -146,7 +197,9 @@ let source t sf ~max_len =
       | Scheduler.Defer preferred ->
         emit t (Sched_defer { subflow = sf.index; preferred });
         (match preferred with
-        | Some j when j <> sf.index && t.subflows.(j).joined ->
+        | Some j
+          when j <> sf.index && t.subflows.(j).joined
+               && subflow_is_active t t.subflows.(j) ->
           (* Hand the transmission opportunity to the preferred subflow,
              outside the requester's send loop. *)
           ignore
@@ -154,7 +207,55 @@ let source t sf ~max_len =
                  Tcp.Sender.kick (sender_exn t.subflows.(j))))
         | Some _ | None -> ());
         None
-    end
+    end)
+
+(* Wake every live joined subflow (except [but]) so orphaned chunks and
+   freed window get picked up outside the current call stack. *)
+let kick_live t ?(but = -1) () =
+  Array.iter
+    (fun sf ->
+      if sf.index <> but && sf.joined && subflow_is_active t sf then
+        ignore
+          (Engine.Sched.after t.sched Engine.Time.zero (fun () ->
+               Tcp.Sender.kick (sender_exn sf))))
+    t.subflows
+
+let deactivate_subflow t i =
+  let sf = t.subflows.(i) in
+  if Path_manager.Liveness.deactivate t.liveness ~tag:sf.tag then begin
+    emit t (Subflow_state { subflow = i; active = false });
+    (* Orphan the chunks the dead subflow was carrying: everything it
+       owns at or above the connection-level cumulative ACK must be
+       re-sent by a live subflow. *)
+    let orphans = ref [] in
+    Hashtbl.iter
+      (fun dseq (owner, len) ->
+        if owner = i && dseq + len > t.data_ack_rx then
+          orphans := (dseq, len, owner) :: !orphans)
+      t.chunk_owner;
+    t.pending <-
+      List.merge
+        (fun (a, _, _) (b, _, _) -> compare a b)
+        (List.sort (fun (a, _, _) (b, _, _) -> compare a b) !orphans)
+        t.pending;
+    kick_live t ~but:i ()
+  end
+
+let reactivate_subflow t i =
+  let sf = t.subflows.(i) in
+  if Path_manager.Liveness.reactivate t.liveness ~tag:sf.tag then begin
+    emit t (Subflow_state { subflow = i; active = true });
+    (match sf.sender with
+    | Some s ->
+      (* a stale timeout run from before the repair must not re-trip
+         the rto_cap on the next (backed-off) expiry *)
+      Tcp.Sender.forgive_timeouts s;
+      if sf.joined then
+        ignore
+          (Engine.Sched.after t.sched Engine.Time.zero (fun () ->
+               Tcp.Sender.kick s))
+    | None -> ())
+  end
 
 let establish ~net ~src ~dst ~conn ~paths ~cc ?(config = default_config)
     ?rng ?total_bytes ?(start_at = Engine.Time.zero) () =
@@ -182,6 +283,8 @@ let establish ~net ~src ~dst ~conn ~paths ~cc ?(config = default_config)
       next_dseq = 0;
       data_ack_rx = 0;
       chunk_owner = Hashtbl.create 64;
+      liveness = Path_manager.Liveness.create paths;
+      pending = [];
       reinjections = 0;
       completed_at = None;
       monitor = None;
@@ -241,6 +344,14 @@ let establish ~net ~src ~dst ~conn ~paths ~cc ?(config = default_config)
           ()
       in
       sf.sender <- Some sender;
+      (match config.rto_cap with
+      | Some cap ->
+        Tcp.Sender.set_on_timeout sender
+          (Some
+             (fun () ->
+               if Tcp.Sender.consecutive_timeouts sender >= cap then
+                 deactivate_subflow t sf.index))
+      | None -> ());
       Tcp.Endpoint.register src ~conn ~subflow:sf.index (fun p ->
           let tcp = Packet.tcp_exn p in
           let advanced = tcp.Packet.data_ack > t.data_ack_rx in
@@ -293,6 +404,8 @@ let completed_at t = t.completed_at
 let reinjections t = t.reinjections
 let cc t = t.algorithm
 let data_ack_rx t = t.data_ack_rx
+let liveness t = t.liveness
+let subflow_active t i = subflow_is_active t t.subflows.(i)
 let set_monitor t m = t.monitor <- m
 let monitor t = t.monitor
 

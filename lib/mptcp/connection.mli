@@ -29,6 +29,13 @@ type config = {
           blocks a subflow, the blocking chunk is re-sent on that subflow
           and the slow subflow that owns it gets its window halved.
           Only meaningful together with [send_buffer]; default [false] *)
+  rto_cap : int option;
+      (** failover threshold: after this many consecutive RTO expiries
+          with no forward ACK progress a subflow is declared dead
+          ({!deactivate_subflow}), its un-data-acked chunks are re-sent
+          on the surviving subflows and the scheduler stops granting it
+          data.  [None] (default) disables liveness detection — the
+          pre-failover behaviour *)
 }
 
 val default_config : config
@@ -93,6 +100,25 @@ val cc : t -> Algorithm.t
 val total_throughput_bps : t -> now:Engine.Time.t -> float
 (** Delivered connection-level goodput averaged since [start_at]. *)
 
+(** {1 Path liveness} *)
+
+val liveness : t -> Path_manager.Liveness.t
+(** The per-path active flags this connection's scheduler consults. *)
+
+val subflow_active : t -> int -> bool
+
+val deactivate_subflow : t -> int -> unit
+(** Declare subflow [i]'s path dead: the scheduler stops granting it
+    data, and every chunk it owns above the connection-level cumulative
+    ACK is queued for re-transmission on the surviving subflows (chunk
+    ownership is tracked whenever [reinjection] or [rto_cap] is on).
+    Idempotent.  Called internally when [rto_cap] trips; the event layer
+    calls it for scripted [Subflow_close]. *)
+
+val reactivate_subflow : t -> int -> unit
+(** Mark subflow [i]'s path usable again and wake its sender.
+    Idempotent. *)
+
 (** {1 Monitoring} *)
 
 type monitor_event =
@@ -107,7 +133,11 @@ type monitor_event =
   | Reinjected of { subflow : int; dseq : int; len : int; owner : int }
       (** head-of-line-blocking chunk at [dseq] re-sent on [subflow];
           [owner] is the (penalized) subflow that originally carried
-          it *)
+          it — or, after a failover, the dead subflow it was rescued
+          from *)
+  | Subflow_state of { subflow : int; active : bool }
+      (** the subflow's path was declared dead ([active = false]) or
+          usable again — by the RTO-cap detector or the event layer *)
 
 val set_monitor : t -> (monitor_event -> unit) option -> unit
 (** Installs (or clears) a scheduler-decision tap; fires after the

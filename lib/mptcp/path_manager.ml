@@ -54,6 +54,58 @@ let with_default t ~default_tag =
 let install net t =
   List.iter (fun (tag, path) -> Netsim.Net.install_path net ~tag path) t
 
+(* --- liveness overlay --- *)
+
+module Liveness = struct
+  type nonrec pm = t
+
+  type t = {
+    tags : Packet.tag array;
+    active : bool array;
+    mutable churn : int;
+    mutable on_change : (tag:Packet.tag -> active:bool -> unit) option;
+  }
+
+  let create (pm : pm) =
+    {
+      tags = Array.of_list (List.map fst pm);
+      active = Array.make (List.length pm) true;
+      churn = 0;
+      on_change = None;
+    }
+
+  let index t tag =
+    let n = Array.length t.tags in
+    let rec go i =
+      if i >= n then invalid_arg "Path_manager.Liveness: unknown tag"
+      else if t.tags.(i) = tag then i
+      else go (i + 1)
+    in
+    go 0
+
+  let is_active t ~tag = t.active.(index t tag)
+
+  let active_count t =
+    Array.fold_left (fun acc a -> if a then acc + 1 else acc) 0 t.active
+
+  let set t ~tag v =
+    let i = index t tag in
+    if t.active.(i) = v then false
+    else begin
+      t.active.(i) <- v;
+      t.churn <- t.churn + 1;
+      (match t.on_change with
+      | None -> ()
+      | Some f -> f ~tag ~active:v);
+      true
+    end
+
+  let deactivate t ~tag = set t ~tag false
+  let reactivate t ~tag = set t ~tag true
+  let churn t = t.churn
+  let set_on_change t f = t.on_change <- f
+end
+
 let pp topo fmt t =
   Format.fprintf fmt "@[<v>";
   List.iteri

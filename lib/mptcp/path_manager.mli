@@ -39,4 +39,35 @@ val with_default : t -> default_tag:Packet.tag -> t
 val install : Netsim.Net.t -> t -> unit
 (** Install forward and reverse routes for every tagged path. *)
 
+(** Runtime path liveness: which of a connection's tagged paths are
+    currently usable.  The path list itself stays immutable data; this
+    overlay records per-tag active flags that {!Mptcp.Connection}
+    consults when granting data, flipped either by its own RTO-cap
+    detector or externally by the event layer. *)
+module Liveness : sig
+  type pm := t
+  type t
+
+  val create : pm -> t
+  (** Every tagged path starts active. *)
+
+  val is_active : t -> tag:Packet.tag -> bool
+  (** Raises [Invalid_argument] on a tag not in the path list. *)
+
+  val active_count : t -> int
+
+  val deactivate : t -> tag:Packet.tag -> bool
+  (** Mark the path dead; returns [true] on an actual transition
+      (idempotent otherwise, firing no callback and counting no churn). *)
+
+  val reactivate : t -> tag:Packet.tag -> bool
+  (** Mark the path usable again; same transition semantics. *)
+
+  val churn : t -> int
+  (** Number of state transitions so far (both directions). *)
+
+  val set_on_change : t -> (tag:Packet.tag -> active:bool -> unit) option -> unit
+  (** Callback fired once per actual transition, after the flag flips. *)
+end
+
 val pp : Netgraph.Topology.t -> Format.formatter -> t -> unit

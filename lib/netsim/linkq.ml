@@ -17,8 +17,9 @@ type event =
 type t = {
   sched : Engine.Sched.t;
   rng : Engine.Rng.t;
-  rate_bps : int;
-  delay : Engine.Time.t;
+  mutable rate_bps : int;
+  mutable delay : Engine.Time.t;
+  mutable loss : float;
   jitter : Engine.Time.t;
   qdisc : Qdisc.t;
   qstate : Qdisc.state;
@@ -38,6 +39,13 @@ type t = {
   mutable queued_bytes : int;
   mutable busy : bool;
   mutable up : bool;
+  mutable last_arrival : Engine.Time.t;
+      (* latest scheduled no-jitter arrival: a delay decrease must not
+         let a later packet overtake one already in [flight] (the wire
+         delivers in order), so arrivals are clamped to be monotone *)
+  mutable cap_bits_before : float;
+      (* capacity integral over past rate regimes, up to [rate_since] *)
+  mutable rate_since : Engine.Time.t;
   mutable monitor : (event -> unit) option;
   mutable tx_done : unit -> unit;
       (* the serializer-free continuation, allocated once at create
@@ -54,7 +62,7 @@ let rec create ~sched ~rng ~rate_bps ~delay ?(jitter = Engine.Time.zero) ~qdisc
     invalid_arg "Linkq.create: negative jitter";
   let t =
     {
-      sched; rng; rate_bps; delay; jitter; qdisc;
+      sched; rng; rate_bps; delay; loss = 0.0; jitter; qdisc;
       qstate = Qdisc.make_state qdisc;
       limit_pkts; deliver; release;
       queue = Pktring.create ~capacity:(min 64 (limit_pkts + 1)) ();
@@ -62,6 +70,9 @@ let rec create ~sched ~rng ~rate_bps ~delay ?(jitter = Engine.Time.zero) ~qdisc
       queued_bytes = 0;
       busy = false;
       up = true;
+      last_arrival = Engine.Time.zero;
+      cap_bits_before = 0.0;
+      rate_since = Engine.Sched.now sched;
       monitor = None;
       tx_done = ignore;
       arrive_done = ignore;
@@ -121,9 +132,15 @@ and start_tx t =
       Engine.Sched.after_anon t.sched tx t.tx_done;
       if t.jitter = Engine.Time.zero then begin
         Pktring.push t.flight p ~stamp:now;
-        Engine.Sched.after_anon t.sched
-          (Engine.Time.add tx t.delay)
-          t.arrive_done
+        (* [flight] is popped FIFO, so arrivals must be monotone even if
+           [set_delay] shrank the delay while packets were in flight. *)
+        let at =
+          let nominal = Engine.Time.add now (Engine.Time.add tx t.delay) in
+          if Engine.Time.( < ) nominal t.last_arrival then t.last_arrival
+          else nominal
+        in
+        t.last_arrival <- at;
+        Engine.Sched.at_anon t.sched at t.arrive_done
       end
       else begin
         let prop =
@@ -142,6 +159,14 @@ let enqueue t p =
   if not t.up then begin
     t.stats.lost_down <- t.stats.lost_down + 1;
     (match t.monitor with None -> () | Some f -> f (Lost_down p));
+    t.release p
+  end
+  else if t.loss > 0.0 && Engine.Rng.float t.rng 1.0 < t.loss then begin
+    (* Random wire loss (lossy-regime scenarios).  Counted as a drop so
+       the conservation ledger needs no new fate; the [loss > 0.0] guard
+       keeps the rng stream untouched on loss-free links. *)
+    t.stats.dropped <- t.stats.dropped + 1;
+    (match t.monitor with None -> () | Some f -> f (Dropped p));
     t.release p
   end
   else begin
@@ -174,6 +199,40 @@ let queued_bytes t = t.queued_bytes
 let stats t = t.stats
 let rate_bps t = t.rate_bps
 let limit_pkts t = t.limit_pkts
+
+let set_rate t rate_bps =
+  if rate_bps <= 0 then invalid_arg "Linkq.set_rate: rate must be positive";
+  if rate_bps <> t.rate_bps then begin
+    (* Close the capacity integral over the old regime so the audit's
+       link.rate bound stays exact across re-rating.  The packet in the
+       serializer (if any) keeps its old transmission time; the new rate
+       applies from the next [start_tx]. *)
+    let now = Engine.Sched.now t.sched in
+    t.cap_bits_before <-
+      t.cap_bits_before
+      +. (float_of_int t.rate_bps
+          *. (float_of_int (Engine.Time.diff now t.rate_since) /. 1e9));
+    t.rate_since <- now;
+    t.rate_bps <- rate_bps
+  end
+
+let set_delay t delay =
+  if Engine.Time.( < ) delay Engine.Time.zero then
+    invalid_arg "Linkq.set_delay: negative delay";
+  t.delay <- delay
+
+let set_loss t loss =
+  if loss < 0.0 || loss > 1.0 then
+    invalid_arg "Linkq.set_loss: probability outside [0, 1]";
+  t.loss <- loss
+
+let loss t = t.loss
+let delay t = t.delay
+
+let capacity_bits t ~now =
+  t.cap_bits_before
+  +. (float_of_int t.rate_bps
+      *. (float_of_int (Engine.Time.diff now t.rate_since) /. 1e9))
 let set_monitor t m = t.monitor <- m
 let monitor t = t.monitor
 

@@ -58,7 +58,38 @@ val queue_pkts : t -> int
 
 val queued_bytes : t -> int
 val stats : t -> stats
+
 val rate_bps : t -> int
+(** Current serialization rate (may change mid-run via {!set_rate}). *)
+
+val set_rate : t -> int -> unit
+(** Re-rate the serializer.  Takes effect from the next packet to start
+    transmission; a packet already serializing keeps the old rate.  The
+    capacity integral used by {!capacity_bits} is closed over the old
+    regime first, so audit bounds stay exact.  Raises [Invalid_argument]
+    on a non-positive rate. *)
+
+val delay : t -> Engine.Time.t
+
+val set_delay : t -> Engine.Time.t -> unit
+(** Change the propagation delay for packets starting transmission after
+    the call.  A decrease cannot reorder a jitter-free link: arrivals are
+    clamped to remain FIFO, as a store-and-forward wire would deliver.
+    Raises [Invalid_argument] on a negative delay. *)
+
+val loss : t -> float
+
+val set_loss : t -> float -> unit
+(** Independent per-packet random loss probability applied on enqueue
+    (before the qdisc).  Losses count as drops in the stats, monitor and
+    conservation ledger.  Default [0.0]; the rng is only consulted when
+    the probability is positive, so loss-free runs keep their stream.
+    Raises [Invalid_argument] outside [0, 1]. *)
+
+val capacity_bits : t -> now:Engine.Time.t -> float
+(** Total bits the serializer could have transmitted by [now],
+    integrating over every rate regime since creation — the bound the
+    audit's link.rate invariant checks delivered bytes against. *)
 
 val limit_pkts : t -> int
 (** The buffer limit this queue was created with. *)

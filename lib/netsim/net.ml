@@ -162,6 +162,18 @@ let set_link_up t ~link up =
 
 let link_is_up t ~link = Linkq.is_up t.linkqs.(link).(0)
 
+let set_link_rate t ~link rate_bps =
+  Linkq.set_rate t.linkqs.(link).(0) rate_bps;
+  Linkq.set_rate t.linkqs.(link).(1) rate_bps
+
+let set_link_delay t ~link delay =
+  Linkq.set_delay t.linkqs.(link).(0) delay;
+  Linkq.set_delay t.linkqs.(link).(1) delay
+
+let set_link_loss t ~link loss =
+  Linkq.set_loss t.linkqs.(link).(0) loss;
+  Linkq.set_loss t.linkqs.(link).(1) loss
+
 let no_route_drops t = t.no_route
 
 let total_drops t =

@@ -108,6 +108,17 @@ val set_link_up : t -> link:int -> bool -> unit
 (** Fail or restore both directions of a link (see {!Linkq.set_up}). *)
 
 val link_is_up : t -> link:int -> bool
+
+val set_link_rate : t -> link:int -> int -> unit
+(** Re-rate both directions of a live link (see {!Linkq.set_rate}) —
+    a capacity ramp or a handover to a slower radio. *)
+
+val set_link_delay : t -> link:int -> Engine.Time.t -> unit
+(** Change both directions' propagation delay (see {!Linkq.set_delay}). *)
+
+val set_link_loss : t -> link:int -> float -> unit
+(** Set both directions' random loss probability (see {!Linkq.set_loss}). *)
+
 val no_route_drops : t -> int
 
 val total_drops : t -> int

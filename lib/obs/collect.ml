@@ -217,6 +217,10 @@ let attach_connection t conn =
         bump reinj;
         rec_trace t Trace.Reinject ~track:track_mptcp ~a:dseq ~b:len
           ~label:(Printf.sprintf "sf%d" subflow) ()
+      | Mptcp.Connection.Subflow_state { subflow; active } ->
+        rec_trace t Trace.Subflow_state ~track:track_mptcp ~a:subflow
+          ~b:(if active then 1 else 0)
+          ~label:(Printf.sprintf "sf%d" subflow) ()
     in
     Mptcp.Connection.set_monitor conn
       (Some (chain (Mptcp.Connection.monitor conn) conn_tap));

@@ -13,6 +13,7 @@ type kind =
   | Sched_grant
   | Sched_defer
   | Reinject
+  | Subflow_state
   | Audit_violation
   | Metrics_snapshot
   | Span_begin
@@ -33,6 +34,7 @@ let kind_name = function
   | Sched_grant -> "mptcp.sched.grant"
   | Sched_defer -> "mptcp.sched.defer"
   | Reinject -> "mptcp.reinject"
+  | Subflow_state -> "mptcp.subflow.state"
   | Audit_violation -> "audit.violation"
   | Metrics_snapshot -> "metrics.snapshot"
   | Span_begin -> "span"

@@ -23,6 +23,7 @@ type kind =
   | Sched_grant  (** the MPTCP scheduler mapped bytes onto a subflow *)
   | Sched_defer  (** the MPTCP scheduler steered a request elsewhere *)
   | Reinject  (** a head-of-line-blocking chunk was re-sent *)
+  | Subflow_state  (** a subflow was declared dead or usable again *)
   | Audit_violation  (** the invariant auditor flagged a violation *)
   | Metrics_snapshot  (** the metrics registry was sampled *)
   | Span_begin  (** start of a user-defined span (Chrome ["B"]) *)

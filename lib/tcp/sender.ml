@@ -102,6 +102,12 @@ type t = {
   mutable interval_cur : int;
   mutable interval_prev : int;
   mutable ecn_react_until : int; (* no second ECN response before this seq *)
+  mutable consecutive_timeouts : int;
+      (* RTO expiries since the last forward ACK progress — the liveness
+         signal a path manager caps to declare the path dead *)
+  mutable on_timeout : (unit -> unit) option;
+      (* explicit liveness callback, separate from [monitor] because the
+         audit overwrites monitors when attached *)
   mutable monitor : (monitor_event -> unit) option;
   stats : stats;
 }
@@ -171,6 +177,8 @@ let create ~sched ~config ~conn ~subflow ~src ~dst ~tag ~fresh_id ~transmit
       interval_cur = 0;
       interval_prev = 0;
       ecn_react_until = 0;
+      consecutive_timeouts = 0;
+      on_timeout = None;
       monitor = None;
       stats =
         { segments_sent = 0; retransmits = 0; timeouts = 0;
@@ -455,11 +463,14 @@ and on_rto t =
   if t.conn_state = Syn_sent then begin
     (* Lost SYN or SYN-ACK: back off and retry. *)
     t.stats.timeouts <- t.stats.timeouts + 1;
+    t.consecutive_timeouts <- t.consecutive_timeouts + 1;
     Rtt.backoff t.rtt;
-    send_syn t ~is_retx:true
+    send_syn t ~is_retx:true;
+    match t.on_timeout with None -> () | Some f -> f ()
   end
   else if not (Scoreboard.is_empty t.sb) then begin
     t.stats.timeouts <- t.stats.timeouts + 1;
+    t.consecutive_timeouts <- t.consecutive_timeouts + 1;
     loss_event t;
     (cc_exn t).Cc.on_rto ();
     Rtt.backoff t.rtt;
@@ -477,7 +488,8 @@ and on_rto t =
     done;
     t.snd_nxt <- t.snd_una;
     arm_rto t;
-    try_send t
+    try_send t;
+    match t.on_timeout with None -> () | Some f -> f ()
   end
 
 let retransmit_at t seq =
@@ -538,6 +550,7 @@ let handle_ack t (tcp : Packet.tcp) =
         Rtt.sample t.rtt
           (Engine.Time.diff (Engine.Sched.now t.sched) t.syn_sent_at);
       t.conn_state <- Established;
+      t.consecutive_timeouts <- 0;
       cancel_rto t;
       try_send t
     end
@@ -573,6 +586,7 @@ let handle_ack t (tcp : Packet.tcp) =
       Rtt.sample t.rtt (Engine.Time.diff (Engine.Sched.now t.sched) !sample);
     t.snd_una <- a;
     if t.snd_nxt < a then t.snd_nxt <- a;
+    t.consecutive_timeouts <- 0;
     (match t.monitor with
     | None -> ()
     | Some f -> f (Ack_advanced { una = a }));
@@ -636,6 +650,9 @@ let snd_una t = t.snd_una
 let snd_nxt t = t.snd_nxt
 let set_monitor t m = t.monitor <- m
 let monitor t = t.monitor
+let set_on_timeout t f = t.on_timeout <- f
+let consecutive_timeouts t = t.consecutive_timeouts
+let forgive_timeouts t = t.consecutive_timeouts <- 0
 
 let throughput_bps t ~now =
   match t.first_send with

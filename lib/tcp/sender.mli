@@ -166,6 +166,25 @@ val monitor : t -> (monitor_event -> unit) option
 (** The currently installed tap, so a second subscriber can chain
     rather than clobber it. *)
 
+val consecutive_timeouts : t -> int
+(** RTO expiries (data or SYN) since the last forward ACK progress —
+    resets to zero whenever [snd_una] advances or the handshake
+    completes.  A run of these is the liveness signal that the path is
+    dead (every retransmission, at exponentially backed-off intervals,
+    vanished). *)
+
+val forgive_timeouts : t -> unit
+(** Zero the {!consecutive_timeouts} count without ACK progress.  Called
+    when a path is administratively revived: the stale count (and the
+    still-backed-off retransmit timer) predate the repair, and must not
+    be allowed to re-trip the liveness threshold on the next expiry. *)
+
+val set_on_timeout : t -> (unit -> unit) option -> unit
+(** Installs (or clears) a callback fired after each RTO expiry has been
+    processed ({!consecutive_timeouts} already incremented).  Distinct
+    from {!set_monitor} so path-liveness detection keeps working when
+    the audit claims the monitor slot. *)
+
 val sync_group_slot : t -> Cc.group -> int -> unit
 (** [sync_group_slot t g i] refreshes slot [i] of the flat coupled-CC
     group [g] from this sender's live state (cwnd, smoothed RTT, loss

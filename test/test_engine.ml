@@ -275,6 +275,87 @@ let wheel_cascades_counted () =
   ignore (wheel_drain w);
   check_bool "cascades happened" true (Wheel.cascade_count w > 0)
 
+let wheel_span_boundary () =
+  (* The exact edge of the wheel's 2^52 ns span: span - 1 is the last
+     key the levels can hold, span and beyond live in the overflow heap
+     until the drain reaches them.  Ordering must be seamless across
+     the boundary, and equal keys on both sides of it keep FIFO ties. *)
+  let span = 1 lsl 52 in
+  let w = Wheel.create () in
+  ignore (Wheel.push w ~key:(span - 1) ~tie:0 "last-in-wheel");
+  ignore (Wheel.push w ~key:span ~tie:1 "first-overflow");
+  ignore (Wheel.push w ~key:(span + 1) ~tie:2 "second-overflow");
+  ignore (Wheel.push w ~key:0 ~tie:3 "now");
+  ignore (Wheel.push w ~key:span ~tie:4 "first-overflow-tie");
+  Alcotest.(check (list string))
+    "seamless order across the span edge"
+    [
+      "now"; "last-in-wheel"; "first-overflow"; "first-overflow-tie";
+      "second-overflow";
+    ]
+    (List.map (fun (_, _, v) -> v) (wheel_drain w))
+
+let wheel_mixed_cancel_vs_heap () =
+  (* Satellite conformance pin: a deterministic program that pushes
+     across every key regime (near, multi-level, beyond-span), cancels
+     a third of the handles — some in the wheel levels, some in the
+     overflow heap, one already popped — and interleaves pops, driven
+     against the reference heap through the shared Timer_queue
+     signature.  Lengths, minima and pop streams must agree at every
+     step. *)
+  let module Wq = Engine.Timer_queue.Of_wheel in
+  let module Hq = Engine.Timer_queue.Of_heap in
+  let span = 1 lsl 52 in
+  let w = Wq.create () and h = Hq.create () in
+  let agree ctx =
+    check_int (ctx ^ ": length") (Hq.length h) (Wq.length w);
+    if Wq.length w > 0 then begin
+      check_int (ctx ^ ": min key") (Hq.min_key_exn h) (Wq.min_key_exn w);
+      check_int (ctx ^ ": min tie") (Hq.min_tie_exn h) (Wq.min_tie_exn w)
+    end
+  in
+  let pop ctx =
+    agree ctx;
+    check_int (ctx ^ ": popped value") (Hq.pop_exn h) (Wq.pop_exn w)
+  in
+  let handles =
+    List.mapi
+      (fun i key -> (Wq.push w ~key ~tie:i i, Hq.push h ~key ~tie:i i))
+      [
+        3; 1_000; 777; 40_000_000; 5_000_000_000; 123_456_789_000;
+        span - 2; span; span + 99; span + 5; (2 * span) + 1; 17;
+      ]
+  in
+  agree "after pushes";
+  (* pop the two earliest (3 and 17) ... *)
+  pop "first";
+  pop "second";
+  let cancel i =
+    let hw, hh = List.nth handles i in
+    Wq.cancel w hw;
+    Hq.cancel h hh;
+    agree (Printf.sprintf "after cancel %d" i)
+  in
+  cancel 0 (* already popped: must be a no-op on both *);
+  cancel 2 (* low wheel level *);
+  cancel 3 (* higher wheel level *);
+  cancel 7 (* overflow heap, minimal overflow key *);
+  cancel 10 (* overflow heap, largest key *);
+  cancel 10 (* double cancel: idempotent *);
+  (* remaining live: 1_000, 5e9, 123_456_789_000, span-2, span+99, span+5 *)
+  check_int "live entries" 6 (Wq.length w);
+  let drained = ref [] in
+  while Wq.length w > 0 do
+    agree "drain";
+    drained := Wq.pop_exn w :: !drained;
+    ignore (Hq.pop_exn h)
+  done;
+  Alcotest.(check (list int))
+    "survivors in key order"
+    [ 1; 4; 5; 6; 9; 8 ]
+    (List.rev !drained);
+  check_bool "heap drained too" true (Hq.is_empty h)
+
 (* --- Sched --- *)
 
 let sched_ordering () =
@@ -554,6 +635,10 @@ let () =
           Alcotest.test_case "overflow level migrates in order" `Quick
             wheel_overflow_level;
           Alcotest.test_case "cascades counted" `Quick wheel_cascades_counted;
+          Alcotest.test_case "span boundary seamless" `Quick
+            wheel_span_boundary;
+          Alcotest.test_case "mixed wheel/overflow cancel vs heap" `Quick
+            wheel_mixed_cancel_vs_heap;
           QCheck_alcotest.to_alcotest wheel_qcheck_vs_heap;
         ] );
       ( "sched",

@@ -1,25 +1,44 @@
 (* Seed-pinned property-based fuzzing sweep (also behind the @fuzz
-   alias): 120 random audited scenarios — random pairwise-overlap
+   alias): random audited scenarios — random pairwise-overlap
    topologies, congestion controllers, schedulers, qdiscs, buffers and
-   jitter — must all be violation-free, 60 more must keep the packet
+   jitter — must all be violation-free, more must keep the packet
    freelist honest (no double release, no resurrection, coherent
-   counters), and 100 analytic cases must produce converged,
-   LP-feasible fluid equilibria.  The data-structure properties drive
-   the timing wheel against the reference heap and the flat SACK
-   scoreboard against a naive list model on random programs, and a
-   final sweep re-checks jobs=1 vs jobs=4 bit-identity with the
-   wheel's heap-shadow lockstep armed.  The pinned RNG keeps the sweep
-   reproducible; QCheck shrinks any failure to a minimal case. *)
+   counters), and the analytic cases must produce converged,
+   LP-feasible fluid equilibria.  The dynamic sweep interleaves random
+   timed events (link kills and repairs, capacity cuts and ramps,
+   delay/loss changes, subflow churn, cross-traffic) with the same
+   topologies and requires the full audit to stay clean.  The
+   data-structure properties drive the timing wheel against the
+   reference heap and the flat SACK scoreboard against a naive list
+   model on random programs, and the final sweeps re-check jobs=1 vs
+   jobs=4 bit-identity — static and dynamic — with the wheel's
+   heap-shadow lockstep armed.  The pinned RNG keeps the sweep
+   reproducible; QCheck shrinks any failure to a minimal case.
+
+   Case counts multiply by FUZZ_SCALE when set: `dune build @fuzz-long`
+   runs the whole sweep at 10x depth. *)
+
+let scale =
+  match Sys.getenv_opt "FUZZ_SCALE" with
+  | None | Some "" -> 1
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> n
+    | _ -> invalid_arg "FUZZ_SCALE must be a positive integer")
+
+let n count = count * scale
 
 let () =
   exit
     (QCheck_base_runner.run_tests ~colors:false ~verbose:true
        ~rand:(Random.State.make [| 0x5eed |])
        [
-         Fuzz.test ~count:120 ();
-         Fuzz.pool_test ~count:60 ();
-         Fuzz.fluid_test ~count:100 ();
-         Fuzz.wheel_test ~count:400 ();
-         Fuzz.scoreboard_test ~count:400 ();
-         Fuzz.determinism_test ~count:20 ();
+         Fuzz.test ~count:(n 120) ();
+         Fuzz.pool_test ~count:(n 60) ();
+         Fuzz.fluid_test ~count:(n 100) ();
+         Fuzz.events_test ~count:(n 200) ();
+         Fuzz.wheel_test ~count:(n 400) ();
+         Fuzz.scoreboard_test ~count:(n 400) ();
+         Fuzz.determinism_test ~count:(n 20) ();
+         Fuzz.events_determinism_test ~count:(n 12) ();
        ])

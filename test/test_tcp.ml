@@ -969,6 +969,104 @@ let reno_vs_cubic_throughput () =
     true
     (reno > 25e6 && cubic > 25e6)
 
+(* --- Scoreboard edge cases --- *)
+
+module Sb = Tcp.Scoreboard
+
+let sb_append sb ~seq ~len = ignore (Sb.append sb ~seq ~len ~dss:None : int)
+
+(* Cumulative ACK lands in the middle of a partially-SACKed range: the
+   front drop must take the SACKed segment's flag out of the O(1)
+   counter while leaving the later SACK standing. *)
+let scoreboard_front_drop_partial_sack () =
+  let sb = Sb.create () in
+  for i = 0 to 4 do
+    sb_append sb ~seq:(i * 100) ~len:100
+  done;
+  ignore (Sb.mark_sacked sb (Sb.idx sb 1) : bool);
+  ignore (Sb.mark_sacked sb (Sb.idx sb 3) : bool);
+  Sb.mark_lost sb (Sb.idx sb 0);
+  Alcotest.(check int) "sacked before" 2 (Sb.sacked_count sb);
+  Alcotest.(check int) "pipe before" 200 (Sb.pipe_recount sb);
+  (* ACK to 200: segment 0 (lost) and segment 1 (SACKed) leave the ring *)
+  Sb.pop_front sb;
+  Sb.pop_front sb;
+  Alcotest.(check int) "length" 3 (Sb.length sb);
+  Alcotest.(check int) "sacked after" 1 (Sb.sacked_count sb);
+  Alcotest.(check int) "front seq" 200 (Sb.seq_at sb (Sb.idx sb 0));
+  Alcotest.(check bool) "surviving SACK kept" true
+    (Sb.sacked_at sb (Sb.idx sb 1));
+  Alcotest.(check int) "pipe after" 200 (Sb.pipe_recount sb);
+  Alcotest.(check bool) "consistent" true (Sb.consistent sb)
+
+(* Fill the ring to its initial capacity, drain the front, refill: the
+   tail wraps around the physical end while the searches and the
+   consistency recount keep working; one more append then grows and
+   re-bases a wrapped ring. *)
+let scoreboard_wraparound () =
+  let sb = Sb.create () in
+  let next = ref 0 in
+  let append_one () =
+    sb_append sb ~seq:!next ~len:10;
+    next := !next + 10
+  in
+  for _ = 1 to 64 do
+    append_one ()
+  done;
+  for _ = 1 to 40 do
+    Sb.pop_front sb
+  done;
+  for _ = 1 to 40 do
+    append_one ()
+  done;
+  (* 64 live segments, physically wrapped *)
+  Alcotest.(check int) "length at capacity" 64 (Sb.length sb);
+  Alcotest.(check bool) "consistent wrapped" true (Sb.consistent sb);
+  Alcotest.(check int) "front" 400 (Sb.seq_at sb (Sb.idx sb 0));
+  Alcotest.(check int) "back" 1030 (Sb.seq_at sb (Sb.idx sb 63));
+  Alcotest.(check int) "lower_bound across the seam" 30
+    (Sb.lower_bound sb 700);
+  let f = Sb.find sb 900 in
+  Alcotest.(check bool) "find lands" true (f >= 0);
+  Alcotest.(check int) "find exact" 900 (Sb.seq_at sb f);
+  (* growth re-bases the wrapped ring *)
+  append_one ();
+  Alcotest.(check int) "length after growth" 65 (Sb.length sb);
+  Alcotest.(check bool) "consistent after growth" true (Sb.consistent sb);
+  Alcotest.(check int) "front preserved" 400 (Sb.seq_at sb (Sb.idx sb 0));
+  Alcotest.(check int) "back preserved" 1040 (Sb.seq_at sb (Sb.idx sb 64));
+  Alcotest.(check int) "end_seq" 1050 (Sb.end_seq sb)
+
+(* A popped slot's physical cell is reused by a later append once the
+   tail wraps to it: none of the old segment's state (SACK, loss, retx
+   count, timestamps) may leak into the new occupant. *)
+let scoreboard_pop_then_reuse () =
+  let sb = Sb.create () in
+  for i = 0 to 63 do
+    sb_append sb ~seq:(i * 10) ~len:10
+  done;
+  (* decorate physical slot 0 heavily, then free it *)
+  let p0 = Sb.idx sb 0 in
+  ignore (Sb.mark_sacked sb p0 : bool);
+  Sb.mark_lost sb p0;
+  Sb.incr_retx sb p0;
+  Sb.incr_retx sb p0;
+  Sb.set_sent_at sb p0 (Engine.Time.ms 123);
+  Sb.set_epoch sb p0 7;
+  Sb.pop_front sb;
+  (* tail is at capacity, so this append wraps into the freed cell *)
+  sb_append sb ~seq:640 ~len:10;
+  let fresh = Sb.idx sb 63 in
+  Alcotest.(check int) "reused cell holds the new segment" 640
+    (Sb.seq_at sb fresh);
+  Alcotest.(check bool) "no stale SACK" false (Sb.sacked_at sb fresh);
+  Alcotest.(check bool) "no stale loss" false (Sb.lost_at sb fresh);
+  Alcotest.(check int) "no stale retx count" 0 (Sb.retx_at sb fresh);
+  Alcotest.(check bool) "no stale send time" true
+    (Sb.sent_at sb fresh = Engine.Time.zero);
+  Alcotest.(check int) "sacked counter clean" 0 (Sb.sacked_count sb);
+  Alcotest.(check bool) "consistent" true (Sb.consistent sb)
+
 let () =
   Alcotest.run "tcp"
     [
@@ -1085,5 +1183,14 @@ let () =
             delack_halves_ack_traffic;
           Alcotest.test_case "ECN: marks replace drops" `Quick
             ecn_end_to_end_fewer_drops;
+        ] );
+      ( "scoreboard",
+        [
+          Alcotest.test_case "front drop of partially-SACKed range" `Quick
+            scoreboard_front_drop_partial_sack;
+          Alcotest.test_case "ring wraparound at capacity" `Quick
+            scoreboard_wraparound;
+          Alcotest.test_case "freed slot reused clean" `Quick
+            scoreboard_pop_then_reuse;
         ] );
     ]

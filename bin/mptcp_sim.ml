@@ -5,7 +5,10 @@
      lp-opt   - solve the Fig. 1c throughput LP
      run      - run one measured scenario with full control of parameters
      figures  - regenerate the paper's figures (2a, 2b, 2c, 1, 1c)
-     sweep    - the convergence summary table (cc x default path) *)
+     sweep    - the convergence summary table (cc x default path)
+     serve    - run scenario batches against the content-addressed cache
+     report   - render the trend table from the store's history
+     cache    - inspect or clear the result store *)
 
 open Cmdliner
 
@@ -450,6 +453,155 @@ let fluid_cmd =
       const exec $ cc_t $ default_t $ validate_t $ timing_t $ csv_t
       $ horizon_t $ samples_t $ tol_t)
 
+(* --- serve / report / cache: the scenario service --- *)
+
+let store_t =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Result-store directory (created if missing): content-addressed \
+           records under objects/, the version file, and the append-only \
+           trend.log.")
+
+let serve_cmd =
+  let exec store batches no_cache invalidate perf jobs =
+    let jobs = check_jobs jobs in
+    if batches = [] then begin
+      Format.eprintf "serve: no batch files given@.";
+      exit 2
+    end;
+    let st = Serve.Store.open_store ~dir:store in
+    if invalidate then
+      Format.printf "invalidated %d cached records@." (Serve.Store.invalidate st);
+    List.iter
+      (fun batch_file ->
+        let entries =
+          try Serve.Batch.load batch_file with
+          | Events.Sexp.Parse_error msg ->
+            Format.eprintf "%s: %s@." batch_file msg;
+            exit 2
+          | Invalid_argument msg ->
+            Format.eprintf "%s: %s@." batch_file msg;
+            exit 2
+        in
+        let outcomes, stats =
+          Serve.Service.run_batch ?jobs ~cache:(not no_cache) ~store:st entries
+        in
+        Format.printf "=== batch %s ===@." (Filename.basename batch_file);
+        List.iter
+          (fun ((_ : Serve.Batch.entry), outcome) ->
+            let kind, (r : Serve.Store.record) =
+              match outcome with
+              | Serve.Service.Hit r -> ("hit  ", r)
+              | Serve.Service.Fresh r -> ("fresh", r)
+            in
+            Format.printf "%s %s %-24s tail %.1f / opt %.1f Mbps%s@." kind
+              (Core.Canon.short r.Serve.Store.hash)
+              r.Serve.Store.label r.Serve.Store.tail_mbps
+              r.Serve.Store.opt_mbps
+              (if perf then Printf.sprintf "  (%.3f s)" r.Serve.Store.wall_s
+               else ""))
+          outcomes;
+        Format.printf
+          "batch: %d entries, %d hits, %d fresh, %d simulation events%s@."
+          stats.Serve.Service.entries stats.Serve.Service.hits
+          stats.Serve.Service.fresh stats.Serve.Service.fresh_sim_events
+          (if perf then
+             Printf.sprintf " (wall %.3f s)" stats.Serve.Service.wall_s
+           else ""))
+      batches
+  in
+  let batches_t =
+    Arg.(value & pos_all file [] & info [] ~docv:"BATCH.sexp")
+  in
+  let no_cache_t =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:
+            "Skip cache lookups: re-simulate every entry and overwrite its \
+             stored record (results still land in the store and the trend \
+             log).")
+  in
+  let invalidate_t =
+    Arg.(
+      value & flag
+      & info [ "invalidate" ]
+          ~doc:"Delete every cached record before processing the batches.")
+  in
+  let perf_t =
+    Arg.(
+      value & flag
+      & info [ "perf" ]
+          ~doc:
+            "Also print wall-clock timings (off by default so output is \
+             byte-stable for the golden tests).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run scenario batches against the content-addressed result cache: \
+          hits are served from the store with zero simulation work, misses \
+          run on the domain pool and are stored; every outcome is appended \
+          to the trend log")
+    Term.(
+      const exec $ store_t $ batches_t $ no_cache_t $ invalidate_t $ perf_t
+      $ jobs_t)
+
+let report_cmd =
+  let exec store last perf =
+    let entries, skipped = Serve.Trend.load ~dir:store in
+    Serve.Trend.report ~perf ?last Format.std_formatter entries;
+    Format.pp_print_flush Format.std_formatter ();
+    if skipped > 0 then
+      Format.printf "(%d unparseable trend line(s) skipped)@." skipped
+  in
+  let last_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "last" ] ~docv:"N" ~doc:"Only the N most recent submissions.")
+  in
+  let perf_t =
+    Arg.(
+      value & flag
+      & info [ "perf" ]
+          ~doc:"Add wall-clock columns (non-deterministic; off by default).")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Render the per-scenario goodput/perf trend table from the store's \
+          append-only history")
+    Term.(const exec $ store_t $ last_t $ perf_t)
+
+let cache_cmd =
+  let exec store invalidate =
+    let st = Serve.Store.open_store ~dir:store in
+    if invalidate then
+      Format.printf "invalidated %d cached records@." (Serve.Store.invalidate st)
+    else begin
+      let entries, skipped = Serve.Trend.load ~dir:store in
+      Format.printf
+        "store %s: format v%d, %d cached records, %d trend entries@." store
+        Serve.Store.format_version (Serve.Store.count st)
+        (List.length entries);
+      if skipped > 0 then
+        Format.printf "(%d unparseable trend line(s) skipped)@." skipped
+    end
+  in
+  let invalidate_t =
+    Arg.(
+      value & flag
+      & info [ "invalidate" ] ~doc:"Delete every cached record and exit.")
+  in
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:"Inspect (or clear, with --invalidate) the result store")
+    Term.(const exec $ store_t $ invalidate_t)
+
 (* --- figures --- *)
 
 let figures_cmd =
@@ -572,4 +724,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ paths_cmd; lp_opt_cmd; run_cmd; fluid_cmd; figures_cmd;
-            sweep_cmd; scaling_cmd ]))
+            sweep_cmd; scaling_cmd; serve_cmd; report_cmd; cache_cmd ]))

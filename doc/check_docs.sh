@@ -33,7 +33,7 @@ doc_one() {
     done
     shift
     incs=""
-    for dep in engine packet netgraph netsim tcp mptcp measure lp core audit fuzz obs fluid events; do
+    for dep in engine packet netgraph netsim tcp mptcp measure lp core audit fuzz obs fluid events serve; do
         [ -d "$(objs "$dep")" ] && incs="$incs -I $(objs "$dep")"
     done
     # shellcheck disable=SC2086
@@ -82,5 +82,58 @@ doc_one events Events -- \
     "$root/lib/events/sexp.mli" \
     "$root/lib/events/event.mli" \
     "$root/lib/events/parse.mli"
+
+doc_one core Core -- \
+    "$root/lib/core/canon.mli"
+
+doc_one serve Serve -- \
+    "$root/lib/serve/store.mli" \
+    "$root/lib/serve/trend.mli" \
+    "$root/lib/serve/batch.mli" \
+    "$root/lib/serve/service.mli"
+
+# --- markdown link check ---
+# Every relative link target written as [text](target) in the user-facing
+# markdown docs must exist on disk (anchors and external URLs are
+# skipped).  Catches the classic drift: a renamed or promised-but-absent
+# document.
+check_links() {
+    ok=0
+    for md in "$@"; do
+        dir=$(dirname "$md")
+        for target in $(grep -o '](\([^)]*\))' "$md" 2>/dev/null \
+                            | sed 's/^](//; s/)$//'); do
+            case $target in
+            http://* | https://* | mailto:* | \#*) continue ;;
+            esac
+            path=${target%%#*}
+            [ -z "$path" ] && continue
+            if ! [ -e "$dir/$path" ]; then
+                echo "check_docs: dead link in $md -> $target" >&2
+                ok=1
+            fi
+        done
+    done
+    return $ok
+}
+
+docs_root=$(dirname "$0")
+check_links \
+    "$docs_root/../README.md" \
+    "$docs_root/../DESIGN.md" \
+    "$docs_root/../EXPERIMENTS.md" \
+    "$docs_root"/*.md
+echo "markdown links ok"
+
+# Negative self-test: the checker must actually flag a dead link, or the
+# pass above proves nothing.
+mkdir -p "$out/linkcheck"
+printf 'see [gone](no-such-file.md) but [not](https://example.org) this\n' \
+    >"$out/linkcheck/bad.md"
+if check_links "$out/linkcheck/bad.md" 2>/dev/null; then
+    echo "check_docs: link checker failed to flag a dead link" >&2
+    exit 1
+fi
+echo "link checker self-test ok"
 
 echo "documentation gate passed"

@@ -1,0 +1,39 @@
+(** Canonical serialization and stable hashing of scenarios.
+
+    The result cache ({!Serve.Store}) is keyed by content: two
+    submissions that describe the same simulation must map to the same
+    key however they were constructed — built in OCaml with
+    {!Scenario.make}, loaded from an experiment file with fields in any
+    order, or expanded from a batch grid.  {!text} therefore renders
+    the {e result-determining} fields of a {!Scenario.spec} into one
+    canonical string (fixed field order, fully resolved values, times
+    in integer nanoseconds, floats at full [%.17g] precision) and
+    {!hash} digests it.
+
+    Excluded from the canonical form — and so from the hash — are the
+    observation-only switches [trace_limit], [audit] and [obs]: runs
+    with and without them are bit-identical (the monitor hooks cost one
+    mutable load when unused, and the audit/obs layers only read), so a
+    traced or audited submission may reuse a result cached by a plain
+    one and vice versa.
+
+    {!version} is baked into the canonical text: any change to the
+    rendering (new field, different unit, reordering) must bump it,
+    which changes every hash and turns the whole store into clean
+    misses rather than silent mis-hits. *)
+
+val version : int
+(** Version of the canonical encoding, included in {!text}. *)
+
+val text : Scenario.spec -> string
+(** The canonical rendering.  Deterministic: equal specs (same
+    topology, paths, algorithm, scheduler, timing, seed, queueing,
+    sender tuning, transfer bounds and timed events) yield equal
+    strings, whatever order their sources spelled the fields in. *)
+
+val hash : Scenario.spec -> string
+(** Hex digest (MD5, 32 characters) of {!text} — the content address
+    used by the result store. *)
+
+val short : string -> string
+(** First 12 characters of a hash, for display. *)

@@ -185,6 +185,54 @@ let run_list pool thunks =
          (function Some v -> v | None -> assert false (* all jobs ran *))
          results)
 
+(* --- incremental submission (the serve daemon's entry point) --- *)
+
+type 'a outcome =
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a ticket = {
+  t_mutex : Mutex.t;
+  t_done : Condition.t;
+  mutable t_outcome : 'a outcome;
+}
+
+let submit pool f =
+  if not pool.live then invalid_arg "Pool.submit: pool is shut down";
+  let ticket =
+    { t_mutex = Mutex.create (); t_done = Condition.create ();
+      t_outcome = Pending }
+  in
+  let work () =
+    let outcome =
+      match f () with
+      | v -> Done v
+      | exception e -> Failed (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock ticket.t_mutex;
+    ticket.t_outcome <- outcome;
+    Condition.broadcast ticket.t_done;
+    Mutex.unlock ticket.t_mutex
+  in
+  Mutex.lock pool.mutex;
+  Queue.add (Run work) pool.jobs;
+  Condition.signal pool.nonempty;
+  Mutex.unlock pool.mutex;
+  ticket
+
+let await ticket =
+  Mutex.lock ticket.t_mutex;
+  while (match ticket.t_outcome with Pending -> true | _ -> false) do
+    Condition.wait ticket.t_done ticket.t_mutex
+  done;
+  let outcome = ticket.t_outcome in
+  Mutex.unlock ticket.t_mutex;
+  match outcome with
+  | Done v -> v
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Pending -> assert false
+
 let map_pool pool f xs = run_list pool (List.map (fun x -> fun () -> f x) xs)
 
 let map ?domains f xs =

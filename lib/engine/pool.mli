@@ -43,6 +43,30 @@ val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
     [List.map] with no domain spawned, so [--jobs 1] is exactly the
     serial code path. *)
 
+(** {1 Incremental submission}
+
+    [run_list]/[map] are all-or-nothing: the caller blocks until the
+    whole batch settles.  A long-running service (the scenario cache's
+    [serve] loop) instead discovers work incrementally — cache hits
+    return immediately, misses trickle in as batches arrive — so it
+    needs to enqueue jobs one at a time and collect each result when it
+    is ready.  Idle workers pull from the shared queue, so load
+    balances across domains without the submitter choosing placements. *)
+
+type 'a ticket
+(** A claim on one submitted job's eventual result. *)
+
+val submit : t -> (unit -> 'a) -> 'a ticket
+(** Enqueues the thunk and returns immediately.  Raises
+    [Invalid_argument] on a shut-down pool. *)
+
+val await : 'a ticket -> 'a
+(** Blocks until the job finishes and returns its result, re-raising
+    (with backtrace) if the thunk raised.  [await] may be called at
+    most once from one thread per ticket's completion; calling it again
+    returns the same outcome.  Do not [await] from inside a pool job:
+    the worker would wait on itself. *)
+
 val shutdown : t -> unit
 (** Joins all workers.  Idempotent.  The pool is unusable afterwards. *)
 

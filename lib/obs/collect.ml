@@ -295,3 +295,26 @@ let snapshot t =
 
 let set_value t name x =
   match t.metrics with None -> () | Some m -> Metrics.set m name x
+
+(* "wall" appears in every wall-clock-derived metric name by
+   convention (core.wall_time_s, core.wall_events_per_s), so dropping
+   on substring keeps the returned list deterministic. *)
+let wall_metric name =
+  let n = String.length name and sub = "wall" in
+  let rec at i =
+    if i + 4 > n then false
+    else if String.sub name i 4 = sub then true
+    else at (i + 1)
+  in
+  at 0
+
+let final_metrics ?(drop_wall = true) t =
+  match t.metrics with
+  | None -> []
+  | Some m -> (
+    match Metrics.latest m with
+    | None -> []
+    | Some s ->
+      List.filter
+        (fun (name, _) -> not (drop_wall && wall_metric name))
+        s.Metrics.values)

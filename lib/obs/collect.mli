@@ -60,3 +60,10 @@ val snapshot : t -> unit
 val set_value : t -> string -> float -> unit
 (** Forwards to {!Metrics.set} when the metrics layer is on — for
     end-of-run facts such as [core.wall_time_s]. *)
+
+val final_metrics : ?drop_wall:bool -> t -> (string * float) list
+(** The last metrics snapshot's values (name-sorted), or [[]] when the
+    metrics layer is off or never sampled — the per-run capture the
+    result store persists.  [drop_wall] (default [true]) filters out
+    metrics with "wall" in their name, leaving a fully deterministic
+    list. *)

@@ -94,6 +94,9 @@ let snapshot t ~sim_ns =
 
 let snapshots t = List.rev t.snaps_rev
 
+let latest t =
+  match t.snaps_rev with [] -> None | s :: _ -> Some s
+
 let write_csv t oc =
   output_string oc "sim_ns,name,value\n";
   List.iter

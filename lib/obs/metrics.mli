@@ -52,6 +52,11 @@ val snapshot : t -> sim_ns:int -> unit
 val snapshots : t -> snapshot list
 (** All snapshots taken so far, oldest first. *)
 
+val latest : t -> snapshot option
+(** The most recent snapshot — the end-of-run state when the scenario
+    layer has just taken its final sample.  O(1), unlike walking
+    {!snapshots}. *)
+
 val write_csv : t -> out_channel -> unit
 (** Long-format CSV with header [sim_ns,name,value]: one row per
     (snapshot, instrument), snapshots in time order, names sorted within

@@ -1,0 +1,134 @@
+open Events.Sexp
+
+type entry = { label : string; spec : Core.Scenario.spec }
+
+let cc_of_atom s =
+  match Mptcp.Algorithm.of_string s with
+  | Some cc -> cc
+  | None -> fail "batch: unknown congestion control %s" s
+
+let scheduler_of_atom s =
+  let canon = String.map (function '-' -> '_' | c -> c) s in
+  match Mptcp.Scheduler.policy_of_string canon with
+  | Some p -> p
+  | None -> fail "batch: unknown scheduler %s" s
+
+let scalar name fields conv =
+  match find_field name fields with
+  | Some [ x ] -> Some (conv x)
+  | Some _ -> fail "batch: (%s ...) takes exactly one value" name
+  | None -> None
+
+let multi name fields conv =
+  match find_field name fields with
+  | Some (_ :: _ as xs) -> Some (List.map conv xs)
+  | Some [] -> fail "batch: (%s ...) needs at least one value" name
+  | None -> None
+
+(* One paper-network cell; shared by preset and grid. *)
+let paper_cell ?label ~cc ~default ~seed ~duration ~sampling ~scheduler
+    ~total_bytes () =
+  let topo = Core.Paper_net.topology () in
+  let paths = Core.Paper_net.tagged_paths ~default topo in
+  let spec =
+    Core.Scenario.make ~topo ~paths ~cc ~scheduler ~duration ~sampling ~seed
+      ?total_bytes ()
+  in
+  let label =
+    match label with
+    | Some l -> l
+    | None ->
+      Printf.sprintf "paper-%s-d%d-s%d" (Mptcp.Algorithm.name cc) default seed
+  in
+  { label; spec }
+
+let times_of fields =
+  let duration =
+    match scalar "duration-s" fields float_exn with
+    | Some s -> Events.Parse.time_of_s s
+    | None -> Engine.Time.s 4
+  in
+  let sampling =
+    match scalar "sampling-ms" fields float_exn with
+    | Some ms -> Events.Parse.time_of_s (ms /. 1e3)
+    | None -> Engine.Time.ms 100
+  in
+  (duration, sampling)
+
+let preset fields =
+  let cc =
+    Option.value ~default:Mptcp.Algorithm.Cubic
+      (scalar "cc" fields (fun s -> cc_of_atom (atom_exn s)))
+  in
+  let default = Option.value ~default:2 (scalar "default" fields int_exn) in
+  let seed = Option.value ~default:1 (scalar "seed" fields int_exn) in
+  let duration, sampling = times_of fields in
+  let scheduler =
+    Option.value ~default:Mptcp.Scheduler.Min_rtt
+      (scalar "scheduler" fields (fun s -> scheduler_of_atom (atom_exn s)))
+  in
+  let total_bytes =
+    Option.map
+      (fun mb -> int_of_float (mb *. 1e6))
+      (scalar "total-mb" fields float_exn)
+  in
+  let label = scalar "label" fields atom_exn in
+  [ paper_cell ?label ~cc ~default ~seed ~duration ~sampling ~scheduler
+      ~total_bytes () ]
+
+let grid fields =
+  let ccs =
+    Option.value
+      ~default:[ Mptcp.Algorithm.Cubic; Mptcp.Algorithm.Lia;
+                 Mptcp.Algorithm.Olia ]
+      (multi "ccs" fields (fun s -> cc_of_atom (atom_exn s)))
+  in
+  let defaults =
+    Option.value ~default:[ 1; 2; 3 ] (multi "defaults" fields int_exn)
+  in
+  let seeds = Option.value ~default:[ 1 ] (multi "seeds" fields int_exn) in
+  let duration, sampling = times_of fields in
+  List.concat_map
+    (fun cc ->
+      List.concat_map
+        (fun default ->
+          List.map
+            (fun seed ->
+              paper_cell ~cc ~default ~seed ~duration ~sampling
+                ~scheduler:Mptcp.Scheduler.Min_rtt ~total_bytes:None ())
+            seeds)
+        defaults)
+    ccs
+
+let experiment ~base_dir fields =
+  let file name =
+    match scalar name fields atom_exn with
+    | Some f ->
+      if Filename.is_relative f then Filename.concat base_dir f else f
+    | None -> fail "batch: (experiment ...) needs (%s FILE)" name
+  in
+  let topo_file = file "topology" and xp_file = file "experiment" in
+  let _topo, spec = Core.Expfile.load ~topo_file ~xp_file in
+  let label =
+    match scalar "label" fields atom_exn with
+    | Some l -> l
+    | None -> Filename.remove_extension (Filename.basename xp_file)
+  in
+  [ { label; spec } ]
+
+let of_sexps ~base_dir sexps =
+  let entries =
+    List.concat_map
+      (fun form ->
+        match form with
+        | List (Atom "preset" :: fields) -> preset fields
+        | List (Atom "grid" :: fields) -> grid fields
+        | List (Atom "experiment" :: fields) -> experiment ~base_dir fields
+        | s -> fail "batch: unknown form %s" (to_string s))
+      sexps
+  in
+  if entries = [] then fail "batch: no scenarios";
+  entries
+
+let load path =
+  of_sexps ~base_dir:(Filename.dirname path) (Events.Sexp.load path)

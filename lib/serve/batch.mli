@@ -1,0 +1,35 @@
+(** Batch files: lists of scenarios for the service, as data.
+
+    A batch file holds any number of top-level forms, each expanding to
+    one or more labelled scenarios:
+
+    {v
+    ; one paper-network scenario
+    (preset (label cubic-d2) (cc cubic) (default 2) (seed 1)
+            (duration-s 4) (sampling-ms 100) (scheduler min-rtt))
+
+    ; the paper grid: the cross product of ccs x defaults x seeds
+    (grid (ccs cubic lia olia) (defaults 1 2 3) (seeds 1 2 3)
+          (duration-s 20))
+
+    ; a dynamic scenario from topology + experiment files
+    ; (paths resolve relative to the batch file)
+    (experiment (label failover) (topology failover_topo.sexp)
+                (experiment failover_xp.sexp))
+    v}
+
+    Every field is optional except [experiment]'s two files; defaults
+    match {!Core.Scenario.make} ([cc] defaults to cubic, [default] path
+    to 2, [seed] to 1).  Omitted labels are generated
+    ([paper-<cc>-d<default>-s<seed>], or the experiment file's
+    basename). *)
+
+type entry = { label : string; spec : Core.Scenario.spec }
+
+val of_sexps : base_dir:string -> Events.Sexp.t list -> entry list
+(** Expands the forms.  Raises {!Events.Sexp.Parse_error} on malformed
+    input and [Invalid_argument] on invalid scenarios (bad event lists,
+    empty grids). *)
+
+val load : string -> entry list
+(** {!of_sexps} over a batch file, with [base_dir] its directory. *)

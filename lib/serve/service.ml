@@ -1,0 +1,129 @@
+type outcome = Hit of Store.record | Fresh of Store.record
+
+type stats = {
+  entries : int;
+  hits : int;
+  fresh : int;
+  fresh_sim_events : int;
+  wall_s : float;
+}
+
+let hash_entry (e : Batch.entry) = Core.Canon.hash e.Batch.spec
+
+(* A fresh run: attach the metrics layer (unless the spec already
+   configured observability) so the record captures the final metrics
+   snapshot; observation does not perturb results, and obs is excluded
+   from the hash, so the cached record still answers plain
+   re-submissions.  Gc.minor_words is per-domain in OCaml 5 and the
+   whole thunk runs on one domain, so the delta is this run's own
+   allocation. *)
+let simulate (e : Batch.entry) ~hash () =
+  let spec =
+    match e.Batch.spec.Core.Scenario.obs with
+    | Some _ -> e.Batch.spec
+    | None ->
+      {
+        e.Batch.spec with
+        Core.Scenario.obs =
+          Some { Obs.Collect.default_conf with Obs.Collect.trace = false };
+      }
+  in
+  let minor0 = Gc.minor_words () in
+  let wall0 = Unix.gettimeofday () in
+  let result = Core.Scenario.run spec in
+  let wall_s = Unix.gettimeofday () -. wall0 in
+  let alloc_words = Gc.minor_words () -. minor0 in
+  Store.of_result ~hash ~label:e.Batch.label ~wall_s ~alloc_words
+    ~created_unix:(Unix.gettimeofday ()) result
+
+let run_batch ?jobs ?pool ?(cache = true) ~store entries =
+  let wall0 = Unix.gettimeofday () in
+  let looked_up =
+    List.map
+      (fun e ->
+        let hash = hash_entry e in
+        (e, hash, if cache then Store.lookup store ~hash else None))
+      entries
+  in
+  (* Unique misses only: a batch that repeats a scenario simulates it
+     once and shares the record. *)
+  let misses =
+    let seen = Hashtbl.create 16 in
+    List.filter_map
+      (function
+        | _, _, Some _ -> None
+        | e, hash, None ->
+          if Hashtbl.mem seen hash then None
+          else begin
+            Hashtbl.add seen hash ();
+            Some (e, hash)
+          end)
+      looked_up
+  in
+  let run_serially () =
+    List.map (fun (e, hash) -> simulate e ~hash ()) misses
+  in
+  let run_on pool =
+    let tickets =
+      List.map (fun (e, hash) -> Engine.Pool.submit pool (simulate e ~hash))
+        misses
+    in
+    List.map Engine.Pool.await tickets
+  in
+  let fresh_records =
+    match (misses, pool) with
+    | [], _ -> []
+    | [ (e, hash) ], None -> [ simulate e ~hash () ]
+    | _, Some pool -> run_on pool
+    | _, None ->
+      let domains =
+        min
+          (match jobs with
+          | Some j -> j
+          | None -> Engine.Pool.default_domains ())
+          (List.length misses)
+      in
+      if domains <= 1 then run_serially ()
+      else begin
+        let pool = Engine.Pool.create ~domains () in
+        Fun.protect
+          ~finally:(fun () -> Engine.Pool.shutdown pool)
+          (fun () -> run_on pool)
+      end
+  in
+  List.iter (Store.insert store) fresh_records;
+  let fresh_by_hash = Hashtbl.create 16 in
+  List.iter2
+    (fun (_, hash) r -> Hashtbl.replace fresh_by_hash hash r)
+    misses fresh_records;
+  let outcomes =
+    List.map
+      (fun (e, hash, hit) ->
+        match hit with
+        | Some r -> (e, Hit r)
+        | None -> (e, Fresh (Hashtbl.find fresh_by_hash hash)))
+      looked_up
+  in
+  let at_unix = Unix.gettimeofday () in
+  List.iter
+    (fun (_, outcome) ->
+      let cached, r =
+        match outcome with Hit r -> (true, r) | Fresh r -> (false, r)
+      in
+      Trend.append ~dir:(Store.dir store)
+        (Trend.entry_of_record ~at_unix ~cached r))
+    outcomes;
+  let hits =
+    List.length (List.filter (function _, Hit _ -> true | _ -> false) outcomes)
+  in
+  let stats =
+    {
+      entries = List.length entries;
+      hits;
+      fresh = List.length entries - hits;
+      fresh_sim_events =
+        List.fold_left (fun acc r -> acc + r.Store.sim_events) 0 fresh_records;
+      wall_s = Unix.gettimeofday () -. wall0;
+    }
+  in
+  (outcomes, stats)

@@ -1,0 +1,50 @@
+(** The scenario service: batches in, cached-or-fresh results out.
+
+    For each submitted entry the service canonicalizes and hashes the
+    spec ({!Core.Canon}), consults the {!Store}, and either returns the
+    cached record (zero simulation work) or schedules a fresh run.
+    Misses are dispatched through {!Engine.Pool.submit}/[await] —
+    hits resolve immediately while misses trickle through the worker
+    domains — and every fresh result is inserted into the store.  Each
+    outcome, hit or fresh, is appended to the {!Trend} log, so the
+    history records every submission.
+
+    Determinism: fresh runs execute the spec with the metrics layer
+    attached (observation does not perturb results — see
+    doc/OBSERVABILITY.md), and results come back in submission order,
+    so a batch's outcomes are bit-identical for every [jobs] value and
+    identical between a cached and a fresh pass
+    ({!Store.same_results}). *)
+
+type outcome =
+  | Hit of Store.record    (** served from the store; no simulation ran *)
+  | Fresh of Store.record  (** simulated on this submission *)
+
+type stats = {
+  entries : int;
+  hits : int;
+  fresh : int;
+  fresh_sim_events : int;
+      (** engine events dispatched by this batch's fresh runs — [0]
+          exactly when the whole batch was served from the store *)
+  wall_s : float;
+}
+
+val run_batch :
+  ?jobs:int ->
+  ?pool:Engine.Pool.t ->
+  ?cache:bool ->
+  store:Store.t ->
+  Batch.entry list ->
+  (Batch.entry * outcome) list * stats
+(** Outcomes in submission order.  [?pool] reuses a caller-owned pool
+    (the long-running serve loop's); otherwise a pool of [?jobs]
+    workers (default {!Engine.Pool.default_domains}) is created for the
+    batch when more than one miss needs it, and [~jobs:1] runs misses
+    serially with no domain spawned.  [~cache:false] skips lookups
+    (everything re-simulates and overwrites the store — the [--no-cache]
+    flag). *)
+
+val hash_entry : Batch.entry -> string
+(** The content address the service uses for an entry —
+    {!Core.Canon.hash} of its spec. *)

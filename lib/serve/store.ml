@@ -1,0 +1,367 @@
+(* Record files are small (a few hundred bytes), so the format
+   optimises for safety and greppability, not density: a version
+   header, one sexp body, and a trailing checksum line.
+
+     mptcp-sim-record <format_version>
+     (record (hash ..) (label ..) ... (created-unix ..))
+     checksum <md5-of-the-sexp-body>
+
+   The checksum covers exactly the sexp body, so a version bump (a new
+   header on an otherwise valid file) reads as *stale* while any damage
+   to the body — truncation, a flipped byte, a torn write — fails the
+   digest and reads as *corrupt*.  Both are misses; neither is ever
+   handed to a caller as a result. *)
+
+let format_version = 1
+
+type audit_summary = { violations : int; checks : int }
+
+type record = {
+  hash : string;
+  label : string;
+  cc : string;
+  seed : int;
+  paths : int;
+  tail_mbps : float;
+  per_path_mbps : (int * float) list;
+  opt_mbps : float;
+  delivered_bytes : int;
+  completed_at_s : float option;
+  subflow_churn : int;
+  cross_traffic_bytes : int;
+  queue_drops : int;
+  sim_events : int;
+  packets_created : int;
+  audit : audit_summary option;
+  metrics : (string * float) list;
+  wall_s : float;
+  alloc_words : float;
+  created_unix : float;
+}
+
+let f17 = Printf.sprintf "%.17g"
+
+(* The sexp reader has no quoting, so anything persisted as an atom
+   must contain no delimiters.  Labels come from user batch files;
+   metric names are already dotted identifiers. *)
+let sanitize_atom s =
+  let ok c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9') || c = '.' || c = '_' || c = '-'
+  in
+  let s = if s = "" then "_" else s in
+  String.map (fun c -> if ok c then c else '_') s
+
+let of_result ~hash ~label ~wall_s ~alloc_words ~created_unix
+    (result : Core.Scenario.result) =
+  {
+    hash;
+    label = sanitize_atom label;
+    cc = Mptcp.Algorithm.name result.Core.Scenario.spec.Core.Scenario.cc;
+    seed = result.Core.Scenario.spec.Core.Scenario.seed;
+    paths = List.length result.Core.Scenario.spec.Core.Scenario.paths;
+    tail_mbps = Core.Scenario.tail_mean_mbps result;
+    per_path_mbps = Core.Scenario.per_path_tail_mbps result;
+    opt_mbps = Core.Scenario.optimal_total_mbps result;
+    delivered_bytes = result.Core.Scenario.delivered_bytes;
+    completed_at_s = result.Core.Scenario.completed_at_s;
+    subflow_churn = result.Core.Scenario.subflow_churn;
+    cross_traffic_bytes = result.Core.Scenario.cross_traffic_bytes;
+    queue_drops = result.Core.Scenario.queue_drops;
+    sim_events = result.Core.Scenario.events_processed;
+    packets_created = result.Core.Scenario.packets_created;
+    audit =
+      Option.map
+        (fun (rep : Audit.report) ->
+          { violations = rep.Audit.total_violations; checks = rep.Audit.checks })
+        result.Core.Scenario.audit;
+    metrics =
+      (match result.Core.Scenario.obs with
+      | None -> []
+      | Some o -> Obs.Collect.final_metrics o);
+    wall_s;
+    alloc_words;
+    created_unix;
+  }
+
+let same_results a b =
+  a.hash = b.hash && a.label = b.label && a.cc = b.cc && a.seed = b.seed
+  && a.paths = b.paths && a.tail_mbps = b.tail_mbps
+  && a.per_path_mbps = b.per_path_mbps && a.opt_mbps = b.opt_mbps
+  && a.delivered_bytes = b.delivered_bytes
+  && a.completed_at_s = b.completed_at_s
+  && a.subflow_churn = b.subflow_churn
+  && a.cross_traffic_bytes = b.cross_traffic_bytes
+  && a.queue_drops = b.queue_drops && a.sim_events = b.sim_events
+  && a.packets_created = b.packets_created && a.audit = b.audit
+  && a.metrics = b.metrics
+
+(* --- record text --- *)
+
+let body_of_record r =
+  let buf = Buffer.create 512 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  p "(record";
+  p " (hash %s)" r.hash;
+  p " (label %s)" r.label;
+  p " (cc %s)" r.cc;
+  p " (seed %d)" r.seed;
+  p " (paths %d)" r.paths;
+  p " (tail-mbps %s)" (f17 r.tail_mbps);
+  p " (per-path";
+  List.iter (fun (tag, v) -> p " (%d %s)" tag (f17 v)) r.per_path_mbps;
+  p ")";
+  p " (opt-mbps %s)" (f17 r.opt_mbps);
+  p " (delivered-bytes %d)" r.delivered_bytes;
+  p " (completed-at-s %s)"
+    (match r.completed_at_s with None -> "none" | Some t -> f17 t);
+  p " (subflow-churn %d)" r.subflow_churn;
+  p " (cross-traffic-bytes %d)" r.cross_traffic_bytes;
+  p " (queue-drops %d)" r.queue_drops;
+  p " (sim-events %d)" r.sim_events;
+  p " (packets-created %d)" r.packets_created;
+  (match r.audit with
+  | None -> p " (audit none)"
+  | Some { violations; checks } ->
+    p " (audit (violations %d) (checks %d))" violations checks);
+  p " (metrics";
+  List.iter (fun (name, v) -> p " (%s %s)" (sanitize_atom name) (f17 v)) r.metrics;
+  p ")";
+  p " (wall-s %s)" (f17 r.wall_s);
+  p " (alloc-words %s)" (f17 r.alloc_words);
+  p " (created-unix %s)" (f17 r.created_unix);
+  p ")";
+  Buffer.contents buf
+
+let file_of_record r =
+  let body = body_of_record r in
+  Printf.sprintf "mptcp-sim-record %d\n%s\nchecksum %s\n" format_version body
+    (Digest.to_hex (Digest.string body))
+
+let record_of_body body =
+  let open Events.Sexp in
+  let fields =
+    match parse_string body with
+    | [ List (Atom "record" :: fields) ] -> fields
+    | _ -> fail "record: expected a single (record ...) form"
+  in
+  let get name =
+    match find_field name fields with
+    | Some v -> v
+    | None -> fail "record: missing (%s ...)" name
+  in
+  let scalar name conv =
+    match get name with
+    | [ x ] -> conv x
+    | _ -> fail "record: (%s ...) takes one value" name
+  in
+  let pairs name kconv vconv =
+    List.map
+      (function
+        | List [ k; v ] -> (kconv k, vconv v)
+        | s -> fail "record: bad pair %s in (%s ...)" (to_string s) name)
+      (get name)
+  in
+  {
+    hash = scalar "hash" atom_exn;
+    label = scalar "label" atom_exn;
+    cc = scalar "cc" atom_exn;
+    seed = scalar "seed" int_exn;
+    paths = scalar "paths" int_exn;
+    tail_mbps = scalar "tail-mbps" float_exn;
+    per_path_mbps = pairs "per-path" int_exn float_exn;
+    opt_mbps = scalar "opt-mbps" float_exn;
+    delivered_bytes = scalar "delivered-bytes" int_exn;
+    completed_at_s =
+      scalar "completed-at-s" (function
+        | Atom "none" -> None
+        | s -> Some (float_exn s));
+    subflow_churn = scalar "subflow-churn" int_exn;
+    cross_traffic_bytes = scalar "cross-traffic-bytes" int_exn;
+    queue_drops = scalar "queue-drops" int_exn;
+    sim_events = scalar "sim-events" int_exn;
+    packets_created = scalar "packets-created" int_exn;
+    audit =
+      (match get "audit" with
+      | [ Atom "none" ] -> None
+      | forms ->
+        let sub name =
+          match find_field name forms with
+          | Some [ x ] -> int_exn x
+          | _ -> fail "record: bad (audit ...) form"
+        in
+        Some { violations = sub "violations"; checks = sub "checks" });
+    metrics = pairs "metrics" atom_exn float_exn;
+    wall_s = scalar "wall-s" float_exn;
+    alloc_words = scalar "alloc-words" float_exn;
+    created_unix = scalar "created-unix" float_exn;
+  }
+
+(* --- the store --- *)
+
+type t = {
+  dir : string;
+  mutable stale : int;
+  mutable corrupt : int;
+}
+
+let dir t = t.dir
+
+let mkdir_p path =
+  let rec make p =
+    if p <> "/" && p <> "." && not (Sys.file_exists p) then begin
+      make (Filename.dirname p);
+      (try Unix.mkdir p 0o755
+       with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+    end
+  in
+  make path
+
+let objects_dir dir = Filename.concat dir "objects"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file_atomic ~dir ~path content =
+  let tmp = Filename.temp_file ~temp_dir:dir "record" ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc content);
+  Sys.rename tmp path
+
+let open_store ~dir =
+  mkdir_p (objects_dir dir);
+  let version_file = Filename.concat dir "version" in
+  if not (Sys.file_exists version_file) then
+    write_file_atomic ~dir ~path:version_file
+      (Printf.sprintf "mptcp-sim-store %d\n" format_version);
+  { dir; stale = 0; corrupt = 0 }
+
+let record_path t ~hash =
+  let shard = if String.length hash >= 2 then String.sub hash 0 2 else "xx" in
+  Filename.concat (Filename.concat (objects_dir t.dir) shard) hash
+
+(* Split a record file into (header-version, body, checksum), or None
+   when the shape is wrong (truncated files land here). *)
+let split_file content =
+  match String.index_opt content '\n' with
+  | None -> None
+  | Some nl -> (
+    let header = String.sub content 0 nl in
+    match String.rindex_opt content '\n' with
+    | None -> None
+    | Some _ ->
+      (* body is between the first newline and the "\nchecksum " tail *)
+      let tail_key = "\nchecksum " in
+      let rec find_last from acc =
+        match String.index_from_opt content from '\n' with
+        | None -> acc
+        | Some i ->
+          let acc =
+            if
+              i + String.length tail_key <= String.length content
+              && String.sub content i (String.length tail_key) = tail_key
+            then Some i
+            else acc
+          in
+          find_last (i + 1) acc
+      in
+      (match (find_last 0 None, String.length header) with
+      | None, _ -> None
+      | Some tail_at, _ ->
+        let version =
+          let prefix = "mptcp-sim-record " in
+          if String.length header > String.length prefix
+             && String.sub header 0 (String.length prefix) = prefix
+          then
+            int_of_string_opt
+              (String.sub header (String.length prefix)
+                 (String.length header - String.length prefix))
+          else None
+        in
+        let body = String.sub content (nl + 1) (tail_at - nl - 1) in
+        let csum_line_start = tail_at + String.length tail_key in
+        let csum =
+          String.trim
+            (String.sub content csum_line_start
+               (String.length content - csum_line_start))
+        in
+        (match version with
+        | None -> None
+        | Some v -> Some (v, body, csum))))
+
+type read_outcome = Ok_record of record | Stale | Corrupt | Missing
+
+let read_record path =
+  if not (Sys.file_exists path) then Missing
+  else
+    match split_file (read_file path) with
+    | None -> Corrupt
+    | Some (v, body, csum) ->
+      if Digest.to_hex (Digest.string body) <> csum then Corrupt
+      else if v <> format_version then Stale
+      else (
+        match record_of_body body with
+        | r -> Ok_record r
+        | exception _ -> Corrupt)
+
+let lookup t ~hash =
+  match read_record (record_path t ~hash) with
+  | Ok_record r -> Some r
+  | Stale ->
+    t.stale <- t.stale + 1;
+    None
+  | Corrupt ->
+    t.corrupt <- t.corrupt + 1;
+    None
+  | Missing -> None
+
+let insert t r =
+  let path = record_path t ~hash:r.hash in
+  let dir = Filename.dirname path in
+  mkdir_p dir;
+  write_file_atomic ~dir ~path (file_of_record r)
+
+let iter_objects t f =
+  let objs = objects_dir t.dir in
+  if Sys.file_exists objs then
+    Array.iter
+      (fun shard ->
+        let sdir = Filename.concat objs shard in
+        if Sys.is_directory sdir then
+          Array.iter (fun name -> f (Filename.concat sdir name))
+            (Sys.readdir sdir))
+      (Sys.readdir objs)
+
+let count t =
+  let n = ref 0 in
+  iter_objects t (fun _ -> incr n);
+  !n
+
+let invalidate t =
+  let n = ref 0 in
+  iter_objects t (fun path ->
+      Sys.remove path;
+      incr n);
+  !n
+
+let stale_seen t = t.stale
+let corrupt_seen t = t.corrupt
+
+let pp_record fmt r =
+  Format.fprintf fmt "@[<v>%s %s (cc=%s seed=%d, %d paths)@,"
+    (Core.Canon.short r.hash) r.label r.cc r.seed r.paths;
+  Format.fprintf fmt "tail %.1f / optimal %.1f Mbps, delivered %d bytes@,"
+    r.tail_mbps r.opt_mbps r.delivered_bytes;
+  List.iter
+    (fun (tag, v) -> Format.fprintf fmt "  path %d tail: %.1f Mbps@," tag v)
+    r.per_path_mbps;
+  (match r.audit with
+  | None -> ()
+  | Some { violations; checks } ->
+    Format.fprintf fmt "audit: %d violations / %d checks@," violations checks);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,102 @@
+(** Content-addressed on-disk result store.
+
+    Keys are {!Core.Canon.hash} digests of canonical scenario specs;
+    values are {!record}s — the deterministic summary of one simulated
+    run (goodputs, audit verdict, final obs metrics) plus perf metadata
+    (wall time, allocation, creation time).  Because simulation is
+    bit-for-bit deterministic in the spec, a stored record answers a
+    re-submission of the same scenario exactly as a fresh run would,
+    and the service skips the simulation entirely.
+
+    On-disk layout under the store directory:
+    {v
+    version              "mptcp-sim-store <format_version>"
+    objects/<h2>/<hash>  one record file per result (h2 = first 2 hex)
+    trend.log            append-only history (see {!Trend})
+    v}
+
+    Each record file carries its own
+    ["mptcp-sim-record <format_version>"] header and a trailing MD5
+    checksum line over the body.  {!lookup} re-verifies both: a version
+    mismatch is a {e stale} miss (a format bump invalidates cleanly), a
+    checksum/parse failure — truncation, bit rot, a concurrent partial
+    write — is a {e corrupt} miss.  Neither is ever mis-read as a hit.
+    Writes go through a temp file + atomic rename, so readers never see
+    a half-written record. *)
+
+val format_version : int
+(** Bump on any record-layout change; all existing records then read
+    as stale misses and are re-simulated. *)
+
+type audit_summary = { violations : int; checks : int }
+
+type record = {
+  hash : string;           (** the content address ({!Core.Canon.hash}) *)
+  label : string;          (** batch label, atom-sanitized *)
+  cc : string;
+  seed : int;
+  paths : int;
+  tail_mbps : float;       (** mean total rate over the last quarter *)
+  per_path_mbps : (int * float) list;  (** tag-keyed tail means *)
+  opt_mbps : float;        (** the scenario's LP optimum *)
+  delivered_bytes : int;
+  completed_at_s : float option;
+  subflow_churn : int;
+  cross_traffic_bytes : int;
+  queue_drops : int;
+  sim_events : int;        (** engine events the original run dispatched *)
+  packets_created : int;
+  audit : audit_summary option;  (** when the run was audited *)
+  metrics : (string * float) list;
+      (** final obs metrics snapshot, wall-derived entries dropped *)
+  wall_s : float;          (** perf metadata: not content, not compared *)
+  alloc_words : float;     (** minor-heap words the run allocated *)
+  created_unix : float;    (** perf metadata: when it was simulated *)
+}
+
+val of_result :
+  hash:string -> label:string -> wall_s:float -> alloc_words:float ->
+  created_unix:float -> Core.Scenario.result -> record
+(** Condenses a scenario result (tail means, counters, audit totals,
+    {!Obs.Collect.final_metrics}) into a record. *)
+
+val same_results : record -> record -> bool
+(** Equality on every deterministic field — everything except the
+    [wall_s] / [alloc_words] / [created_unix] perf metadata.  A cached
+    record and a fresh re-simulation of the same spec must satisfy
+    this; the cache-correctness tests assert it. *)
+
+type t
+
+val open_store : dir:string -> t
+(** Opens (creating directories and the version file as needed).  A
+    store written by a different {!format_version} is left in place;
+    its records simply read as stale. *)
+
+val dir : t -> string
+
+val lookup : t -> hash:string -> record option
+(** [None] on absent, stale (version mismatch) or corrupt (checksum or
+    parse failure) records; the latter two bump the {!stale_seen} /
+    {!corrupt_seen} counters. *)
+
+val insert : t -> record -> unit
+(** Writes (temp file + rename, overwriting any previous record for
+    the same hash). *)
+
+val count : t -> int
+(** Records currently on disk. *)
+
+val invalidate : t -> int
+(** Deletes every record (the trend history survives); returns how
+    many were removed. *)
+
+val stale_seen : t -> int
+val corrupt_seen : t -> int
+(** Rejection counters since [open_store], for the [cache] CLI. *)
+
+val record_path : t -> hash:string -> string
+(** Where the record for [hash] lives — exposed so tests can corrupt,
+    truncate and re-version records deliberately. *)
+
+val pp_record : Format.formatter -> record -> unit

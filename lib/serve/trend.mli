@@ -1,0 +1,44 @@
+(** Append-only trend history: one line per batch submission.
+
+    Where {!Store} answers "have I simulated this exact scenario?", the
+    trend log answers "how has this scenario been doing over time?" —
+    goodput and wall-clock per labelled scenario across every
+    submission, cache hits included.  Appends go to [trend.log] in the
+    store directory, one version-tagged sexp per line; readers skip
+    lines they cannot parse (a torn final line, an older line format)
+    and report how many they skipped, so one bad line never poisons the
+    history.
+
+    [mptcp_sim report] renders {!report}: per-label first/best/last
+    goodput against the LP optimum, and (with [~perf:true]) wall-clock
+    columns.  The default table contains only deterministic values, so
+    the CLI golden test can pin it byte-for-byte. *)
+
+type entry = {
+  at_unix : float;   (** submission wall-clock time *)
+  label : string;
+  hash : string;
+  cc : string;
+  cached : bool;     (** [true] when served from the store *)
+  tail_mbps : float;
+  opt_mbps : float;
+  wall_s : float;    (** simulation wall seconds (the original run's
+                         when [cached]) *)
+  delivered_bytes : int;
+  sim_events : int;
+}
+
+val entry_of_record : at_unix:float -> cached:bool -> Store.record -> entry
+
+val append : dir:string -> entry -> unit
+(** Appends one line to [dir]/trend.log (creating it as needed). *)
+
+val load : dir:string -> entry list * int
+(** All parseable entries in append order, plus the number of skipped
+    (unparseable or differently-versioned) lines.  An absent log is
+    [([], 0)]. *)
+
+val report : ?perf:bool -> ?last:int -> Format.formatter -> entry list -> unit
+(** Renders the per-label trend table over the [last] (default: all)
+    entries.  Labels appear in first-submission order.  [perf] adds
+    wall-clock columns (non-deterministic; off by default). *)

@@ -1,0 +1,6 @@
+; Golden batch for the serve/report CLI tests: two short paper-network
+; presets.  Everything the default serve/report output prints for these
+; (hashes, goodputs, event counts) is deterministic, so the stdout of a
+; cold pass, a warm pass and the trend report are pinned byte-for-byte.
+(preset (label golden-cubic) (cc cubic) (seed 1) (duration-s 0.6))
+(preset (label golden-lia) (cc lia) (seed 2) (duration-s 0.6))

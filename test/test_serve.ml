@@ -1,0 +1,382 @@
+(* Scenario-service tests: canonical hashing, the content-addressed
+   store's integrity layers, batch parsing, trend history, and the
+   cache-correctness property the whole subsystem rests on — a second
+   submission of an identical batch performs zero simulation work and
+   returns bit-identical results. *)
+
+let sexps s = Events.Sexp.parse_string s
+
+let batch_of s = Serve.Batch.of_sexps ~base_dir:"." (sexps s)
+
+let one_entry s =
+  match batch_of s with
+  | [ e ] -> e
+  | es -> Alcotest.failf "expected one entry, got %d" (List.length es)
+
+(* A fresh store directory per test; dune runs tests sandboxed, so a
+   relative directory in the cwd is private to the run. *)
+let fresh_store =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Serve.Store.open_store ~dir:(Printf.sprintf "_serve_store_%d" !counter)
+
+(* Fast paper-network cell: 0.5 simulated seconds is enough to produce
+   nonzero goodput on every path while keeping the suite quick. *)
+let tiny ?(seed = 1) ?(cc = "cubic") ?(label = "tiny") () =
+  one_entry
+    (Printf.sprintf
+       "(preset (label %s) (cc %s) (seed %d) (duration-s 0.5) (sampling-ms 100))"
+       label cc seed)
+
+(* --- canonical hashing --- *)
+
+let hash_field_order () =
+  let a =
+    one_entry
+      {|(preset (cc lia) (seed 3) (default 1) (duration-s 2) (scheduler round-robin))|}
+  and b =
+    one_entry
+      {|(preset (scheduler round-robin) (duration-s 2) (default 1) (seed 3) (cc lia))|}
+  in
+  Alcotest.(check string)
+    "field order does not change the hash" (Serve.Service.hash_entry a)
+    (Serve.Service.hash_entry b)
+
+let hash_sensitivity () =
+  let h spec_s = Serve.Service.hash_entry (one_entry spec_s) in
+  let base = h {|(preset (cc cubic) (seed 1) (duration-s 2))|} in
+  Alcotest.(check bool)
+    "seed changes the hash" false
+    (base = h {|(preset (cc cubic) (seed 2) (duration-s 2))|});
+  Alcotest.(check bool)
+    "cc changes the hash" false
+    (base = h {|(preset (cc lia) (seed 1) (duration-s 2))|});
+  Alcotest.(check bool)
+    "duration changes the hash" false
+    (base = h {|(preset (cc cubic) (seed 1) (duration-s 3))|});
+  Alcotest.(check bool)
+    "label does not change the hash" true
+    (base = h {|(preset (label renamed) (cc cubic) (seed 1) (duration-s 2))|})
+
+let hash_ignores_observation () =
+  let spec = (tiny ()).Serve.Batch.spec in
+  let observed =
+    {
+      spec with
+      Core.Scenario.trace_limit = Some 64;
+      audit = true;
+      obs = Some Obs.Collect.default_conf;
+    }
+  in
+  Alcotest.(check string)
+    "trace/audit/obs are excluded from the hash" (Core.Canon.hash spec)
+    (Core.Canon.hash observed);
+  Alcotest.(check bool)
+    "canonical text mentions its version" true
+    (String.length (Core.Canon.text spec) > 0
+    && Core.Canon.short (Core.Canon.hash spec)
+       = String.sub (Core.Canon.hash spec) 0 12)
+
+(* --- batch parsing --- *)
+
+let grid_expansion () =
+  let entries =
+    batch_of {|(grid (ccs cubic lia) (defaults 1 2) (seeds 1 2) (duration-s 1))|}
+  in
+  Alcotest.(check int) "2 ccs x 2 defaults x 2 seeds" 8 (List.length entries);
+  let labels = List.map (fun e -> e.Serve.Batch.label) entries in
+  Alcotest.(check bool)
+    "generated labels" true
+    (List.mem "paper-cubic-d1-s1" labels && List.mem "paper-lia-d2-s2" labels);
+  let hashes =
+    List.sort_uniq compare (List.map Serve.Service.hash_entry entries)
+  in
+  Alcotest.(check int) "all cells hash distinctly" 8 (List.length hashes)
+
+let batch_rejects () =
+  let bad s =
+    match batch_of s with
+    | exception Events.Sexp.Parse_error _ -> ()
+    | _ -> Alcotest.failf "accepted malformed batch %s" s
+  in
+  bad {|(mystery (cc cubic))|};
+  bad {|(preset (cc warpdrive))|};
+  bad {|(experiment (label x))|}
+
+(* --- store integrity --- *)
+
+let sample_record hash =
+  {
+    Serve.Store.hash;
+    label = "sample";
+    cc = "olia";
+    seed = 7;
+    paths = 3;
+    tail_mbps = 88.125;
+    per_path_mbps = [ (0, 30.5); (1, 29.25); (2, 28.375) ];
+    opt_mbps = 90.;
+    delivered_bytes = 5_500_000;
+    completed_at_s = Some 3.25;
+    subflow_churn = 2;
+    cross_traffic_bytes = 123_456;
+    queue_drops = 17;
+    sim_events = 42_000;
+    packets_created = 9_000;
+    audit = Some { Serve.Store.violations = 0; checks = 1234 };
+    metrics = [ ("engine.events_total", 42_000.); ("net.drops", 17.) ];
+    wall_s = 0.25;
+    alloc_words = 1e6;
+    created_unix = 1.75e9;
+  }
+
+let store_roundtrip () =
+  let store = fresh_store () in
+  let hash = String.make 32 'a' in
+  let r = sample_record hash in
+  Alcotest.(check bool) "empty lookup" true (Serve.Store.lookup store ~hash = None);
+  Serve.Store.insert store r;
+  (match Serve.Store.lookup store ~hash with
+  | None -> Alcotest.fail "inserted record not found"
+  | Some r' ->
+    Alcotest.(check bool)
+      "roundtrip preserves every deterministic field" true
+      (Serve.Store.same_results r r');
+    Alcotest.(check (float 0.)) "perf metadata survives too" r.Serve.Store.wall_s
+      r'.Serve.Store.wall_s);
+  Alcotest.(check int) "count" 1 (Serve.Store.count store);
+  Alcotest.(check int) "invalidate removes it" 1 (Serve.Store.invalidate store);
+  Alcotest.(check int) "store empty again" 0 (Serve.Store.count store)
+
+(* Rewrite just the header line: the body (and its checksum) stay
+   valid, so the record must read as stale — a clean miss — not corrupt
+   and never a hit. *)
+let store_version_bump () =
+  let store = fresh_store () in
+  let hash = String.make 32 'b' in
+  Serve.Store.insert store (sample_record hash);
+  let path = Serve.Store.record_path store ~hash in
+  let content =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let nl = String.index content '\n' in
+  let bumped =
+    Printf.sprintf "mptcp-sim-record %d%s"
+      (Serve.Store.format_version + 1)
+      (String.sub content nl (String.length content - nl))
+  in
+  let oc = open_out_bin path in
+  output_string oc bumped;
+  close_out oc;
+  Alcotest.(check bool)
+    "future-version record is a miss" true
+    (Serve.Store.lookup store ~hash = None);
+  Alcotest.(check int) "counted as stale" 1 (Serve.Store.stale_seen store);
+  Alcotest.(check int) "not counted as corrupt" 0 (Serve.Store.corrupt_seen store)
+
+let store_corruption () =
+  let store = fresh_store () in
+  let damage hash mangle =
+    Serve.Store.insert store (sample_record hash);
+    let path = Serve.Store.record_path store ~hash in
+    let content =
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let oc = open_out_bin path in
+    output_string oc (mangle content);
+    close_out oc;
+    Alcotest.(check bool)
+      "damaged record is a miss, not a mis-read" true
+      (Serve.Store.lookup store ~hash = None)
+  in
+  (* Truncation: cut the file mid-body. *)
+  damage (String.make 32 'c') (fun c -> String.sub c 0 (String.length c / 2));
+  (* Bit rot: flip one digit inside the body, checksum now disagrees. *)
+  damage (String.make 32 'd') (fun c ->
+      let i = String.index c '7' in
+      String.mapi (fun j ch -> if j = i then '8' else ch) c);
+  (* Garbage file. *)
+  damage (String.make 32 'e') (fun _ -> "not a record at all");
+  Alcotest.(check int) "all three counted corrupt" 3
+    (Serve.Store.corrupt_seen store);
+  Alcotest.(check int) "none counted stale" 0 (Serve.Store.stale_seen store)
+
+(* --- trend history --- *)
+
+let trend_entry i cached =
+  {
+    Serve.Trend.at_unix = 1.7e9 +. float_of_int i;
+    label = (if i mod 2 = 0 then "even" else "odd");
+    hash = String.make 32 'f';
+    cc = "cubic";
+    cached;
+    tail_mbps = 80. +. float_of_int i;
+    opt_mbps = 90.;
+    wall_s = 0.1;
+    delivered_bytes = 1_000_000 * (i + 1);
+    sim_events = 10_000;
+  }
+
+let trend_roundtrip () =
+  let dir = Serve.Store.dir (fresh_store ()) in
+  List.iter
+    (fun i -> Serve.Trend.append ~dir (trend_entry i (i > 1)))
+    [ 0; 1; 2; 3 ];
+  (* A torn/foreign line must be skipped and counted, not fatal. *)
+  let oc =
+    open_out_gen [ Open_append; Open_creat ] 0o644 (Filename.concat dir "trend.log")
+  in
+  output_string oc "(run 999 (garbage from the future))\n";
+  output_string oc "not even a sexp (((\n";
+  close_out oc;
+  let entries, skipped = Serve.Trend.load ~dir in
+  Alcotest.(check int) "entries load in order" 4 (List.length entries);
+  Alcotest.(check int) "bad lines skipped, counted" 2 skipped;
+  Alcotest.(check (float 0.)) "append order preserved" 83.
+    (List.nth entries 3).Serve.Trend.tail_mbps;
+  let buf = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer buf in
+  Serve.Trend.report fmt entries;
+  Format.pp_print_flush fmt ();
+  let table = Buffer.contents buf in
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "report lists both labels" true
+    (contains table "even" && contains table "odd");
+  Alcotest.(check bool) "report shows the trend arrow" true
+    (contains table "80.0 -> 82.0");
+  let buf2 = Buffer.create 64 in
+  let fmt2 = Format.formatter_of_buffer buf2 in
+  Serve.Trend.report fmt2 [];
+  Format.pp_print_flush fmt2 ();
+  Alcotest.(check bool) "empty store message" true
+    (contains (Buffer.contents buf2) "empty")
+
+(* --- the service: cache correctness end to end --- *)
+
+let find_record outcomes label =
+  match
+    List.find_opt (fun (e, _) -> e.Serve.Batch.label = label) outcomes
+  with
+  | Some (_, Serve.Service.Hit r) -> (`Hit, r)
+  | Some (_, Serve.Service.Fresh r) -> (`Fresh, r)
+  | None -> Alcotest.failf "no outcome for %s" label
+
+let second_submission_is_free () =
+  let store = fresh_store () in
+  let batch = [ tiny ~cc:"cubic" ~label:"a" (); tiny ~cc:"lia" ~label:"b" () ] in
+  let outcomes1, stats1 = Serve.Service.run_batch ~jobs:1 ~store batch in
+  Alcotest.(check int) "first pass: all fresh" 2 stats1.Serve.Service.fresh;
+  Alcotest.(check bool)
+    "first pass simulated" true
+    (stats1.Serve.Service.fresh_sim_events > 0);
+  let outcomes2, stats2 = Serve.Service.run_batch ~jobs:1 ~store batch in
+  (* The acceptance criterion: an identical batch re-submission runs
+     the engine for zero events. *)
+  Alcotest.(check int) "second pass: zero simulation events" 0
+    stats2.Serve.Service.fresh_sim_events;
+  Alcotest.(check int) "second pass: all hits" 2 stats2.Serve.Service.hits;
+  Alcotest.(check int) "second pass: nothing fresh" 0 stats2.Serve.Service.fresh;
+  List.iter
+    (fun label ->
+      let k1, r1 = find_record outcomes1 label in
+      let k2, r2 = find_record outcomes2 label in
+      Alcotest.(check bool) "first fresh, second hit" true
+        (k1 = `Fresh && k2 = `Hit);
+      Alcotest.(check bool)
+        "cached record bit-identical to the fresh run" true
+        (Serve.Store.same_results r1 r2))
+    [ "a"; "b" ];
+  (* --no-cache re-simulates and must reproduce the same results. *)
+  let outcomes3, stats3 =
+    Serve.Service.run_batch ~jobs:1 ~cache:false ~store batch
+  in
+  Alcotest.(check int) "no-cache re-simulates" 2 stats3.Serve.Service.fresh;
+  List.iter
+    (fun label ->
+      let _, r1 = find_record outcomes1 label in
+      let _, r3 = find_record outcomes3 label in
+      Alcotest.(check bool) "re-simulation is deterministic" true
+        (Serve.Store.same_results r1 r3))
+    [ "a"; "b" ];
+  (* Every submission, hit or fresh, lands in the trend history. *)
+  let entries, skipped = Serve.Trend.load ~dir:(Serve.Store.dir store) in
+  Alcotest.(check int) "trend has all six submissions" 6 (List.length entries);
+  Alcotest.(check int) "no skipped trend lines" 0 skipped;
+  Alcotest.(check int) "two of them were hits" 2
+    (List.length (List.filter (fun e -> e.Serve.Trend.cached) entries))
+
+let duplicate_entries_simulate_once () =
+  let store = fresh_store () in
+  let e = tiny ~label:"dup" () in
+  let outcomes, stats = Serve.Service.run_batch ~jobs:1 ~store [ e; e ] in
+  Alcotest.(check int) "both outcomes answered" 2 (List.length outcomes);
+  Alcotest.(check int) "one record stored" 1 (Serve.Store.count store);
+  let _, r = find_record outcomes "dup" in
+  Alcotest.(check int)
+    "only one simulation ran" r.Serve.Store.sim_events
+    stats.Serve.Service.fresh_sim_events
+
+let jobs_do_not_change_results () =
+  let batch =
+    [
+      tiny ~seed:1 ~label:"s1" ();
+      tiny ~seed:2 ~label:"s2" ();
+      tiny ~seed:3 ~label:"s3" ();
+    ]
+  in
+  let serial_store = fresh_store () and pooled_store = fresh_store () in
+  let serial, _ = Serve.Service.run_batch ~jobs:1 ~store:serial_store batch in
+  let pooled, _ = Serve.Service.run_batch ~jobs:3 ~store:pooled_store batch in
+  List.iter2
+    (fun (ea, oa) (eb, ob) ->
+      Alcotest.(check string) "submission order preserved" ea.Serve.Batch.label
+        eb.Serve.Batch.label;
+      let ra = match oa with Serve.Service.Hit r | Fresh r -> r in
+      let rb = match ob with Serve.Service.Hit r | Fresh r -> r in
+      Alcotest.(check bool)
+        "parallel and serial runs agree bit for bit" true
+        (Serve.Store.same_results ra rb))
+    serial pooled
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "canon",
+        [
+          Alcotest.test_case "field order" `Quick hash_field_order;
+          Alcotest.test_case "sensitivity" `Quick hash_sensitivity;
+          Alcotest.test_case "observation excluded" `Quick
+            hash_ignores_observation;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "grid expansion" `Quick grid_expansion;
+          Alcotest.test_case "rejects malformed" `Quick batch_rejects;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "roundtrip" `Quick store_roundtrip;
+          Alcotest.test_case "version bump is stale" `Quick store_version_bump;
+          Alcotest.test_case "corruption rejected" `Quick store_corruption;
+        ] );
+      ( "trend",
+        [ Alcotest.test_case "append, load, report" `Quick trend_roundtrip ] );
+      ( "service",
+        [
+          Alcotest.test_case "second submission is free" `Slow
+            second_submission_is_free;
+          Alcotest.test_case "duplicates simulate once" `Slow
+            duplicate_entries_simulate_once;
+          Alcotest.test_case "jobs determinism" `Slow jobs_do_not_change_results;
+        ] );
+    ]

@@ -115,7 +115,9 @@ let with_out path f =
 
 let run_cmd =
   let exec cc default scheduler duration sampling seed buffer csv ptrace audit
-      trace_json trace_csv metrics_path profile topo_file xp_file =
+      trace_json trace_csv metrics_path profile topo_file xp_file background
+      background_cc background_flows background_mbps background_rtt_ms tick_ms
+      =
     let want_trace = trace_json <> None || trace_csv <> None in
     let obs =
       if want_trace || metrics_path <> None then
@@ -162,6 +164,45 @@ let run_cmd =
         Format.eprintf
           "--topology and --experiment must be given together@.";
         exit 2
+    in
+    (* --background N adds N fluid flow classes between the connection's
+       endpoints (shortest path), on top of whatever the experiment file
+       declared; the classes start at t=0 and run for the whole
+       scenario. *)
+    let spec =
+      if background = 0 then spec
+      else begin
+        let src, dst =
+          match spec.Core.Scenario.paths with
+          | (_, p) :: _ -> (Netgraph.Path.src p, Netgraph.Path.dst p)
+          | [] -> assert false
+        in
+        let bg_cc =
+          match String.lowercase_ascii background_cc with
+          | "cbr" -> None
+          | name -> (
+            match Mptcp.Algorithm.of_string name with
+            | Some a when Fluid.Controller.of_algorithm a <> None -> Some a
+            | Some _ ->
+              Format.eprintf "--background-cc %s has no fluid model@." name;
+              exit 2
+            | None ->
+              Format.eprintf "unknown --background-cc %s@." name;
+              exit 2)
+        in
+        let ev =
+          Events.Event.at
+            (Events.Event.Background_start
+               { src; dst; classes = background; flows = background_flows;
+                 cc = bg_cc;
+                 rate_bps = int_of_float (background_mbps *. 1e6);
+                 rtt = Engine.Time.of_float_s (background_rtt_ms /. 1e3) })
+            ~at:Engine.Time.zero
+        in
+        { spec with
+          Core.Scenario.events = spec.Core.Scenario.events @ [ ev ];
+          hybrid_tick = Engine.Time.of_float_s (tick_ms /. 1e3) }
+      end
     in
     let wall0 = Unix.gettimeofday () in
     let result = Core.Scenario.run spec in
@@ -325,6 +366,48 @@ let run_cmd =
              subflow churn, cross-traffic).  Overrides the scenario \
              flags; requires --topology.")
   in
+  let background_t =
+    Arg.(
+      value & opt int 0
+      & info [ "background" ] ~docv:"CLASSES"
+          ~doc:
+            "Add this many fluid background flow classes between the \
+             connection's endpoints (hybrid co-simulation: the classes are \
+             ODE fields sharing the link queues, not packet flows).  \
+             Default 0 (off).")
+  in
+  let background_cc_t =
+    Arg.(
+      value & opt string "reno"
+      & info [ "background-cc" ] ~docv:"ALGO"
+          ~doc:
+            "Window law of the background classes: reno, cubic, lia, olia, \
+             or cbr for open-loop constant-rate classes.")
+  in
+  let background_flows_t =
+    Arg.(
+      value & opt int 10
+      & info [ "background-flows" ] ~docv:"N"
+          ~doc:"Identical flows aggregated per background class.")
+  in
+  let background_mbps_t =
+    Arg.(
+      value & opt float 1.0
+      & info [ "background-mbps" ] ~docv:"MBPS"
+          ~doc:"Per-flow rate of cbr background classes.")
+  in
+  let background_rtt_ms_t =
+    Arg.(
+      value & opt float 20.0
+      & info [ "background-rtt-ms" ] ~docv:"MS"
+          ~doc:"Mean propagation RTT of the background classes.")
+  in
+  let tick_ms_t =
+    Arg.(
+      value & opt float 1.0
+      & info [ "tick-ms" ] ~docv:"MS"
+          ~doc:"Coarse-tick period of the hybrid fluid driver.")
+  in
   Cmd.v
     (Cmd.info "run"
        ~doc:
@@ -333,7 +416,9 @@ let run_cmd =
     Term.(
       const exec $ cc_t $ default_t $ sched_t $ duration_t $ sampling_t
       $ seed_t $ buffer_t $ csv_t $ ptrace_t $ audit_t $ trace_json_t
-      $ trace_csv_t $ metrics_t $ profile_t $ topo_file_t $ xp_file_t)
+      $ trace_csv_t $ metrics_t $ profile_t $ topo_file_t $ xp_file_t
+      $ background_t $ background_cc_t $ background_flows_t
+      $ background_mbps_t $ background_rtt_ms_t $ tick_ms_t)
 
 (* --- fluid --- *)
 
@@ -362,8 +447,8 @@ let fluid_cmd =
         let spec = spec_of kind in
         let wall0 = Unix.gettimeofday () in
         let report =
-          if validate then Fluid.Validate.against_sim ~tol spec
-          else Fluid.Validate.equilibrium ~tol spec
+          if validate then Validate.against_sim ~tol spec
+          else Validate.equilibrium ~tol spec
         in
         let wall_s = Unix.gettimeofday () -. wall0 in
         match report with
@@ -371,10 +456,10 @@ let fluid_cmd =
           Format.eprintf "fluid %s: %s@." (Fluid.Controller.name kind) msg;
           incr failures
         | Ok rep ->
-          Format.printf "%a@." Fluid.Validate.pp rep;
+          Format.printf "%a@." Validate.pp rep;
           if timing then Format.printf "wall time: %.3f ms@." (wall_s *. 1e3);
           Format.printf "@.";
-          if not rep.Fluid.Validate.diag.Fluid.Equilibrium.converged then
+          if not rep.Validate.diag.Fluid.Equilibrium.converged then
             incr failures)
       kinds;
     (match (csv, kinds) with
@@ -578,16 +663,29 @@ let report_cmd =
     Term.(const exec $ store_t $ last_t $ perf_t)
 
 let cache_cmd =
-  let exec store invalidate =
+  let exec store invalidate gc max_bytes =
     let st = Serve.Store.open_store ~dir:store in
     if invalidate then
       Format.printf "invalidated %d cached records@." (Serve.Store.invalidate st)
+    else if gc then begin
+      match max_bytes with
+      | None ->
+        Format.eprintf "cache --gc requires --max-bytes@.";
+        exit 2
+      | Some budget ->
+        let s = Serve.Store.gc st ~max_bytes:budget in
+        Format.printf
+          "gc: evicted %d of %d records (%dB), kept %d (%dB <= %dB budget)@."
+          s.Serve.Store.evicted s.Serve.Store.examined
+          s.Serve.Store.evicted_bytes s.Serve.Store.kept
+          s.Serve.Store.kept_bytes budget
+    end
     else begin
       let entries, skipped = Serve.Trend.load ~dir:store in
       Format.printf
-        "store %s: format v%d, %d cached records, %d trend entries@." store
-        Serve.Store.format_version (Serve.Store.count st)
-        (List.length entries);
+        "store %s: format v%d, %d cached records (%dB), %d trend entries@."
+        store Serve.Store.format_version (Serve.Store.count st)
+        (Serve.Store.bytes st) (List.length entries);
       if skipped > 0 then
         Format.printf "(%d unparseable trend line(s) skipped)@." skipped
     end
@@ -597,10 +695,27 @@ let cache_cmd =
       value & flag
       & info [ "invalidate" ] ~doc:"Delete every cached record and exit.")
   in
+  let gc_t =
+    Arg.(
+      value & flag
+      & info [ "gc" ]
+          ~doc:
+            "Evict records, oldest first, until the store fits the \
+             --max-bytes budget.")
+  in
+  let max_bytes_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-bytes" ] ~docv:"N"
+          ~doc:"Byte budget the store must fit after --gc.")
+  in
   Cmd.v
     (Cmd.info "cache"
-       ~doc:"Inspect (or clear, with --invalidate) the result store")
-    Term.(const exec $ store_t $ invalidate_t)
+       ~doc:
+         "Inspect (or clear with --invalidate, shrink with --gc) the result \
+          store")
+    Term.(const exec $ store_t $ invalidate_t $ gc_t $ max_bytes_t)
 
 (* --- figures --- *)
 

@@ -33,7 +33,7 @@ doc_one() {
     done
     shift
     incs=""
-    for dep in engine packet netgraph netsim tcp mptcp measure lp core audit fuzz obs fluid events serve; do
+    for dep in engine packet netgraph netsim tcp mptcp measure lp core audit fuzz obs fluid validate events serve; do
         [ -d "$(objs "$dep")" ] && incs="$incs -I $(objs "$dep")"
     done
     # shellcheck disable=SC2086
@@ -70,7 +70,10 @@ doc_one fluid Fluid -- \
     "$root/lib/fluid/model.mli" \
     "$root/lib/fluid/equilibrium.mli" \
     "$root/lib/fluid/trajectory.mli" \
-    "$root/lib/fluid/validate.mli"
+    "$root/lib/fluid/background.mli"
+
+doc_one validate -- \
+    "$root/lib/validate/validate.mli"
 
 doc_one obs Obs -- \
     "$root/lib/obs/ring.mli" \

@@ -21,10 +21,10 @@ let () =
       in
       (* [against_sim] = fluid solve + LP + a full simulator run of the
          same spec; the per-path rows stay in spec order throughout. *)
-      match Fluid.Validate.against_sim spec with
+      match Validate.against_sim spec with
       | Error msg ->
         Printf.printf "%s: %s\n\n" (Mptcp.Algorithm.name cc) msg
-      | Ok rep -> Format.printf "%a@.@." Fluid.Validate.pp rep)
+      | Ok rep -> Format.printf "%a@.@." Validate.pp rep)
     Mptcp.Algorithm.[ Cubic; Lia; Olia ];
   print_endline
     "(The fluid totals reproduce the paper's ordering analytically: \

@@ -411,10 +411,10 @@ let finish t ?elapsed () =
                   link dir_name
                   (Netsim.Linkq.queue_pkts q)
                   (Netsim.Linkq.limit_pkts q));
-            let rate = Netsim.Linkq.rate_bps q in
-            (* The capacity integral over every rate regime bounds
-               delivered bits even when events re-rated the link mid-run;
-               two wire MTUs of slack cover boundary packets. *)
+            (* The capacity integral over every effective-rate regime
+               bounds delivered bits even when events re-rated the link
+               or a fluid background claimed a share mid-run; two wire
+               MTUs of slack cover boundary packets. *)
             let cap_bits = Netsim.Linkq.capacity_bits q ~now:elapsed in
             check t ~invariant:"link.rate"
               (elapsed_s <= 0.0
@@ -426,8 +426,14 @@ let finish t ?elapsed () =
                    %.0f-bit capacity budget"
                   link dir_name st.Netsim.Linkq.bytes_delivered elapsed_s
                   cap_bits);
+            (* A packet in the serializer at the horizon had its whole
+               tx time charged up front; a fluid background can slow the
+               serializer well below nominal, so the slack must assume
+               the in-flight packet transmits at the slowest effective
+               rate the link ever served at. *)
             let busy_slack =
-              Engine.Time.tx_time ~bits:24_000 ~rate_bps:rate
+              Engine.Time.tx_time ~bits:24_000
+                ~rate_bps:(Netsim.Linkq.min_effective_rate_bps q)
             in
             check t ~invariant:"link.busy"
               (st.Netsim.Linkq.busy_ns <= Engine.Time.add elapsed busy_slack)

@@ -7,7 +7,7 @@
    the compiler flag any future spec/config field this module forgets
    to either render or deliberately exclude. *)
 
-let version = 1
+let version = 2
 
 let f17 = Printf.sprintf "%.17g"
 
@@ -46,6 +46,11 @@ let add_action buf (a : Events.Event.action) =
   | Events.Event.Traffic_start { src; dst; tag; rate_bps; stop_at } ->
     p "(traffic-start %d %d %d %d %s)" src dst tag rate_bps
       (match stop_at with None -> "none" | Some t -> time_ns t)
+  | Events.Event.Background_start { src; dst; classes; flows; cc; rate_bps; rtt }
+    ->
+    p "(background %d %d %d %d %s %d %s)" src dst classes flows
+      (match cc with None -> "cbr" | Some a -> Mptcp.Algorithm.name a)
+      rate_bps (time_ns rtt)
 
 let text (spec : Scenario.spec) =
   (* Destructure exhaustively: a new spec field will not compile until
@@ -82,6 +87,7 @@ let text (spec : Scenario.spec) =
     obs = _;          (* observation-only: results bit-identical *)
     events;
     rto_cap;
+    hybrid_tick;
   } =
     spec
   in
@@ -99,6 +105,7 @@ let text (spec : Scenario.spec) =
       p ")")
     events;
   p ")";
+  p " (hybrid-tick-ns %s)" (time_ns hybrid_tick);
   p " (join-delay-ns %s)" (time_ns join_delay);
   p " (net-config (delay-jitter-ns %s) (limit-pkts %d) (qdisc "
     (time_ns delay_jitter) limit_pkts;

@@ -73,6 +73,11 @@ let spec_of_sexps ~topo sexps =
     | None, None -> None
   in
   let rto_cap = scalar "rto-cap" int_exn in
+  let hybrid_tick =
+    Option.map
+      (fun ms -> Events.Parse.time_of_s (ms /. 1e3))
+      (scalar "tick-ms" float_exn)
+  in
   let send_buffer = scalar "send-buffer-bytes" int_exn in
   let net_config =
     match scalar "limit-pkts" int_exn with
@@ -92,7 +97,7 @@ let spec_of_sexps ~topo sexps =
     | None -> []
   in
   Scenario.make ~topo ~paths ~cc ~scheduler ~duration ~sampling ~seed
-    ~net_config ?send_buffer ?total_bytes ~events ?rto_cap ()
+    ~net_config ?send_buffer ?total_bytes ~events ?rto_cap ?hybrid_tick ()
 
 let load ~topo_file ~xp_file =
   let topo = Events.Parse.load_topology topo_file in

@@ -18,6 +18,9 @@ type spec = {
   obs : Obs.Collect.conf option;
   events : Events.Event.t list;
   rto_cap : int option;
+  hybrid_tick : Engine.Time.t;
+      (* coarse-tick period of the fluid background driver (only
+         consulted when the events declare background classes) *)
 }
 
 (* The paper's Mininet links have shallow buffers relative to the
@@ -34,7 +37,8 @@ let make ~topo ~paths ~cc ?(scheduler = Mptcp.Scheduler.Min_rtt)
     ?(sender_config = Tcp.Sender.default_config)
     ?(join_delay = Engine.Time.ms 10) ?(start_jitter = Engine.Time.ms 2)
     ?(delayed_ack = false) ?send_buffer ?total_bytes ?trace_limit
-    ?(audit = false) ?obs ?(events = []) ?rto_cap () =
+    ?(audit = false) ?obs ?(events = []) ?rto_cap
+    ?(hybrid_tick = Engine.Time.ms 1) () =
   if paths = [] then invalid_arg "Scenario.make: no paths";
   (match
      Events.Event.validate ~topo ~num_subflows:(List.length paths)
@@ -45,10 +49,24 @@ let make ~topo ~paths ~cc ?(scheduler = Mptcp.Scheduler.Min_rtt)
     invalid_arg
       (Printf.sprintf "Scenario.make: invalid events: %s"
          (String.concat "; " errs)));
+  if Engine.Time.( <= ) hybrid_tick Engine.Time.zero then
+    invalid_arg "Scenario.make: hybrid tick must be positive";
+  (* Background classes need a fluid window law; reject the algorithms
+     without one here rather than mid-run. *)
+  List.iter
+    (fun { Events.Event.action; _ } ->
+      match action with
+      | Events.Event.Background_start { cc = Some a; _ }
+        when Fluid.Controller.of_algorithm a = None ->
+        invalid_arg
+          (Printf.sprintf "Scenario.make: %s has no fluid background model"
+             (Mptcp.Algorithm.name a))
+      | _ -> ())
+    events;
   {
     topo; paths; cc; scheduler; duration; sampling; seed; net_config;
     sender_config; join_delay; start_jitter; delayed_ack; send_buffer;
-    total_bytes; trace_limit; audit; obs; events; rto_cap;
+    total_bytes; trace_limit; audit; obs; events; rto_cap; hybrid_tick;
   }
 
 type subflow_report = {
@@ -82,6 +100,7 @@ type result = {
   trace_text : string option;
   audit : Audit.report option;
   obs : Obs.Collect.t option;
+  background : Fluid.Background.Driver.summary option;
 }
 
 let endpoints_of_paths paths =
@@ -186,6 +205,67 @@ let run spec =
   (* Timed events arm last, after the audit's and collector's link taps
      are in place, so every event-induced packet fate is observed. *)
   let traffic = Events.Event.arm ~sched ~net ~conn spec.events in
+  (* Background declarations compile into one fluid field whose driver
+     ticks through the same wheel as everything else; each declaration
+     expands to [classes] single-path class fields along the current
+     shortest path, with propagation RTTs spread +/-15% around the
+     declared mean so the classes don't move as one synchronized cohort. *)
+  let background_driver =
+    let decls =
+      List.concat_map
+        (fun { Events.Event.at = start; action } ->
+          match action with
+          | Events.Event.Background_start
+              { src; dst; classes; flows; cc; rate_bps; rtt } ->
+            let path =
+              match
+                Netgraph.Shortest.shortest_path spec.topo ~src ~dst
+                  ~weight:Netgraph.Shortest.delay_ns
+              with
+              | Some p -> p
+              | None -> invalid_arg "Scenario.run: no route for background"
+            in
+            let links =
+              Array.mapi
+                (fun k l ->
+                  ( l,
+                    (Netgraph.Topology.link spec.topo l).Netgraph.Topology.u
+                    = path.Netgraph.Path.nodes.(k) ))
+                path.Netgraph.Path.links
+            in
+            let kind =
+              Option.map
+                (fun a -> Option.get (Fluid.Controller.of_algorithm a))
+                cc
+            in
+            let start_s = Engine.Time.to_float_s start in
+            let rtt_s = Engine.Time.to_float_s rtt in
+            List.init classes (fun i ->
+                let frac =
+                  if classes = 1 then 0.5
+                  else float_of_int i /. float_of_int (classes - 1)
+                in
+                { Fluid.Background.Driver.links;
+                  flows;
+                  kind;
+                  flow_rate_bps = rate_bps;
+                  rtt_s = rtt_s *. (0.85 +. (0.3 *. frac));
+                  start_s })
+          | _ -> [])
+        spec.events
+    in
+    match decls with
+    | [] -> None
+    | decls ->
+      let config =
+        { Fluid.Model.default_config with
+          mss_bytes = spec.sender_config.Tcp.Sender.mss;
+          buffer_pkts = spec.net_config.Netsim.Net.limit_pkts }
+      in
+      Some
+        (Fluid.Background.Driver.attach ~sched ~net ~tick:spec.hybrid_tick
+           ~until:spec.duration ~config (Array.of_list decls))
+  in
   let probes =
     List.init (Mptcp.Connection.subflow_count conn) (fun i ->
         let sender = Mptcp.Connection.subflow_sender conn i in
@@ -276,6 +356,7 @@ let run spec =
     trace_text = Option.map (fun tr -> Measure.Trace.to_text net tr) trace;
     audit = audit_report;
     obs;
+    background = Option.map Fluid.Background.Driver.summary background_driver;
   }
 
 let constraint_system spec =
@@ -324,6 +405,9 @@ let pp_summary fmt result =
   | None, _ -> ());
   if result.subflow_churn > 0 then
     Format.fprintf fmt "subflow liveness transitions: %d@," result.subflow_churn;
+  (match result.background with
+  | Some b -> Format.fprintf fmt "%a@," Fluid.Background.Driver.pp_summary b
+  | None -> ());
   List.iter
     (fun r ->
       Format.fprintf fmt

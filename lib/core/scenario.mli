@@ -42,6 +42,10 @@ type spec = {
   rto_cap : int option;
       (** MPTCP failover threshold, passed through to
           {!Mptcp.Connection.config.rto_cap}; default [None] *)
+  hybrid_tick : Engine.Time.t;
+      (** coarse-tick period of the hybrid fluid background driver
+          (default 1 ms); only consulted when [events] declare
+          background classes ({!Events.Event.action.Background_start}) *)
 }
 
 val default_net_config : Netsim.Net.config
@@ -58,13 +62,16 @@ val make :
   -> ?join_delay:Engine.Time.t -> ?start_jitter:Engine.Time.t
   -> ?delayed_ack:bool -> ?send_buffer:int -> ?total_bytes:int
   -> ?trace_limit:int -> ?audit:bool -> ?obs:Obs.Collect.conf
-  -> ?events:Events.Event.t list -> ?rto_cap:int -> unit -> spec
+  -> ?events:Events.Event.t list -> ?rto_cap:int
+  -> ?hybrid_tick:Engine.Time.t -> unit -> spec
 (** Defaults: min-RTT scheduler, 4 s at 100 ms sampling (the paper's
     Fig. 2a/2b setup), seed 1, {!default_net_config}, default sender
     config, 10 ms join delay with up to 2 ms of seeded start jitter,
-    unlimited buffer and bulk data, no timed events, no failover cap.
-    Raises [Invalid_argument] when {!Events.Event.validate} rejects the
-    event list. *)
+    unlimited buffer and bulk data, no timed events, no failover cap,
+    1 ms hybrid tick.  Raises [Invalid_argument] when
+    {!Events.Event.validate} rejects the event list, when the tick is
+    not positive, or when a background declaration names a congestion
+    control without a fluid model. *)
 
 type subflow_report = {
   tag : Packet.tag;
@@ -114,6 +121,11 @@ type result = {
       (** the observability collector, when [spec.obs] was set — its
           trace ring and metrics snapshots (including the end-of-run
           [core.wall_time_s]) are ready for export *)
+  background : Fluid.Background.Driver.summary option;
+      (** end-of-run summary of the hybrid fluid background field, when
+          the events declared background classes: class/flow/channel
+          counts, driver ticks, ODE steps, offered and delivered
+          aggregate rate, peak fluid queue *)
 }
 
 val run : spec -> result

@@ -180,3 +180,20 @@ let stats t =
 
 let set_monitor t m = t.monitor <- m
 let monitor t = t.monitor
+
+(* Coarse periodic ticks (the hybrid fluid/packet driver's cadence, and
+   a natural fit for any sampling loop).  Each firing re-arms the next
+   through the timing wheel, so a periodic task keeps exactly one
+   pending anonymous event regardless of how many times it has fired,
+   and its dispatches interleave deterministically with packet events
+   in (time, insertion-order) order. *)
+let periodic t ~period ~until f =
+  if Time.( <= ) period Time.zero then
+    invalid_arg "Sched.periodic: period must be positive";
+  let rec arm at =
+    if Time.( <= ) at until then
+      at_anon t at (fun () ->
+          f ();
+          arm (Time.add at period))
+  in
+  arm (Time.add (now t) period)

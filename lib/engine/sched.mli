@@ -88,3 +88,12 @@ val set_monitor : t -> (Time.t -> unit) option -> unit
 
 val monitor : t -> (Time.t -> unit) option
 (** The currently installed dispatch tap, for monitor chaining. *)
+
+val periodic : t -> period:Time.t -> until:Time.t -> (unit -> unit) -> unit
+(** [periodic t ~period ~until f] fires [f] at [now + period],
+    [now + 2 * period], ... for every multiple at or before [until].
+    Each firing re-arms the next through the timing wheel (one pending
+    anonymous event per task at any time), so coarse ticks — the hybrid
+    fluid background driver, samplers — co-exist with packet events at
+    any population, in deterministic (time, insertion-order) order.
+    Raises [Invalid_argument] on a non-positive period. *)

@@ -19,6 +19,15 @@ type action =
       rate_bps : int;
       stop_at : Engine.Time.t option;
     }
+  | Background_start of {
+      src : int;
+      dst : int;
+      classes : int;
+      flows : int;
+      cc : Mptcp.Algorithm.t option;
+      rate_bps : int;
+      rtt : Engine.Time.t;
+    }
 
 type t = { at : Engine.Time.t; action : action }
 
@@ -57,6 +66,15 @@ let pp_action topo fmt action =
       (match stop_at with
       | Some t -> Printf.sprintf " until %s" (Engine.Time.to_string t)
       | None -> "")
+  | Background_start { src; dst; classes; flows; cc; rate_bps; rtt } ->
+    Format.fprintf fmt "background %s->%s %dx%d %s rtt=%a"
+      (Netgraph.Topology.node_name topo src)
+      (Netgraph.Topology.node_name topo dst)
+      classes flows
+      (match cc with
+      | Some a -> Mptcp.Algorithm.name a
+      | None -> Printf.sprintf "cbr %.2f Mbps" (float_of_int rate_bps /. 1e6))
+      Engine.Time.pp rtt
 
 let pp topo fmt t =
   Format.fprintf fmt "@[at %a: %a@]" Engine.Time.pp t.at (pp_action topo)
@@ -131,7 +149,17 @@ let validate ~topo ?(num_subflows = 0) ?(reserved_tags = []) events =
         (match stop_at with
         | Some stop when Engine.Time.( <= ) stop when_ ->
           err "traffic-start: stop time precedes start"
-        | Some _ | None -> ()))
+        | Some _ | None -> ())
+      | Background_start { src; dst; classes; flows; cc; rate_bps; rtt } ->
+        check_node src "background source";
+        check_node dst "background destination";
+        if src = dst then err "background: source equals destination";
+        if classes < 1 then err "background: count must be >= 1";
+        if flows < 1 then err "background: flows must be >= 1";
+        if Engine.Time.( <= ) rtt Engine.Time.zero then
+          err "background: rtt must be positive";
+        if cc = None && rate_bps <= 0 then
+          err "background: constant-rate classes need a positive rate")
     events;
   List.rev !errors
 
@@ -179,6 +207,11 @@ let apply ~sched ~net ?conn action =
     (* Traffic sources are created at arm time (they need route
        installation before the run); nothing to do at fire time. *)
     ()
+  | Background_start _ ->
+    (* Fluid background fields are compiled into one ODE driver per run
+       by the scenario layer (Core.Scenario), which owns the coarse-tick
+       coupling; the event is pure declaration here. *)
+    ()
 
 let arm ~sched ~net ?conn events =
   let topo = Netsim.Net.topology net in
@@ -199,6 +232,10 @@ let arm ~sched ~net ?conn events =
           Netsim.Traffic.cbr ~net ~src ~dst ~tag ~rate_bps ~start:when_
             ?stop_at ()
           :: !sources
+      | Background_start _ ->
+        (* Declarative: the scenario layer compiles these into the
+           hybrid fluid driver before the run starts. *)
+        ()
       | _ ->
         ignore
           (Engine.Sched.at sched when_ (fun () ->

@@ -42,6 +42,24 @@ type action =
     }
       (** constant-bit-rate cross-traffic along the shortest path,
           starting at the event time *)
+  | Background_start of {
+      src : int;
+      dst : int;
+      classes : int;  (** fluid flow classes to create *)
+      flows : int;  (** identical flows aggregated per class *)
+      cc : Mptcp.Algorithm.t option;
+          (** fluid congestion control per class, or [None] for
+              constant-rate (CBR-style) classes *)
+      rate_bps : int;  (** per-flow rate, constant-rate classes only *)
+      rtt : Engine.Time.t;  (** mean propagation RTT of the classes *)
+    }
+      (** declare [classes] fluid background flow classes along the
+          shortest path, active from the event time.  Unlike every
+          other action this one never fires through the scheduler:
+          {!Core.Scenario} compiles all declarations into one hybrid
+          fluid field whose coarse-tick driver couples to the shared
+          link queues ({!Fluid.Background.Driver}); {!arm} and {!apply}
+          treat it as a no-op. *)
 
 type t = { at : Engine.Time.t; action : action }
 

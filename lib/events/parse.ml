@@ -160,6 +160,50 @@ let action topo s =
     Event.Traffic_start
       { src = node (atom_exn src); dst = node (atom_exn dst); tag; rate_bps;
         stop_at }
+  | List (Atom "background" :: src :: dst :: attrs) ->
+    (* (background n1 z (count 100) (flows 10) (cc reno) (rtt-ms 20))
+       (background n1 z (count 50) (mbps 1.2) (rtt-ms 30))   ; CBR *)
+    let node name =
+      try Netgraph.Topology.node_id topo name
+      with Not_found -> fail "unknown node %s" name
+    in
+    let classes =
+      match find_field "count" attrs with
+      | Some [ x ] -> int_exn x
+      | Some _ | None -> fail "background: missing (count N)"
+    in
+    let flows =
+      match find_field "flows" attrs with
+      | Some [ x ] -> int_exn x
+      | Some _ | None -> 1
+    in
+    let cc =
+      match find_field "cc" attrs with
+      | Some [ x ] -> (
+        match atom_exn x with
+        | "cbr" -> None
+        | name -> (
+          match Mptcp.Algorithm.of_string name with
+          | Some a -> Some a
+          | None -> fail "background: unknown congestion control %s" name))
+      | Some _ -> fail "background: (cc ...) takes one atom"
+      | None -> None
+    in
+    let rate_bps =
+      match find_field "mbps" attrs with
+      | Some [ x ] -> int_of_float (float_exn x *. 1e6)
+      | Some _ -> fail "background: (mbps ...) takes one value"
+      | None ->
+        if cc = None then fail "background: CBR classes need (mbps X)" else 0
+    in
+    let rtt =
+      match find_field "rtt-ms" attrs with
+      | Some [ x ] -> time_of_s (float_exn x /. 1e3)
+      | Some _ | None -> fail "background: missing (rtt-ms X)"
+    in
+    Event.Background_start
+      { src = node (atom_exn src); dst = node (atom_exn dst); classes; flows;
+        cc; rate_bps; rtt }
   | _ -> fail "unknown event action %s" (to_string s)
 
 let event topo s =

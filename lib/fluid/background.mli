@@ -1,0 +1,191 @@
+(** Background flow classes as fluid fields, for hybrid co-simulation.
+
+    {!Model} compiles a handful of foreground connections into a coupled
+    ODE; this module scales the other axis: {e thousands} of background
+    flow {e classes}, each an aggregate of identical single-path flows,
+    sharing directional link {e channels}.  Per class one window state
+    evolves by the controller's single-flow law
+    ({!Controller.dwindows_single} — LIA and OLIA degenerate to Reno
+    exactly for one path, CUBIC keeps its two auxiliary states), or
+    holds a constant per-flow rate for CBR-style classes.  Per channel
+    one queue state integrates admitted aggregate arrivals minus the
+    drain rate, with the same quadratic loss ramp ({!Model.ramp_loss})
+    and Lipschitz boundary layers ({!Model.boundary_tau}) as the
+    connection model, so the class fields and the foreground fluid model
+    describe queues identically.
+
+    The coupling to the packet simulation is two-sided and runs on a
+    coarse tick ({!Driver}): the field sees the foreground's measured
+    arrival rate as exogenous load on its channels, and the packet-level
+    {!Netsim.Linkq} sees the field's queue occupancy and bandwidth share
+    ({!Netsim.Linkq.set_background}) in its service rate and drop
+    decisions.  Cost per ODE step is linear in classes + channels, so a
+    million background flows (say 10^5 classes of 10) advance in
+    microseconds per tick while four foreground connections keep full
+    packet fidelity — the hybrid scaling argument of Peng et al.
+    (arXiv:1308.3119) realised on this repository's simulator. *)
+
+(** How a class's per-flow sending rate is determined. *)
+type law =
+  | Constant  (** open-loop: every flow sends at [flow_rate_pps] *)
+  | Windowed of Controller.kind
+      (** closed-loop: one fluid window per class, rate [w / rtt] *)
+
+type class_spec = {
+  flows : int;  (** identical flows aggregated in this class *)
+  law : law;
+  flow_rate_pps : float;
+      (** per-flow rate for [Constant] classes (ignored otherwise) *)
+  base_rtt_s : float;  (** propagation RTT, excluding queueing *)
+  chans : int array;  (** channel indices the class's path crosses *)
+  start_s : float;
+      (** field time at which the class activates; before it the class
+          sends nothing and its states are frozen *)
+}
+
+type channel_spec = {
+  cap_pps : float;  (** drain rate, packets per second *)
+  limit_pkts : int;  (** buffer limit, as {!Netsim.Linkq.limit_pkts} *)
+}
+
+type t
+
+val compile :
+  channels:channel_spec array -> classes:class_spec array
+  -> ?config:Model.config -> ?tol:float -> unit -> t
+(** Builds the field: state vector [windows (one per class); queues
+    (one per channel); CUBIC auxiliary pairs (per CUBIC class)], windows
+    at the floor, queues empty.  [config] supplies the loss-ramp knee,
+    window floor and MSS exactly as for {!Model.compile}; [tol] (default
+    [1e-4]) is the step-doubling error bound passed to {!Ode.integrate}
+    — coarser than the foreground default because class fields are
+    aggregates.  Raises [Invalid_argument] on empty or inconsistent
+    specs (no classes, a class with no flows or channels, a channel
+    index out of range, a [Constant] class without a positive rate). *)
+
+val n_classes : t -> int
+val n_channels : t -> int
+val dim : t -> int
+val time_s : t -> float
+
+val set_foreground : t -> chan:int -> pps:float -> unit
+(** Exogenous packet-level arrival rate sharing channel [chan],
+    refreshed by the driver each tick (clamped at 0). *)
+
+val set_capacity : t -> chan:int -> cap_pps:float -> unit
+(** Re-rate a channel — tracks {!Netsim.Linkq.set_rate} mid-run.
+    Raises [Invalid_argument] on a non-positive rate. *)
+
+val problem : t -> Ode.problem
+(** The vector field plus box projection.  The closures reuse per-field
+    scratch, so a [t] must not be shared across domains. *)
+
+val advance : t -> dt_s:float -> Ode.stats
+(** Integrate the field forward by [dt_s] seconds (one coarse tick) and
+    refresh the per-channel outputs below.  Classes whose [start_s] has
+    not been reached are held frozen for the whole step.  Raises
+    [Invalid_argument] on a non-positive step.
+
+    Two regime-aware fast paths keep the cost flat at scale.  {e Deeply
+    overloaded channels} (aggregate arrival beyond ~1.5x capacity, where
+    an explicit stepper would be stability-limited resolving a queue
+    pinned at its equilibrium) blend smoothly into a quasi-steady-state
+    treatment: the queue is slaved to the loss ramp's algebraic
+    equilibrium [q_eq = q0 + (qmax - q0) sqrt(1 - c/A)] and the stiff
+    fast mode disappears.  {e Converged fields} go dormant: after a few
+    consecutive advances whose state barely moves, [advance] returns
+    immediately ([steps = 0]) and the outputs hold, until a
+    foreground-rate move beyond a small fraction of the channel's
+    aggregate arrival, a capacity change or a pending class activation
+    wakes the field.  Both paths are deterministic functions of the
+    input sequence. *)
+
+val dormant : t -> bool
+(** Whether the field is currently holding its outputs (see
+    {!advance}). *)
+
+val dormant_ticks : t -> int
+(** Cumulative advances skipped while dormant. *)
+
+(** {1 Outputs} (state after the last {!advance}) *)
+
+val occupancy_pkts : t -> chan:int -> float
+(** Background queue standing on the channel, packets. *)
+
+val departure_pps : t -> chan:int -> float
+(** Bandwidth the background claims on the channel: admitted aggregate
+    arrivals, capped at capacity — what the packet side must surrender
+    from its service rate. *)
+
+val loss_prob : t -> chan:int -> float
+(** The channel's current ramp loss probability. *)
+
+val windows : t -> float array
+(** Per-class window snapshot (fresh array, class order). *)
+
+val queues_pkts : t -> float array
+(** Per-channel queue snapshot (fresh array, channel order). *)
+
+val offered_pps : t -> float
+(** Aggregate pre-loss sending rate over all classes and flows. *)
+
+val goodput_pps : t -> float
+(** Aggregate post-loss delivered rate over all classes and flows. *)
+
+val ode_steps : t -> int
+val ode_rejected : t -> int
+(** Cumulative {!Ode.stats} counters over every {!advance}. *)
+
+(** Couples a field to a live {!Netsim.Net}: translates class
+    declarations over topology links into channels, then on every coarse
+    tick (armed through {!Engine.Sched.periodic}, so ticks ride the
+    timing wheel like any other event) refreshes channel capacities from
+    the live link rates, measures the foreground arrival rate from
+    delivered-byte deltas (EWMA-smoothed), advances the field, and
+    pushes occupancy and bandwidth share into each
+    {!Netsim.Linkq.set_background}. *)
+module Driver : sig
+  type decl = {
+    links : (int * bool) array;
+        (** the class path as (topology link id, forward?) hops *)
+    flows : int;
+    kind : Controller.kind option;  (** [None] = constant-rate (CBR) *)
+    flow_rate_bps : int;  (** per-flow rate for CBR classes *)
+    rtt_s : float;  (** propagation RTT *)
+    start_s : float;
+  }
+
+  type field = t
+  (** The coupled class field (the enclosing module's [t]). *)
+
+  type t
+
+  val attach :
+    sched:Engine.Sched.t -> net:Netsim.Net.t -> tick:Engine.Time.t
+    -> until:Engine.Time.t -> ?config:Model.config -> ?tol:float
+    -> decl array -> t
+  (** Compiles the field (deduplicating [(link, dir)] pairs into
+      channels), arms the per-tick coupling from [now + tick] to
+      [until], and returns the driver.  [config] defaults to
+      {!Model.default_config} — its [mss_bytes] sets the bits-per-packet
+      conversion between the field's pps and the link's bps.  Raises
+      [Invalid_argument] on an empty declaration array or an unknown
+      link. *)
+
+  val field : t -> field
+  val ticks : t -> int
+
+  type summary = {
+    classes : int;
+    flows : int;
+    channels : int;
+    ticks : int;
+    ode_steps : int;
+    offered_mbps : float;
+    goodput_mbps : float;
+    max_occupancy_pkts : float;
+  }
+
+  val summary : t -> summary
+  val pp_summary : Format.formatter -> summary -> unit
+end

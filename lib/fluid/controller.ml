@@ -175,6 +175,57 @@ let dwindows kind v ~extras ~dextras ~out =
       out.(i) <- growth -. (loss_rate *. (1.0 -. cubic_beta) *. w)
     done
 
+(* The n = 1 specialization of [dwindows], applied independently to the
+   classes listed in [idx] — the law Fluid.Background evaluates for
+   thousands of single-path flow classes per call.  For LIA the coupled
+   increase [max_rate2 / denom^2] collapses to [1/w] when a connection
+   has one subflow, and OLIA's redistribution alphas vanish (its only
+   path is both best-quality and largest-window), so both share Reno's
+   law exactly — no approximation.  CUBIC keeps its two auxiliary
+   states, stored compactly: position [j] in [idx] owns slots
+   [extras_off + 2j] and [extras_off + 2j + 1] of [extras]/[dextras]. *)
+let dwindows_single kind ~idx ~w ~rtt ~rate ~loss ~extras ~extras_off ~dextras
+    ~out =
+  let n = Array.length idx in
+  match kind with
+  | Reno | Lia | Olia ->
+    for j = 0 to n - 1 do
+      let i = Array.unsafe_get idx j in
+      let wi = Array.unsafe_get w i
+      and x = Array.unsafe_get rate i
+      and p = Array.unsafe_get loss i in
+      Array.unsafe_set out i
+        ((x *. (1.0 -. p) /. wi) -. (x *. p *. wi *. 0.5))
+    done
+  | Cubic ->
+    for j = 0 to n - 1 do
+      let i = Array.unsafe_get idx j in
+      let wi = Array.unsafe_get w i
+      and x = Array.unsafe_get rate i
+      and p = Array.unsafe_get loss i in
+      let ack_rate = x *. (1.0 -. p) in
+      let loss_rate = x *. p in
+      let s = Array.unsafe_get extras (extras_off + (2 * j))
+      and w_max = Array.unsafe_get extras (extras_off + (2 * j) + 1) in
+      let k =
+        Float.cbrt (Float.max 0.0 (w_max *. (1.0 -. cubic_beta)) /. cubic_c)
+      in
+      let ds = s -. k in
+      let growth_cubic = 3.0 *. cubic_c *. ds *. ds in
+      let growth_reno = ack_rate *. reno_gain /. wi in
+      let growth_cap = 0.5 *. wi /. Array.unsafe_get rtt i in
+      let growth =
+        Float.min (Float.max growth_cubic growth_reno) growth_cap
+      in
+      Array.unsafe_set dextras (extras_off + (2 * j))
+        (1.0 -. (loss_rate *. s));
+      Array.unsafe_set dextras
+        (extras_off + (2 * j) + 1)
+        (loss_rate *. (wi -. w_max));
+      Array.unsafe_set out i
+        (growth -. (loss_rate *. (1.0 -. cubic_beta) *. wi))
+    done
+
 let init_extras kind ~n = Array.make (extra_dim kind * n) 0.0
 
 let seed_extras kind ~w ~loss_rate =

@@ -77,6 +77,23 @@ val dwindows :
     per call instead of once per subflow.  Pure float arithmetic; does
     not allocate. *)
 
+val dwindows_single :
+  kind -> idx:int array -> w:float array -> rtt:float array
+  -> rate:float array -> loss:float array -> extras:float array
+  -> extras_off:int -> dextras:float array -> out:float array -> unit
+(** The [n = 1] specialization of {!dwindows}, applied independently to
+    each index in [idx]: no coupling between entries, so thousands of
+    single-path background classes evaluate in one array pass
+    ({!Background} is the caller).  [w]/[rtt]/[rate]/[loss]/[out] are
+    indexed by the {e entries} of [idx]; CUBIC's auxiliary states live
+    compactly at [extras_off + 2j] and [extras_off + 2j + 1] for
+    {e position} [j] in [idx] (the same slots of [dextras] receive their
+    derivatives; both untouched for the other kinds).  For a
+    single-subflow connection LIA's coupled increase and OLIA's
+    redistribution both collapse to Reno's [1/w] exactly, so those
+    kinds share the Reno law — a degeneration, not an approximation.
+    Pure float arithmetic; does not allocate. *)
+
 val init_extras : kind -> n:int -> float array
 (** Auxiliary-state vector for an [n]-subflow connection at start of
     day (CUBIC epochs open at age 0 with no recorded plateau). *)

@@ -92,6 +92,18 @@ let compile topo ~paths ~controller ?(config = default_config) () =
    replaces hard derivative stalls at the state box's edges. *)
 let boundary_tau = 2e-3
 
+(* Quadratic loss ramp from the knee [q0] to the full buffer [qmax] —
+   the one field compilation shared between the connection model here
+   and the per-class background fields in {!Background}, so both
+   engines agree on what a given queue level means. *)
+let ramp_loss ~q0 ~qmax q =
+  let q = Float.min qmax (Float.max 0.0 q) in
+  if q <= q0 then 0.0
+  else begin
+    let r = Float.min 1.0 ((q -. q0) /. (qmax -. q0)) in
+    r *. r
+  end
+
 let topo t = t.topo
 let controller t = t.kind
 let config t = t.config
@@ -105,16 +117,9 @@ let dim t = t.dim
    states may sit slightly outside the box, so reads are clamped. *)
 let refresh_view t y =
   let v = t.view in
-  let inv_ramp = 1.0 /. (t.qmax -. t.q0) in
   for l = 0 to t.m - 1 do
     let q = Float.min t.qmax (Float.max 0.0 (Array.unsafe_get y (t.n + l))) in
-    let p =
-      if q <= t.q0 then 0.0
-      else begin
-        let r = Float.min 1.0 ((q -. t.q0) *. inv_ramp) in
-        r *. r
-      end
-    in
+    let p = ramp_loss ~q0:t.q0 ~qmax:t.qmax q in
     Array.unsafe_set t.link_loss l p;
     Array.unsafe_set t.link_surv l (1.0 -. p);
     Array.unsafe_set t.link_qdelay l (q /. Array.unsafe_get t.cap_pps l)

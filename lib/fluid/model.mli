@@ -38,6 +38,19 @@ val default_config : config
     {!Core.Scenario.default_net_config}), knee at half the buffer,
     2-MSS floor. *)
 
+val boundary_tau : float
+(** Width (pseudo-time seconds) of the Lipschitz boundary layer that
+    replaces hard derivative stalls at the state box's edges — shared
+    with {!Background}'s class fields so both systems are integrable by
+    the same stepper. *)
+
+val ramp_loss : q0:float -> qmax:float -> float -> float
+(** [ramp_loss ~q0 ~qmax q] is the quadratic drop-tail ramp above: [0]
+    at or below the knee [q0], rising as [((q - q0) / (qmax - q0))^2]
+    to [1] at [qmax].  Clamps [q] into [[0, qmax]] first.  Exposed so
+    {!Background} compiles its per-channel class fields with the exact
+    loss law this model uses. *)
+
 type t
 
 val compile :

@@ -147,16 +147,16 @@ let fluid_test ?(count = 100) () =
          Algorithms without a fluid counterpart are skipped (the
          compile step reports them), never silently passed: the match
          is exhaustive over the compile result. *)
-      match Fluid.Validate.equilibrium (to_spec c) with
+      match Validate.equilibrium (to_spec c) with
       | Error _ -> true (* BALIA / EWTCP / wVegas: no fluid model *)
       | Ok v ->
-        if not v.Fluid.Validate.diag.Fluid.Equilibrium.converged then
+        if not v.Validate.diag.Fluid.Equilibrium.converged then
           QCheck.Test.fail_reportf "case %s: fluid solve did not converge@.%a"
-            (to_string c) Fluid.Validate.pp v
-        else if not v.Fluid.Validate.lp_feasible then
+            (to_string c) Validate.pp v
+        else if not v.Validate.lp_feasible then
           QCheck.Test.fail_reportf
             "case %s: fluid equilibrium outside the LP polytope@.%a"
-            (to_string c) Fluid.Validate.pp v
+            (to_string c) Validate.pp v
         else true)
 
 (* --- timing-wheel vs reference-heap equivalence --- *)
@@ -542,6 +542,168 @@ let events_determinism_test ?(count = 12) () =
           "cases %s / %s: jobs=1 and jobs=4 dynamic runs diverge"
           (events_to_string e1) (events_to_string e2)
       else true)
+
+(* --- hybrid fluid/packet fuzzing --- *)
+
+type bg_mix = {
+  bg_classes : int;
+  bg_flows : int;
+  bg_cc_sel : int;
+  bg_mbps10 : int;
+  bg_rtt_ms : int;
+  bg_start_pct : int;
+}
+
+type hybrid_case = { hbase : case; mixes : bg_mix list }
+
+let bg_cc m =
+  match m.bg_cc_sel mod 5 with
+  | 0 -> None (* constant bit-rate *)
+  | 1 -> Some Mptcp.Algorithm.Reno
+  | 2 -> Some Mptcp.Algorithm.Cubic
+  | 3 -> Some Mptcp.Algorithm.Lia
+  | _ -> Some Mptcp.Algorithm.Olia
+
+let bg_to_string m =
+  Printf.sprintf "(c%d f%d %s r%d t%d)" (1 + (m.bg_classes mod 30))
+    (1 + (m.bg_flows mod 8))
+    (match bg_cc m with
+    | None -> Printf.sprintf "cbr%.1f" (float (1 + (m.bg_mbps10 mod 30)) /. 10.)
+    | Some a -> Mptcp.Algorithm.name a)
+    (5 + (m.bg_rtt_ms mod 56))
+    (m.bg_start_pct mod 51)
+
+let hybrid_to_string hc =
+  Printf.sprintf "%s bg=[%s]" (to_string hc.hbase)
+    (String.concat " " (List.map bg_to_string hc.mixes))
+
+let to_hybrid_spec hc =
+  (* Same topology construction as [build_spec], but the paths are
+     needed here too: every generated path runs s -> d, and the
+     background field rides the shortest of them, contending with the
+     foreground subflows on whichever bottlenecks it crosses. *)
+  let c = hc.hbase in
+  let topo, paths =
+    Netgraph.Generate.pairwise_overlap ~n:c.n
+      ~cap_bps:
+        (Netgraph.Generate.spread_caps ~base_mbps:c.base_mbps
+           ~step_mbps:c.step_mbps)
+      ()
+  in
+  let p0 = List.hd paths in
+  let src = Netgraph.Path.src p0 and dst = Netgraph.Path.dst p0 in
+  let dur = Engine.Time.ms c.duration_ms in
+  let events =
+    List.map
+      (fun m ->
+        let cc = bg_cc m in
+        let rate_bps =
+          match cc with
+          | None -> (1 + (m.bg_mbps10 mod 30)) * 100_000
+          | Some _ -> 0
+        in
+        E.at
+          (E.Background_start
+             {
+               src;
+               dst;
+               classes = 1 + (m.bg_classes mod 30);
+               flows = 1 + (m.bg_flows mod 8);
+               cc;
+               rate_bps;
+               rtt = Engine.Time.ms (5 + (m.bg_rtt_ms mod 56));
+             })
+          ~at:(Engine.Time.scale dur (float (m.bg_start_pct mod 51) /. 100.)))
+      hc.mixes
+  in
+  let tagged = Mptcp.Path_manager.tag_paths paths in
+  let net_config =
+    { Netsim.Net.qdisc = qdisc_of c; limit_pkts = c.limit_pkts;
+      delay_jitter = Engine.Time.us c.jitter_us }
+  in
+  Core.Scenario.make ~topo ~paths:tagged ~cc:(cc_of c)
+    ~scheduler:(scheduler_of c) ~duration:dur
+    ~sampling:(Engine.Time.ms (max 20 (c.duration_ms / 5)))
+    ~seed:c.seed ~net_config ~delayed_ack:c.delayed_ack
+    ?send_buffer:(send_buffer c) ~audit:true ~events ()
+
+let hybrid_arbitrary =
+  let open QCheck in
+  let build_mix (bg_classes, bg_flows, bg_cc_sel, (bg_mbps10, bg_rtt_ms, bg_start_pct)) =
+    { bg_classes; bg_flows; bg_cc_sel; bg_mbps10; bg_rtt_ms; bg_start_pct }
+  and strip_mix m =
+    (m.bg_classes, m.bg_flows, m.bg_cc_sel, (m.bg_mbps10, m.bg_rtt_ms, m.bg_start_pct))
+  in
+  set_print hybrid_to_string
+    (map
+       ~rev:(fun hc -> (hc.hbase, List.map strip_mix hc.mixes))
+       (fun (hbase, raw) -> { hbase; mixes = List.map build_mix raw })
+       (pair arbitrary
+          (list_of_size
+             Gen.(int_range 1 3)
+             (quad (int_range 0 29) (int_range 0 7) (int_range 0 4)
+                (triple (int_range 0 29) (int_range 0 55) (int_range 0 50))))))
+
+let hybrid_test ?(count = 40) () =
+  QCheck.Test.make ~count
+    ~name:
+      "fuzz: hybrid fluid/packet runs stay audit-clean and jobs-deterministic"
+    hybrid_arbitrary
+    (fun hc ->
+      (* The audit's capacity/occupancy/conservation invariants all run
+         with the fluid field slowing the shared serializers, and its
+         lp.feasibility check keeps the measured foreground rates inside
+         the static LP polytope (background only removes capacity, so
+         the LP stays a true upper bound).  The whole co-simulation must
+         also stay bit-identical between serial and parallel sweeps. *)
+      let spec = to_hybrid_spec hc in
+      let fail fmt =
+        QCheck.Test.fail_reportf ("case %s: " ^^ fmt) (hybrid_to_string hc)
+      in
+      let run jobs =
+        match Core.Runner.scenarios ~jobs [ spec ] with
+        | [ r ] -> r
+        | _ -> assert false
+      in
+      let fingerprint r =
+        ( r.Core.Scenario.events_processed,
+          r.Core.Scenario.delivered_bytes,
+          Format.asprintf "%a" Core.Scenario.pp_summary r )
+      in
+      let r = run 1 in
+      let rep =
+        match r.Core.Scenario.audit with
+        | Some rep -> rep
+        | None -> assert false
+      in
+      if rep.Audit.total_violations > 0 then
+        QCheck.Test.fail_reportf "case %s@.%a" (hybrid_to_string hc)
+          Audit.pp_report rep
+      else begin
+        (match r.Core.Scenario.background with
+        | None -> fail "no background summary on a hybrid run"
+        | Some s ->
+          if s.Fluid.Background.Driver.ticks = 0 then
+            fail "background driver never ticked"
+          else if
+            s.Fluid.Background.Driver.max_occupancy_pkts
+            > float_of_int hc.hbase.limit_pkts +. 1e-9
+          then
+            fail "fluid occupancy %.2f above the %d-packet buffer"
+              s.Fluid.Background.Driver.max_occupancy_pkts
+              hc.hbase.limit_pkts
+          else if
+            s.Fluid.Background.Driver.goodput_mbps
+            > s.Fluid.Background.Driver.offered_mbps +. 1e-9
+          then
+            fail "background goodput %.2f above offered %.2f"
+              s.Fluid.Background.Driver.goodput_mbps
+              s.Fluid.Background.Driver.offered_mbps
+          else if fingerprint r <> fingerprint (run 4) then
+            fail "jobs=1 and jobs=4 hybrid runs diverge"
+          else ());
+        true
+      end)
 
 let test ?(count = 120) () =
   QCheck.Test.make ~count

@@ -121,3 +121,36 @@ val events_determinism_test : ?count:int -> unit -> QCheck.Test.t
     dynamic-scenario pairs run with [jobs = 1] and [jobs = 4] must
     agree on every counter — event processing, goodput, liveness churn
     and cross-traffic — and on the printed summary. *)
+
+type bg_mix = {
+  bg_classes : int;  (** fluid background classes (1-30) *)
+  bg_flows : int;  (** flows aggregated per class (1-8) *)
+  bg_cc_sel : int;  (** 0 CBR, 1 Reno, 2 CUBIC, 3 LIA, 4 OLIA *)
+  bg_mbps10 : int;  (** CBR per-flow rate in tenths of Mbps (0.1-3.0) *)
+  bg_rtt_ms : int;  (** class base RTT (5-60 ms) *)
+  bg_start_pct : int;  (** activation time as % of the run (0-50) *)
+}
+(** A compact background-mix descriptor: one
+    {!Events.Event.Background_start} declaration riding the generated
+    topology's first path. *)
+
+type hybrid_case = { hbase : case; mixes : bg_mix list }
+(** A {!case} plus 1-3 background mixes: the hybrid fluid/packet
+    co-simulation fuzzed end to end. *)
+
+val to_hybrid_spec : hybrid_case -> Core.Scenario.spec
+(** Build the audited hybrid scenario — foreground subflows at packet
+    fidelity, each mix compiled into the shared fluid field by
+    {!Core.Scenario.run}.  Deterministic in the case. *)
+
+val hybrid_to_string : hybrid_case -> string
+val hybrid_arbitrary : hybrid_case QCheck.arbitrary
+
+val hybrid_test : ?count:int -> unit -> QCheck.Test.t
+(** The hybrid property: [count] (default 40) random topologies crossed
+    with random background mixes keep the full audit clean (capacity
+    integrals against the effective rate, occupancy bounds, foreground
+    rates inside the static LP polytope), produce a background summary
+    whose occupancy respects the buffer and whose goodput never exceeds
+    the offered load, and stay bit-identical between [jobs = 1] and
+    [jobs = 4] sweeps. *)

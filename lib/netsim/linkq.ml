@@ -43,8 +43,20 @@ type t = {
       (* latest scheduled no-jitter arrival: a delay decrease must not
          let a later packet overtake one already in [flight] (the wire
          delivers in order), so arrivals are clamped to be monotone *)
+  mutable bg_occupancy : float;
+      (* fluid background queue sharing this buffer (packets); the qdisc
+         sees it on top of the real ring, so background load costs the
+         packet side buffer space without materialising packets *)
+  mutable bg_rate_bps : int;
+      (* bandwidth the fluid background claims; the serializer drains at
+         [rate - bg], floored (see [effective_rate_bps]) *)
+  mutable min_eff_rate_bps : int;
+      (* slowest effective rate any packet may have serialized at, for
+         the audit's busy-time slack *)
   mutable cap_bits_before : float;
-      (* capacity integral over past rate regimes, up to [rate_since] *)
+      (* capacity integral over past effective-rate regimes, up to
+         [rate_since] — the bound on *delivered* bits, so it integrates
+         what the serializer can actually drain, not the nominal rate *)
   mutable rate_since : Engine.Time.t;
   mutable monitor : (event -> unit) option;
   mutable tx_done : unit -> unit;
@@ -53,6 +65,26 @@ type t = {
   mutable arrive_done : unit -> unit;
   stats : stats;
 }
+
+(* What the packet side may drain: nominal rate minus the background's
+   bandwidth share, floored at 1/64 of nominal so a saturating fluid
+   field slows the serializer rather than stalling it (a stalled
+   serializer would never re-check the share, and its tx events would
+   land arbitrarily far out on the wheel). *)
+let effective_rate_bps t =
+  let floor_bps = max 1 (t.rate_bps asr 6) in
+  max floor_bps (t.rate_bps - t.bg_rate_bps)
+
+(* Close the capacity integral over the regime ending now, at the rate
+   that regime drained at.  Every change to [rate_bps] or [bg_rate_bps]
+   must call this first so audit bounds stay exact. *)
+let close_capacity t =
+  let now = Engine.Sched.now t.sched in
+  t.cap_bits_before <-
+    t.cap_bits_before
+    +. (float_of_int (effective_rate_bps t)
+        *. (float_of_int (Engine.Time.diff now t.rate_since) /. 1e9));
+  t.rate_since <- now
 
 let rec create ~sched ~rng ~rate_bps ~delay ?(jitter = Engine.Time.zero) ~qdisc
     ~limit_pkts ~deliver ?(release = ignore) () =
@@ -71,6 +103,9 @@ let rec create ~sched ~rng ~rate_bps ~delay ?(jitter = Engine.Time.zero) ~qdisc
       busy = false;
       up = true;
       last_arrival = Engine.Time.zero;
+      bg_occupancy = 0.0;
+      bg_rate_bps = 0;
+      min_eff_rate_bps = rate_bps;
       cap_bits_before = 0.0;
       rate_since = Engine.Sched.now sched;
       monitor = None;
@@ -120,7 +155,8 @@ and start_tx t =
     else begin
       t.busy <- true;
       let tx =
-        Engine.Time.tx_time ~bits:(Packet.wire_bits p) ~rate_bps:t.rate_bps
+        Engine.Time.tx_time ~bits:(Packet.wire_bits p)
+          ~rate_bps:(effective_rate_bps t)
       in
       t.stats.busy_ns <- t.stats.busy_ns + tx;
       (* Last bit on the wire at [now + tx]: the serializer is free then
@@ -178,7 +214,8 @@ let enqueue t p =
       if not t.busy then start_tx t
     in
     match
-      Qdisc.decide t.qdisc t.qstate ~queue_pkts:(Pktring.length t.queue)
+      Qdisc.decide t.qdisc t.qstate
+        ~queue_pkts:(Pktring.length t.queue + int_of_float t.bg_occupancy)
         ~limit_pkts:t.limit_pkts
         ~ecn_capable:(p.Packet.ecn <> Packet.Not_ect)
         ~rng:t.rng
@@ -207,14 +244,27 @@ let set_rate t rate_bps =
        link.rate bound stays exact across re-rating.  The packet in the
        serializer (if any) keeps its old transmission time; the new rate
        applies from the next [start_tx]. *)
-    let now = Engine.Sched.now t.sched in
-    t.cap_bits_before <-
-      t.cap_bits_before
-      +. (float_of_int t.rate_bps
-          *. (float_of_int (Engine.Time.diff now t.rate_since) /. 1e9));
-    t.rate_since <- now;
-    t.rate_bps <- rate_bps
+    close_capacity t;
+    t.rate_bps <- rate_bps;
+    let eff = effective_rate_bps t in
+    if eff < t.min_eff_rate_bps then t.min_eff_rate_bps <- eff
   end
+
+let set_background t ~occupancy_pkts ~rate_bps =
+  if occupancy_pkts < 0.0 then
+    invalid_arg "Linkq.set_background: negative occupancy";
+  if rate_bps < 0 then invalid_arg "Linkq.set_background: negative rate";
+  if rate_bps <> t.bg_rate_bps then begin
+    close_capacity t;
+    t.bg_rate_bps <- rate_bps;
+    let eff = effective_rate_bps t in
+    if eff < t.min_eff_rate_bps then t.min_eff_rate_bps <- eff
+  end;
+  t.bg_occupancy <- occupancy_pkts
+
+let background_occupancy_pkts t = t.bg_occupancy
+let background_rate_bps t = t.bg_rate_bps
+let min_effective_rate_bps t = t.min_eff_rate_bps
 
 let set_delay t delay =
   if Engine.Time.( < ) delay Engine.Time.zero then
@@ -231,7 +281,7 @@ let delay t = t.delay
 
 let capacity_bits t ~now =
   t.cap_bits_before
-  +. (float_of_int t.rate_bps
+  +. (float_of_int (effective_rate_bps t)
       *. (float_of_int (Engine.Time.diff now t.rate_since) /. 1e9))
 let set_monitor t m = t.monitor <- m
 let monitor t = t.monitor

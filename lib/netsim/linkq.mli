@@ -86,10 +86,41 @@ val set_loss : t -> float -> unit
     the probability is positive, so loss-free runs keep their stream.
     Raises [Invalid_argument] outside [0, 1]. *)
 
+val set_background : t -> occupancy_pkts:float -> rate_bps:int -> unit
+(** Couple a fluid background field to this queue
+    ({!Fluid.Background.Driver} calls this every coarse tick).
+    [occupancy_pkts] is the background's standing queue: the qdisc sees
+    it on top of the real ring, so background load costs foreground
+    packets buffer space (and tail-drops them at a shared-buffer
+    horizon) without materialising a single background packet.
+    [rate_bps] is the bandwidth share the background claims: packets
+    serialize at the {e effective} rate [nominal - rate_bps], floored
+    at 1/64 of nominal so a saturating field slows the serializer
+    rather than stalling it.  A share change closes the capacity
+    integral over the old regime first, so {!capacity_bits} stays an
+    exact bound for the audit.  Raises [Invalid_argument] on a negative
+    occupancy or rate. *)
+
+val background_occupancy_pkts : t -> float
+val background_rate_bps : t -> int
+(** The most recent {!set_background} values ([0.] and [0] when no
+    field is coupled). *)
+
+val effective_rate_bps : t -> int
+(** The rate packets currently serialize at: the nominal {!rate_bps}
+    minus the background's share, floored at 1/64 of nominal. *)
+
+val min_effective_rate_bps : t -> int
+(** The slowest effective rate any packet may have started serializing
+    at since creation — the audit's busy-time slack must assume the
+    in-flight packet transmits this slowly. *)
+
 val capacity_bits : t -> now:Engine.Time.t -> float
 (** Total bits the serializer could have transmitted by [now],
-    integrating over every rate regime since creation — the bound the
-    audit's link.rate invariant checks delivered bytes against. *)
+    integrating the {e effective} rate over every regime since creation
+    (nominal rate changes and background-share changes both close a
+    regime) — the bound the audit's link.rate invariant checks
+    delivered bytes against. *)
 
 val limit_pkts : t -> int
 (** The buffer limit this queue was created with. *)

@@ -203,6 +203,7 @@ type t = {
   dir : string;
   mutable stale : int;
   mutable corrupt : int;
+  mutable evicted : int;
 }
 
 let dir t = t.dir
@@ -239,7 +240,7 @@ let open_store ~dir =
   if not (Sys.file_exists version_file) then
     write_file_atomic ~dir ~path:version_file
       (Printf.sprintf "mptcp-sim-store %d\n" format_version);
-  { dir; stale = 0; corrupt = 0 }
+  { dir; stale = 0; corrupt = 0; evicted = 0 }
 
 let record_path t ~hash =
   let shard = if String.length hash >= 2 then String.sub hash 0 2 else "xx" in
@@ -349,8 +350,65 @@ let invalidate t =
       incr n);
   !n
 
+let bytes t =
+  let acc = ref 0 in
+  iter_objects t (fun path ->
+      match Unix.stat path with
+      | { Unix.st_size; _ } -> acc := !acc + st_size
+      | exception Unix.Unix_error _ -> ());
+  !acc
+
+type gc_stats = {
+  examined : int;
+  evicted : int;
+  evicted_bytes : int;
+  kept : int;
+  kept_bytes : int;
+}
+
+let gc t ~max_bytes =
+  if max_bytes < 0 then invalid_arg "Store.gc: negative byte budget";
+  let files = ref [] in
+  iter_objects t (fun path ->
+      match Unix.stat path with
+      | { Unix.st_mtime; st_size; _ } ->
+        files := (path, st_mtime, st_size) :: !files
+      | exception Unix.Unix_error _ ->
+        (* raced with a concurrent invalidate/gc; nothing to evict *)
+        ());
+  (* Newest first: the scan keeps records while they fit the budget, so
+     whatever falls past it — the oldest mtimes — is evicted. *)
+  let files =
+    List.sort (fun (_, a, _) (_, b, _) -> Float.compare b a) !files
+  in
+  let examined = List.length files in
+  let total = List.fold_left (fun acc (_, _, s) -> acc + s) 0 files in
+  let budget = ref max_bytes in
+  let evicted = ref 0 and evicted_bytes = ref 0 in
+  List.iter
+    (fun (path, _, size) ->
+      if size <= !budget then budget := !budget - size
+      else begin
+        (* Removal is one unlink per record file, so readers always see
+           a whole record or none; a concurrent re-insert wins its
+           rename race and simply re-creates the hash afterwards. *)
+        (try Sys.remove path with Sys_error _ -> ());
+        incr evicted;
+        evicted_bytes := !evicted_bytes + size
+      end)
+    files;
+  t.evicted <- t.evicted + !evicted;
+  {
+    examined;
+    evicted = !evicted;
+    evicted_bytes = !evicted_bytes;
+    kept = examined - !evicted;
+    kept_bytes = total - !evicted_bytes;
+  }
+
 let stale_seen t = t.stale
 let corrupt_seen t = t.corrupt
+let evicted_total (t : t) = t.evicted
 
 let pp_record fmt r =
   Format.fprintf fmt "@[<v>%s %s (cc=%s seed=%d, %d paths)@,"

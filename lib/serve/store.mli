@@ -91,9 +91,31 @@ val invalidate : t -> int
 (** Deletes every record (the trend history survives); returns how
     many were removed. *)
 
+val bytes : t -> int
+(** Total size of the record files currently on disk. *)
+
+type gc_stats = {
+  examined : int;       (** record files scanned *)
+  evicted : int;        (** files removed *)
+  evicted_bytes : int;
+  kept : int;           (** files surviving the sweep *)
+  kept_bytes : int;
+}
+
+val gc : t -> max_bytes:int -> gc_stats
+(** Evict records, oldest mtime first, until the surviving files total
+    at most [max_bytes] (the [cache --gc --max-bytes N] CLI).  Each
+    eviction is a single unlink, so a concurrent reader sees a whole
+    record or a miss, never a torn one; a record re-inserted while the
+    sweep runs just reappears under its hash afterwards.  Evictions
+    accumulate in {!evicted_total}.  Raises [Invalid_argument] on a
+    negative budget. *)
+
 val stale_seen : t -> int
 val corrupt_seen : t -> int
-(** Rejection counters since [open_store], for the [cache] CLI. *)
+val evicted_total : t -> int
+(** Rejection/eviction counters since [open_store], for the [cache]
+    CLI. *)
 
 val record_path : t -> hash:string -> string
 (** Where the record for [hash] lives — exposed so tests can corrupt,

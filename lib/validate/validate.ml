@@ -6,8 +6,8 @@ type path_report = {
 }
 
 type t = {
-  controller : Controller.kind;
-  diag : Equilibrium.diag;
+  controller : Fluid.Controller.kind;
+  diag : Fluid.Equilibrium.diag;
   per_path : path_report list;
   fluid_total_mbps : float;
   lp_total_mbps : float;
@@ -18,7 +18,7 @@ type t = {
 }
 
 let model_of_spec ?config (spec : Core.Scenario.spec) =
-  match Controller.of_algorithm spec.Core.Scenario.cc with
+  match Fluid.Controller.of_algorithm spec.Core.Scenario.cc with
   | None ->
     Error
       (Printf.sprintf "no fluid model for %s"
@@ -28,18 +28,18 @@ let model_of_spec ?config (spec : Core.Scenario.spec) =
       match config with
       | Some c -> c
       | None ->
-        { Model.default_config with
+        { Fluid.Model.default_config with
           mss_bytes = spec.Core.Scenario.sender_config.Tcp.Sender.mss;
           buffer_pkts = spec.Core.Scenario.net_config.Netsim.Net.limit_pkts }
     in
     let paths = List.map snd spec.Core.Scenario.paths in
     Ok
-      (Model.compile spec.Core.Scenario.topo ~paths ~controller:kind ~config
+      (Fluid.Model.compile spec.Core.Scenario.topo ~paths ~controller:kind ~config
          ())
 
 let report_of ~spec ~m ~diag ~y ~sim =
   let tags = List.map fst spec.Core.Scenario.paths in
-  let fluid_bps = Model.rates_bps m y in
+  let fluid_bps = Fluid.Model.rates_bps m y in
   let lp_bps = Core.Scenario.optimum_rates spec in
   let per_path =
     List.mapi
@@ -69,7 +69,7 @@ let report_of ~spec ~m ~diag ~y ~sim =
              | None -> acc)
            0.0 per_path)
   in
-  { controller = Model.controller m;
+  { controller = Fluid.Model.controller m;
     diag;
     per_path;
     fluid_total_mbps = fluid_total;
@@ -78,21 +78,21 @@ let report_of ~spec ~m ~diag ~y ~sim =
     lp_gap = (if lp_total > 0.0 then (lp_total -. fluid_total) /. lp_total else 0.0);
     max_sim_dev_mbps = max_sim_dev;
     lp_feasible =
-      Netgraph.Constraints.feasible ~slack_frac:0.01 (Model.system m)
+      Netgraph.Constraints.feasible ~slack_frac:0.01 (Fluid.Model.system m)
         ~x:fluid_bps }
 
 let equilibrium ?config ?tol (spec : Core.Scenario.spec) =
   match model_of_spec ?config spec with
   | Error _ as e -> e
   | Ok m ->
-    let y, diag = Equilibrium.solve m ?tol () in
+    let y, diag = Fluid.Equilibrium.solve m ?tol () in
     Ok (report_of ~spec ~m ~diag ~y ~sim:None)
 
 let against_sim ?config ?tol (spec : Core.Scenario.spec) =
   match model_of_spec ?config spec with
   | Error _ as e -> e
   | Ok m ->
-    let y, diag = Equilibrium.solve m ?tol () in
+    let y, diag = Fluid.Equilibrium.solve m ?tol () in
     let result = Core.Scenario.run spec in
     let sim = Core.Scenario.per_path_tail_mbps result in
     Ok (report_of ~spec ~m ~diag ~y ~sim:(Some sim))
@@ -102,8 +102,8 @@ let sweep ?jobs ?config ?tol specs =
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>fluid %s equilibrium (%a)@,"
-    (Controller.name t.controller)
-    Equilibrium.pp_diag t.diag;
+    (Fluid.Controller.name t.controller)
+    Fluid.Equilibrium.pp_diag t.diag;
   Format.fprintf ppf "%-6s %12s %12s %12s@," "path" "fluid Mbps" "LP Mbps"
     "sim Mbps";
   List.iter

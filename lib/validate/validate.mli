@@ -27,8 +27,8 @@ type path_report = {
 }
 
 type t = {
-  controller : Controller.kind;
-  diag : Equilibrium.diag;
+  controller : Fluid.Controller.kind;
+  diag : Fluid.Equilibrium.diag;
   per_path : path_report list;       (** in [spec.paths] order *)
   fluid_total_mbps : float;
   lp_total_mbps : float;
@@ -44,26 +44,26 @@ type t = {
 }
 
 val model_of_spec :
-  ?config:Model.config -> Core.Scenario.spec -> (Model.t, string) result
+  ?config:Fluid.Model.config -> Core.Scenario.spec -> (Fluid.Model.t, string) result
 (** Compiles the spec's topology, paths and controller.  [Error] names
     the algorithm when it has no fluid counterpart (BALIA, EWTCP,
     wVegas).  The default [config] takes the MSS from
     [spec.sender_config], the buffer from [spec.net_config] and
-    {!Model.default_config} for the rest. *)
+    {!Fluid.Model.default_config} for the rest. *)
 
 val equilibrium :
-  ?config:Model.config -> ?tol:float -> Core.Scenario.spec
+  ?config:Fluid.Model.config -> ?tol:float -> Core.Scenario.spec
   -> (t, string) result
 (** Fluid-vs-LP only ([sim_mbps = None] everywhere); microseconds. *)
 
 val against_sim :
-  ?config:Model.config -> ?tol:float -> Core.Scenario.spec
+  ?config:Fluid.Model.config -> ?tol:float -> Core.Scenario.spec
   -> (t, string) result
 (** {!equilibrium} plus a full packet-level {!Core.Scenario.run} of the
     same spec, with per-path deviations filled in.  Costs a simulation. *)
 
 val sweep :
-  ?jobs:int -> ?config:Model.config -> ?tol:float -> Core.Scenario.spec list
+  ?jobs:int -> ?config:Fluid.Model.config -> ?tol:float -> Core.Scenario.spec list
   -> (t, string) result list
 (** Batched {!equilibrium} over {!Core.Runner.map} — results are in
     input order and bit-identical for every [jobs] value (each job

@@ -22,6 +22,7 @@ let required =
     "Baseline: single-path TCP";
     "Extension: n pairwise-overlapping paths";
     "Extension: two MPTCP connections";
+    "Hybrid: fluid background classes vs all-packet equivalent";
     "allocation profile: paper sim (CUBIC)";
     "words per packet";
     "Bechamel micro-benchmarks";
@@ -55,7 +56,8 @@ let () =
       contains j "\"microbench_ns\"" && contains j "\"wall_clock_s\""
       && contains j "\"jobs\": 2" && contains j "\"profile\""
       && contains j "\"alloc\"" && contains j "\"words_per_packet\""
-      && contains j "\"pool_recycled\""
+      && contains j "\"pool_recycled\"" && contains j "\"hybrid\""
+      && contains j "\"speedup\""
     in
     if not json_ok then Printf.eprintf "malformed %s:\n%s\n" json j;
     if missing <> [] || not json_ok then exit 1;

@@ -105,25 +105,65 @@ let cold_start_agrees () =
     "same total" (Fluid.Model.total_mbps m y_warm)
     (Fluid.Model.total_mbps m y_cold)
 
+let lossy_pack_warm_start () =
+  (* The 10%-loss scenario pack (PR 7): failover topology, LIA, a
+     loss-set event at 0.5 s.  The fluid model compiles the same spec
+     the simulator runs; the warm start must land in the same basin as
+     the cold start, in no more iterations, and the totals are pinned
+     as goldens against the 100 Mbps LP optimum of the 10 + 90 Mbps
+     failover paths. *)
+  let _topo, spec =
+    Core.Expfile.load ~topo_file:"../examples/failover_topo.sexp"
+      ~xp_file:"../examples/lossy_xp.sexp"
+  in
+  let m =
+    match Validate.model_of_spec spec with
+    | Ok m -> m
+    | Error e -> Alcotest.failf "model_of_spec: %s" e
+  in
+  let y_warm, d_warm = Fluid.Equilibrium.solve m () in
+  let y_cold, d_cold = Fluid.Equilibrium.solve m ~y0:(Fluid.Model.initial m) () in
+  Alcotest.(check bool) "warm converged" true d_warm.Fluid.Equilibrium.converged;
+  Alcotest.(check bool) "cold converged" true d_cold.Fluid.Equilibrium.converged;
+  (* The whole point of Model.warm_start: seeding at the LP operating
+     point must not cost more Newton iterations than the cold start. *)
+  Alcotest.(check bool) "warm start no slower" true
+    (d_warm.Fluid.Equilibrium.iterations <= d_cold.Fluid.Equilibrium.iterations);
+  let warm_total = Fluid.Model.total_mbps m y_warm in
+  (* Disjoint 10 + 90 Mbps paths: LIA saturates both, so the fluid
+     equilibrium attains the LP optimum (no shared bottleneck to
+     misallocate). *)
+  Alcotest.(check (float 0.5)) "lossy-pack total" 100.0 warm_total;
+  Alcotest.(check (float 0.1)) "same total" warm_total
+    (Fluid.Model.total_mbps m y_cold);
+  (* Golden + LP cross-check through the validation harness. *)
+  (match Validate.equilibrium spec with
+  | Error e -> Alcotest.failf "equilibrium: %s" e
+  | Ok v ->
+    Alcotest.(check (float 0.01)) "lp total" 100.0 v.Validate.lp_total_mbps;
+    Alcotest.(check bool) "lp feasible" true v.Validate.lp_feasible;
+    Alcotest.(check (float 0.1)) "harness agrees" warm_total
+      v.Validate.fluid_total_mbps)
+
 (* --- validation harness --- *)
 
 let validate_lp_feasible () =
   List.iter
     (fun cc ->
-      match Fluid.Validate.equilibrium (paper_spec cc) with
+      match Validate.equilibrium (paper_spec cc) with
       | Error e -> Alcotest.failf "%s: %s" (Mptcp.Algorithm.name cc) e
       | Ok v ->
         Alcotest.(check bool)
           (Mptcp.Algorithm.name cc ^ " feasible")
-          true v.Fluid.Validate.lp_feasible;
+          true v.Validate.lp_feasible;
         (* The LP side of the report comes from the shared
            Core.Scenario.optimum_rates entry point. *)
         Alcotest.(check (float 0.01)) "lp total" 90.0
-          v.Fluid.Validate.lp_total_mbps)
+          v.Validate.lp_total_mbps)
     Mptcp.Algorithm.[ Cubic; Lia; Olia ]
 
 let validate_rejects_unmodelled () =
-  match Fluid.Validate.equilibrium (paper_spec Mptcp.Algorithm.Balia) with
+  match Validate.equilibrium (paper_spec Mptcp.Algorithm.Balia) with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "balia has no fluid model yet"
 
@@ -139,10 +179,10 @@ let sweep_jobs_deterministic () =
     List.map
       (function
         | Ok v ->
-          List.map (fun p -> p.Fluid.Validate.fluid_mbps)
-            v.Fluid.Validate.per_path
+          List.map (fun p -> p.Validate.fluid_mbps)
+            v.Validate.per_path
         | Error e -> Alcotest.failf "sweep: %s" e)
-      (Fluid.Validate.sweep ~jobs specs)
+      (Validate.sweep ~jobs specs)
   in
   let r1 = run 1 and r4 = run 4 in
   List.iter2
@@ -166,6 +206,8 @@ let () =
           Alcotest.test_case "golden olia" `Quick golden_olia;
           Alcotest.test_case "paper ordering" `Quick paper_ordering;
           Alcotest.test_case "cold start agrees" `Quick cold_start_agrees;
+          Alcotest.test_case "lossy pack warm start" `Quick
+            lossy_pack_warm_start;
         ] );
       ( "validate",
         [

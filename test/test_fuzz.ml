@@ -12,8 +12,12 @@
    reference heap and the flat SACK scoreboard against a naive list
    model on random programs, and the final sweeps re-check jobs=1 vs
    jobs=4 bit-identity — static and dynamic — with the wheel's
-   heap-shadow lockstep armed.  The pinned RNG keeps the sweep
-   reproducible; QCheck shrinks any failure to a minimal case.
+   heap-shadow lockstep armed.  The hybrid sweep crosses the same
+   topologies with random fluid background mixes (CBR and windowed
+   classes, staggered activations) and requires audit-clean,
+   buffer-respecting, jobs-deterministic co-simulations.  The pinned
+   RNG keeps the sweep reproducible; QCheck shrinks any failure to a
+   minimal case.
 
    Case counts multiply by FUZZ_SCALE when set: `dune build @fuzz-long`
    runs the whole sweep at 10x depth. *)
@@ -37,6 +41,7 @@ let () =
          Fuzz.pool_test ~count:(n 60) ();
          Fuzz.fluid_test ~count:(n 100) ();
          Fuzz.events_test ~count:(n 200) ();
+         Fuzz.hybrid_test ~count:(n 40) ();
          Fuzz.wheel_test ~count:(n 400) ();
          Fuzz.scoreboard_test ~count:(n 400) ();
          Fuzz.determinism_test ~count:(n 20) ();

@@ -1,0 +1,105 @@
+(* Accuracy goldens for the hybrid fluid/packet co-simulation: on the
+   paper topology, a fluid CBR background field must cost the
+   foreground MPTCP connection the same goodput (within 5%) as the
+   equivalent packet-level cross-traffic source on the same route —
+   the cheap fluid abstraction and the expensive packet one agree on
+   what the foreground experiences.  Four ablations cover light and
+   heavy background load, coupled and uncoupled foreground
+   controllers, and a doubled buffer; every hybrid run is audited. *)
+
+module E = Events.Event
+
+let foreground_tail r =
+  List.fold_left (fun acc (_, m) -> acc +. m) 0.0
+    (Core.Scenario.per_path_tail_mbps r)
+
+(* One (hybrid, all-packet) spec pair: same topology, paths, seed and
+   duration; the only difference is whether the background load is a
+   fluid field or a packet-level CBR source. *)
+let run_pair ?(duration_s = 2) ~cc ~bg_mbps ~flows ~limit_pkts () =
+  let make events =
+    let topo = Core.Paper_net.topology () in
+    let paths = Core.Paper_net.tagged_paths ~default:2 topo in
+    let net_config =
+      { Core.Scenario.default_net_config with Netsim.Net.limit_pkts }
+    in
+    ( Core.Scenario.make ~topo ~paths ~cc ~duration:(Engine.Time.s duration_s)
+        ~seed:1 ~net_config ~audit:true ~events (),
+      paths )
+  in
+  (* Endpoints of the MPTCP connection: both load models route from s
+     to d along the same delay-shortest path. *)
+  let topo = Core.Paper_net.topology () in
+  let p0 = List.hd (Core.Paper_net.paths topo) in
+  let src = Netgraph.Path.src p0 and dst = Netgraph.Path.dst p0 in
+  let total_bps = int_of_float (bg_mbps *. 1e6) in
+  let hybrid_spec, _ =
+    make
+      [ E.at
+          (E.Background_start
+             { src; dst; classes = 1; flows; cc = None;
+               rate_bps = total_bps / flows; rtt = Engine.Time.ms 20 })
+          ~at:Engine.Time.zero ]
+  in
+  let packet_spec, _ =
+    make
+      [ E.at
+          (E.Traffic_start
+             { src; dst; tag = 100; rate_bps = total_bps; stop_at = None })
+          ~at:Engine.Time.zero ]
+  in
+  (Core.Scenario.run hybrid_spec, Core.Scenario.run packet_spec)
+
+let check_pair ?duration_s ~name ~cc ~bg_mbps ~flows ~limit_pkts
+    ~golden_hybrid () =
+  let rh, rp = run_pair ?duration_s ~cc ~bg_mbps ~flows ~limit_pkts () in
+  (* The hybrid run must hold every audit invariant with the fluid
+     field slowing the shared serializers. *)
+  (match rh.Core.Scenario.audit with
+  | None -> Alcotest.fail "hybrid run not audited"
+  | Some rep ->
+    Alcotest.(check int) (name ^ " audit clean") 0 rep.Audit.total_violations);
+  (match rh.Core.Scenario.background with
+  | None -> Alcotest.fail "hybrid run has no background summary"
+  | Some s ->
+    Alcotest.(check bool) (name ^ " driver ticked") true
+      (s.Fluid.Background.Driver.ticks > 0);
+    (* A CBR field under capacity delivers what it offers. *)
+    Alcotest.(check (float 0.05)) (name ^ " bg goodput") bg_mbps
+      s.Fluid.Background.Driver.goodput_mbps);
+  let h = foreground_tail rh and p = foreground_tail rp in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s hybrid %.2f within 5%% of packet %.2f" name h p)
+    true
+    (Float.abs (h -. p) <= 0.05 *. p);
+  (* Pin the hybrid side so accuracy regressions show up as a golden
+     diff, not just a widened gap. *)
+  Alcotest.(check (float 1.0)) (name ^ " hybrid golden") golden_hybrid h
+
+let light_lia () =
+  check_pair ~name:"lia light" ~cc:Mptcp.Algorithm.Lia ~bg_mbps:8.0
+    ~flows:10 ~limit_pkts:16 ~golden_hybrid:75.36 ()
+
+let heavy_lia () =
+  check_pair ~name:"lia heavy" ~cc:Mptcp.Algorithm.Lia ~bg_mbps:24.0
+    ~flows:10 ~limit_pkts:16 ~golden_hybrid:59.18 ()
+
+let light_olia () =
+  check_pair ~duration_s:4 ~name:"olia light" ~cc:Mptcp.Algorithm.Olia
+    ~bg_mbps:8.0 ~flows:10 ~limit_pkts:16 ~golden_hybrid:74.95 ()
+
+let big_buffer_cubic () =
+  check_pair ~name:"cubic 32-pkt" ~cc:Mptcp.Algorithm.Cubic ~bg_mbps:8.0
+    ~flows:10 ~limit_pkts:32 ~golden_hybrid:81.40 ()
+
+let () =
+  Alcotest.run "hybrid"
+    [
+      ( "accuracy",
+        [
+          Alcotest.test_case "lia light background" `Quick light_lia;
+          Alcotest.test_case "lia heavy background" `Quick heavy_lia;
+          Alcotest.test_case "olia light background" `Quick light_olia;
+          Alcotest.test_case "cubic big buffers" `Quick big_buffer_cubic;
+        ] );
+    ]

@@ -207,6 +207,52 @@ let store_corruption () =
     (Serve.Store.corrupt_seen store);
   Alcotest.(check int) "none counted stale" 0 (Serve.Store.stale_seen store)
 
+(* GC evicts oldest-mtime first until the survivors fit the budget;
+   the sweep's byte accounting is exact and the per-store eviction
+   counter accumulates across sweeps. *)
+let store_gc () =
+  let store = fresh_store () in
+  let hashes =
+    List.map (fun c -> String.make 32 c) [ 'f'; 'g'; 'h'; 'i' ]
+  in
+  List.iteri
+    (fun i hash ->
+      Serve.Store.insert store (sample_record hash);
+      (* Pin distinct, increasing mtimes so "oldest" is unambiguous
+         regardless of filesystem timestamp granularity. *)
+      let t = 1.7e9 +. (float_of_int i *. 100.) in
+      Unix.utimes (Serve.Store.record_path store ~hash) t t)
+    hashes;
+  let total = Serve.Store.bytes store in
+  Alcotest.(check bool) "records occupy bytes" true (total > 0);
+  (* Records are identical sizes, so half the bytes keep the newest
+     two and evict the oldest two. *)
+  let stats = Serve.Store.gc store ~max_bytes:(total / 2) in
+  Alcotest.(check int) "examined all" 4 stats.Serve.Store.examined;
+  Alcotest.(check int) "evicted oldest two" 2 stats.Serve.Store.evicted;
+  Alcotest.(check int) "kept newest two" 2 stats.Serve.Store.kept;
+  Alcotest.(check int) "byte split is exact" total
+    (stats.Serve.Store.evicted_bytes + stats.Serve.Store.kept_bytes);
+  Alcotest.(check int) "kept bytes within budget" stats.Serve.Store.kept_bytes
+    (Serve.Store.bytes store);
+  List.iteri
+    (fun i hash ->
+      Alcotest.(check bool)
+        (Printf.sprintf "record %d %s" i (if i < 2 then "evicted" else "kept"))
+        (i >= 2)
+        (Serve.Store.lookup store ~hash <> None))
+    hashes;
+  (* Idempotent under the same budget; a zero budget clears the rest. *)
+  Alcotest.(check int) "second sweep evicts nothing" 0
+    (Serve.Store.gc store ~max_bytes:(total / 2)).Serve.Store.evicted;
+  Alcotest.(check int) "zero budget clears" 2
+    (Serve.Store.gc store ~max_bytes:0).Serve.Store.evicted;
+  Alcotest.(check int) "eviction counter accumulates" 4
+    (Serve.Store.evicted_total store);
+  Alcotest.check_raises "negative budget rejected"
+    (Invalid_argument "Store.gc: negative byte budget") (fun () ->
+      ignore (Serve.Store.gc store ~max_bytes:(-1)))
+
 (* --- trend history --- *)
 
 let trend_entry i cached =
@@ -368,6 +414,7 @@ let () =
           Alcotest.test_case "roundtrip" `Quick store_roundtrip;
           Alcotest.test_case "version bump is stale" `Quick store_version_bump;
           Alcotest.test_case "corruption rejected" `Quick store_corruption;
+          Alcotest.test_case "gc evicts oldest first" `Quick store_gc;
         ] );
       ( "trend",
         [ Alcotest.test_case "append, load, report" `Quick trend_roundtrip ] );

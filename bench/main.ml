@@ -726,6 +726,109 @@ let hybrid_phase () =
     ho_scaling = scaling }
 
 (* ------------------------------------------------------------------ *)
+(* 3b. Resident daemon: cold process vs warm daemon                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The daemon's reason to exist is amortisation: a cold `serve` process
+   pays store open + domain-pool spawn + batch dispatch on every
+   submission, the resident daemon pays a socket round-trip into an
+   already-warm pool.  Both sides run the same fully-cached one-entry
+   batch (populated once up front), so simulation cost is out of the
+   picture and the distributions compare pure submission latency. *)
+
+type daemon_result = {
+  dm_submissions : int;
+  dm_cold_p50_ms : float;
+  dm_cold_p99_ms : float;
+  dm_warm_p50_ms : float;
+  dm_warm_p99_ms : float;
+}
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let daemon_batch_text =
+  "(preset (label bench-daemon) (cc cubic) (seed 7) (duration-s 0.5) \
+   (sampling-ms 100))"
+
+let daemon_phase () =
+  hr "Daemon: cold-process vs warm-daemon submission latency";
+  let store_dir = "_bench_daemon_store" and socket = "_bench_daemon.sock" in
+  rm_rf store_dir;
+  rm_rf socket;
+  let entries () =
+    Serve.Batch.of_sexps ~base_dir:(Sys.getcwd ())
+      (Events.Sexp.parse_string daemon_batch_text)
+  in
+  (* Populate the store once: every timed submission below is a hit. *)
+  let store = Serve.Store.open_store ~dir:store_dir in
+  ignore (Serve.Service.run_batch ~jobs:1 ~store (entries ()));
+  let submissions = if quick then 20 else 60 in
+  let pool_domains = min 2 jobs in
+  (* Cold side: everything a fresh process pays per submission once it
+     must be *ready to simulate* — store open, pool spawn, parse, hash,
+     lookup, pool shutdown — minus only fork/exec itself. *)
+  let cold =
+    Array.init submissions (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        let store = Serve.Store.open_store ~dir:store_dir in
+        let pool = Engine.Pool.create ~domains:pool_domains () in
+        let _, stats = Serve.Service.run_batch ~pool ~store (entries ()) in
+        Engine.Pool.shutdown pool;
+        assert (stats.Serve.Service.fresh = 0);
+        (Unix.gettimeofday () -. t0) *. 1e3)
+  in
+  (* Warm side: one resident daemon, one client process per submission
+     (connect, framed request, framed reply, close — `call_once` is
+     exactly the CLI `submit` path). *)
+  let conf =
+    {
+      (Daemon.default_conf ~socket_path:socket ~store_dir) with
+      Daemon.jobs = Some pool_domains;
+      log = false;
+    }
+  in
+  let d = Daemon.start conf in
+  let server = Thread.create Daemon.serve d in
+  let request = Daemon.Protocol.Submit (Events.Sexp.parse_string daemon_batch_text) in
+  let warm =
+    Array.init submissions (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        (match Daemon.Protocol.call_once ~socket request with
+        | Daemon.Protocol.Batch b -> assert (b.Daemon.Protocol.fresh = 0)
+        | _ -> failwith "daemon bench: unexpected reply");
+        (Unix.gettimeofday () -. t0) *. 1e3)
+  in
+  ignore (Daemon.handle d Daemon.Protocol.Drain);
+  Thread.join server;
+  rm_rf store_dir;
+  let p a p = Measure.Stats.percentile a ~p in
+  let r =
+    {
+      dm_submissions = submissions;
+      dm_cold_p50_ms = p cold 50.;
+      dm_cold_p99_ms = p cold 99.;
+      dm_warm_p50_ms = p warm 50.;
+      dm_warm_p99_ms = p warm 99.;
+    }
+  in
+  Printf.printf
+    "  %d cached submissions each way (batch of 1, %d-domain pool):\n"
+    submissions pool_domains;
+  Printf.printf "    cold process   p50 %8.3f ms   p99 %8.3f ms\n"
+    r.dm_cold_p50_ms r.dm_cold_p99_ms;
+  Printf.printf "    warm daemon    p50 %8.3f ms   p99 %8.3f ms\n"
+    r.dm_warm_p50_ms r.dm_warm_p99_ms;
+  Printf.printf "    p50 speedup %.1fx\n"
+    (r.dm_cold_p50_ms /. Float.max 1e-6 r.dm_warm_p50_ms);
+  r
+
+(* ------------------------------------------------------------------ *)
 (* 4. Bechamel micro-benchmarks                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -1308,7 +1411,7 @@ let gate_check ~microbench_ns ~alloc ~hybrid =
 (* 7. Machine-readable results                                         *)
 (* ------------------------------------------------------------------ *)
 
-let write_bench_json ~microbench_ns ~alloc ~hybrid ~total_s =
+let write_bench_json ~microbench_ns ~alloc ~hybrid ~daemon ~total_s =
   let buf = Buffer.create 1024 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
@@ -1356,6 +1459,13 @@ let write_bench_json ~microbench_ns ~alloc ~hybrid ~total_s =
         (if i = ns - 1 then "" else ","))
     hybrid.ho_scaling;
   add "    ]\n";
+  add "  },\n";
+  add "  \"daemon\": {\n";
+  add "    \"submissions\": %d,\n" daemon.dm_submissions;
+  add "    \"cold_p50_ms\": %.3f,\n" daemon.dm_cold_p50_ms;
+  add "    \"cold_p99_ms\": %.3f,\n" daemon.dm_cold_p99_ms;
+  add "    \"warm_p50_ms\": %.3f,\n" daemon.dm_warm_p50_ms;
+  add "    \"warm_p99_ms\": %.3f\n" daemon.dm_warm_p99_ms;
   add "  },\n";
   add "  \"microbench_ns\": {\n";
   let n = List.length microbench_ns in
@@ -1418,11 +1528,12 @@ let () =
   timed "scaling" scaling_experiment;
   timed "two_connections" two_connections_fairness;
   let hybrid = timed "hybrid" hybrid_phase in
+  let daemon = timed "daemon" daemon_phase in
   if audit then timed "audit_sweep" audit_sweep;
   let alloc = timed "alloc_profile" alloc_profile in
   let microbench_ns = timed "microbench" microbench in
   if profile then print_profile ();
-  write_bench_json ~microbench_ns ~alloc ~hybrid
+  write_bench_json ~microbench_ns ~alloc ~hybrid ~daemon
     ~total_s:(Unix.gettimeofday () -. t0);
   if gate then gate_check ~microbench_ns ~alloc ~hybrid;
   hr "done"

@@ -6,7 +6,9 @@
      run      - run one measured scenario with full control of parameters
      figures  - regenerate the paper's figures (2a, 2b, 2c, 1, 1c)
      sweep    - the convergence summary table (cc x default path)
-     serve    - run scenario batches against the content-addressed cache
+     serve    - run scenario batches against the content-addressed cache,
+                or stay resident with --listen and serve a socket
+     submit   - send batches/control requests to a serve --listen daemon
      report   - render the trend table from the store's history
      cache    - inspect or clear the result store *)
 
@@ -551,8 +553,47 @@ let store_t =
            trend.log.")
 
 let serve_cmd =
-  let exec store batches no_cache invalidate perf jobs =
+  let exec store batches no_cache invalidate perf jobs listen watch max_queue
+      gc_max_bytes gc_interval =
     let jobs = check_jobs jobs in
+    match listen with
+    | Some socket_path ->
+      (* daemon mode: stay resident and serve Protocol requests *)
+      if batches <> [] then begin
+        Format.eprintf
+          "serve --listen runs as a daemon; submit batches with 'mptcp_sim \
+           submit --socket %s BATCH.sexp'@."
+          socket_path;
+        exit 2
+      end;
+      if no_cache then begin
+        Format.eprintf "serve --listen does not support --no-cache@.";
+        exit 2
+      end;
+      if invalidate then begin
+        let st = Serve.Store.open_store ~dir:store in
+        Format.printf "invalidated %d cached records@."
+          (Serve.Store.invalidate st)
+      end;
+      let conf =
+        {
+          (Daemon.default_conf ~socket_path ~store_dir:store) with
+          Daemon.jobs;
+          max_queue;
+          gc_max_bytes;
+          gc_interval_s = gc_interval;
+          watch_dir = watch;
+        }
+      in
+      (try Daemon.run conf
+       with Failure msg ->
+         Format.eprintf "serve: %s@." msg;
+         exit 1)
+    | None ->
+    if watch <> None then begin
+      Format.eprintf "serve --watch requires --listen@.";
+      exit 2
+    end;
     if batches = [] then begin
       Format.eprintf "serve: no batch files given@.";
       exit 2
@@ -624,16 +665,237 @@ let serve_cmd =
             "Also print wall-clock timings (off by default so output is \
              byte-stable for the golden tests).")
   in
+  let listen_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"SOCK"
+          ~doc:
+            "Stay resident: bind a Unix-domain socket and serve submissions \
+             from 'mptcp_sim submit' over one warm domain pool.  Identical \
+             concurrent submissions share a single simulation; SIGTERM (or \
+             a submit --drain) drains cleanly.")
+  in
+  let watch_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "watch" ] ~docv:"DIR"
+          ~doc:
+            "With --listen: also poll DIR and submit every *.sexp batch \
+             file dropped there, renaming it .done (or .err) once served.")
+  in
+  let max_queue_t =
+    Arg.(
+      value & opt int 64
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "With --listen: reject submissions (typed busy reply) once this \
+             many entries are in flight.")
+  in
+  let gc_max_bytes_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "gc-max-bytes" ] ~docv:"N"
+          ~doc:
+            "With --listen: keep the store under N bytes with a periodic \
+             LRU eviction pass.")
+  in
+  let gc_interval_t =
+    Arg.(
+      value & opt float 5.0
+      & info [ "gc-interval" ] ~docv:"SECONDS"
+          ~doc:"Period of the --gc-max-bytes pass.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Run scenario batches against the content-addressed result cache: \
-          hits are served from the store with zero simulation work, misses \
+         "Run scenario batches against the content-addressed result cache \
+          (hits are served from the store with zero simulation work, misses \
           run on the domain pool and are stored; every outcome is appended \
-          to the trend log")
+          to the trend log), or stay resident with --listen and serve \
+          submissions over a socket")
     Term.(
       const exec $ store_t $ batches_t $ no_cache_t $ invalidate_t $ perf_t
-      $ jobs_t)
+      $ jobs_t $ listen_t $ watch_t $ max_queue_t $ gc_max_bytes_t
+      $ gc_interval_t)
+
+(* --- submit: client side of the resident daemon --- *)
+
+let submit_cmd =
+  let exec socket batches status stats invalidate gc_bytes drain =
+    let rpc req =
+      match Daemon.Protocol.call_once ~socket req with
+      | resp -> resp
+      | exception Daemon.Protocol.Protocol_error msg ->
+        Format.eprintf "submit: protocol error: %s@." msg;
+        exit 1
+      | exception Unix.Unix_error (e, _, _) ->
+        Format.eprintf "submit: cannot reach a daemon on %s: %s@." socket
+          (Unix.error_message e);
+        exit 1
+    in
+    let fail_reply kind msg =
+      Format.eprintf "submit: daemon error (%s): %s@."
+        (Daemon.Protocol.error_kind_name kind)
+        msg;
+      exit 1
+    in
+    let nothing_else =
+      (not status) && (not stats) && (not invalidate) && (not drain)
+      && gc_bytes = None
+    in
+    if batches = [] && nothing_else then begin
+      Format.eprintf "submit: no batch files and no control flags given@.";
+      exit 2
+    end;
+    List.iter
+      (fun batch_file ->
+        let forms =
+          try Events.Sexp.load batch_file with
+          | Events.Sexp.Parse_error msg ->
+            Format.eprintf "%s: %s@." batch_file msg;
+            exit 2
+          | Sys_error msg ->
+            Format.eprintf "%s@." msg;
+            exit 2
+        in
+        match rpc (Daemon.Protocol.Submit forms) with
+        | Daemon.Protocol.Batch b ->
+          Format.printf "=== batch %s ===@." (Filename.basename batch_file);
+          List.iter
+            (fun (o : Daemon.Protocol.outcome) ->
+              Format.printf "%-6s %s %-24s tail %.1f / opt %.1f Mbps@."
+                (Daemon.Protocol.outcome_kind_name o.Daemon.Protocol.kind)
+                (Core.Canon.short o.Daemon.Protocol.hash)
+                o.Daemon.Protocol.label o.Daemon.Protocol.tail_mbps
+                o.Daemon.Protocol.opt_mbps)
+            b.Daemon.Protocol.outcomes;
+          Format.printf
+            "batch: %d entries, %d hits, %d fresh, %d shared, %d simulation \
+             events@."
+            b.Daemon.Protocol.entries b.Daemon.Protocol.hits
+            b.Daemon.Protocol.fresh b.Daemon.Protocol.shared
+            b.Daemon.Protocol.fresh_sim_events
+        | Daemon.Protocol.Error (kind, msg) -> fail_reply kind msg
+        | _ ->
+          Format.eprintf "submit: unexpected reply to a batch@.";
+          exit 1)
+      batches;
+    if invalidate then begin
+      match rpc Daemon.Protocol.Invalidate with
+      | Daemon.Protocol.Invalidated n ->
+        Format.printf "invalidated %d cached records@." n
+      | Daemon.Protocol.Error (kind, msg) -> fail_reply kind msg
+      | _ ->
+        Format.eprintf "submit: unexpected reply to invalidate@.";
+        exit 1
+    end;
+    (match gc_bytes with
+    | None -> ()
+    | Some budget -> (
+      match rpc (Daemon.Protocol.Gc budget) with
+      | Daemon.Protocol.Gc_done g ->
+        Format.printf
+          "gc: evicted %d of %d records (%dB), kept %d (%dB <= %dB budget)@."
+          g.Daemon.Protocol.evicted g.Daemon.Protocol.examined
+          g.Daemon.Protocol.evicted_bytes g.Daemon.Protocol.kept
+          g.Daemon.Protocol.kept_bytes budget
+      | Daemon.Protocol.Error (kind, msg) -> fail_reply kind msg
+      | _ ->
+        Format.eprintf "submit: unexpected reply to gc@.";
+        exit 1));
+    if status then begin
+      match rpc Daemon.Protocol.Status with
+      | Daemon.Protocol.Status_reply s ->
+        Format.printf
+          "daemon pid %d: draining %b, queue %d, inflight %d, %d pool \
+           domains, %d records@."
+          s.Daemon.Protocol.pid s.Daemon.Protocol.draining
+          s.Daemon.Protocol.queue_depth s.Daemon.Protocol.inflight
+          s.Daemon.Protocol.pool_domains s.Daemon.Protocol.store_records
+      | Daemon.Protocol.Error (kind, msg) -> fail_reply kind msg
+      | _ ->
+        Format.eprintf "submit: unexpected reply to status@.";
+        exit 1
+    end;
+    if stats then begin
+      match rpc Daemon.Protocol.Stats with
+      | Daemon.Protocol.Stats_reply s ->
+        Format.printf
+          "daemon stats: %d submissions, %d entries (%d hits, %d fresh, %d \
+           shared), %d rejected, %d protocol errors, %d gc runs@."
+          s.Daemon.Protocol.submissions s.Daemon.Protocol.served_entries
+          s.Daemon.Protocol.s_hits s.Daemon.Protocol.s_fresh
+          s.Daemon.Protocol.s_shared s.Daemon.Protocol.rejected
+          s.Daemon.Protocol.protocol_errors s.Daemon.Protocol.gc_runs;
+        Format.printf "store: %d records (%dB), %d trend entries@."
+          s.Daemon.Protocol.store_records s.Daemon.Protocol.store_bytes
+          s.Daemon.Protocol.trend_entries
+      | Daemon.Protocol.Error (kind, msg) -> fail_reply kind msg
+      | _ ->
+        Format.eprintf "submit: unexpected reply to stats@.";
+        exit 1
+    end;
+    if drain then begin
+      match rpc Daemon.Protocol.Drain with
+      | Daemon.Protocol.Drained -> Format.printf "daemon drained@."
+      | Daemon.Protocol.Error (kind, msg) -> fail_reply kind msg
+      | _ ->
+        Format.eprintf "submit: unexpected reply to drain@.";
+        exit 1
+    end
+  in
+  let socket_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"SOCK"
+          ~doc:"The daemon's Unix-domain socket (serve --listen SOCK).")
+  in
+  let batches_t =
+    Arg.(value & pos_all file [] & info [] ~docv:"BATCH.sexp")
+  in
+  let status_t =
+    Arg.(
+      value & flag
+      & info [ "status" ]
+          ~doc:"Print the daemon's lifecycle snapshot after any batches.")
+  in
+  let stats_t =
+    Arg.(
+      value & flag
+      & info [ "stats" ] ~doc:"Print the daemon's service counters.")
+  in
+  let invalidate_t =
+    Arg.(
+      value & flag
+      & info [ "invalidate" ] ~doc:"Ask the daemon to drop every record.")
+  in
+  let gc_bytes_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "gc" ] ~docv:"BYTES"
+          ~doc:"Ask the daemon for one LRU pass down to this byte budget.")
+  in
+  let drain_t =
+    Arg.(
+      value & flag
+      & info [ "drain" ]
+          ~doc:
+            "Drain the daemon: in-flight runs complete, the socket is \
+             unlinked, the process exits.  Runs after everything else.")
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit batches (and control requests) to a resident 'serve \
+          --listen' daemon over its socket")
+    Term.(
+      const exec $ socket_t $ batches_t $ status_t $ stats_t $ invalidate_t
+      $ gc_bytes_t $ drain_t)
 
 let report_cmd =
   let exec store last perf =
@@ -839,4 +1101,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ paths_cmd; lp_opt_cmd; run_cmd; fluid_cmd; figures_cmd;
-            sweep_cmd; scaling_cmd; serve_cmd; report_cmd; cache_cmd ]))
+            sweep_cmd; scaling_cmd; serve_cmd; submit_cmd; report_cmd;
+            cache_cmd ]))

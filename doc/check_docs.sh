@@ -22,7 +22,9 @@ objs() { echo "$root/lib/$1/.$1.objs/byte"; }
 # listed interfaces with every in-repo dependency's compiled interfaces
 # on the include path.  Wrapped multi-module libraries need their alias
 # module opened (Engine, Obs); single-module libraries must not open
-# the very module they define.
+# the very module they define; a wrapped library with a main module of
+# the library's own name (daemon) opens the generated `Lib__` alias
+# instead, since the main module is the thing being checked.
 doc_one() {
     lib=$1
     shift
@@ -33,7 +35,7 @@ doc_one() {
     done
     shift
     incs=""
-    for dep in engine packet netgraph netsim tcp mptcp measure lp core audit fuzz obs fluid validate events serve; do
+    for dep in engine packet netgraph netsim tcp mptcp measure lp core audit fuzz obs fluid validate events serve daemon; do
         [ -d "$(objs "$dep")" ] && incs="$incs -I $(objs "$dep")"
     done
     # shellcheck disable=SC2086
@@ -94,6 +96,10 @@ doc_one serve Serve -- \
     "$root/lib/serve/trend.mli" \
     "$root/lib/serve/batch.mli" \
     "$root/lib/serve/service.mli"
+
+doc_one daemon Daemon__ -- \
+    "$root/lib/daemon/protocol.mli" \
+    "$root/lib/daemon/daemon.mli"
 
 # --- markdown link check ---
 # Every relative link target written as [text](target) in the user-facing

@@ -1,0 +1,610 @@
+module Protocol = Protocol
+
+module Flights = struct
+  type payload = Serve.Store.record * Serve.Service.sim_kind
+  type slot = { mutable result : (payload, exn) result option }
+  type role = Leader of slot | Follower of slot
+
+  type t = {
+    m : Mutex.t;
+    c : Condition.t;
+    tbl : (string, slot) Hashtbl.t;
+  }
+
+  let create () =
+    { m = Mutex.create (); c = Condition.create (); tbl = Hashtbl.create 16 }
+
+  let inflight t =
+    Mutex.lock t.m;
+    let n = Hashtbl.length t.tbl in
+    Mutex.unlock t.m;
+    n
+
+  let enter t ~hash =
+    Mutex.lock t.m;
+    let role =
+      match Hashtbl.find_opt t.tbl hash with
+      | Some slot -> Follower slot
+      | None ->
+        let slot = { result = None } in
+        Hashtbl.add t.tbl hash slot;
+        Leader slot
+    in
+    Mutex.unlock t.m;
+    role
+
+  let publish t ~hash slot res =
+    Mutex.lock t.m;
+    slot.result <- Some res;
+    (* Retire the hash so the next [enter] opens a fresh flight; guard
+       against a stale publish retiring a newer flight of the same
+       hash. *)
+    (match Hashtbl.find_opt t.tbl hash with
+    | Some s when s == slot -> Hashtbl.remove t.tbl hash
+    | _ -> ());
+    Condition.broadcast t.c;
+    Mutex.unlock t.m
+
+  let wait t slot =
+    Mutex.lock t.m;
+    let rec settled () =
+      match slot.result with
+      | Some r -> r
+      | None ->
+        Condition.wait t.c t.m;
+        settled ()
+    in
+    let r = settled () in
+    Mutex.unlock t.m;
+    r
+end
+
+type conf = {
+  socket_path : string;
+  store_dir : string;
+  base_dir : string;
+  jobs : int option;
+  max_queue : int;
+  gc_max_bytes : int option;
+  gc_interval_s : float;
+  watch_dir : string option;
+  watch_poll_s : float;
+  log : bool;
+}
+
+let default_conf ~socket_path ~store_dir =
+  {
+    socket_path;
+    store_dir;
+    base_dir = Filename.current_dir_name;
+    jobs = None;
+    max_queue = 64;
+    gc_max_bytes = None;
+    gc_interval_s = 5.;
+    watch_dir = None;
+    watch_poll_s = 0.5;
+    log = true;
+  }
+
+type t = {
+  conf : conf;
+  store : Serve.Store.t;
+  pool : Engine.Pool.t;
+  flights : Flights.t;
+  listen : Unix.file_descr;
+  m : Mutex.t;
+  cond : Condition.t;
+  mutable is_draining : bool;
+  mutable busy_entries : int;  (** entries admitted and not yet replied *)
+  mutable active_conns : int;
+  mutable helpers : Thread.t list;
+  metrics : Obs.Metrics.t;
+  c_submissions : Obs.Metrics.counter;
+  c_entries : Obs.Metrics.counter;
+  c_hits : Obs.Metrics.counter;
+  c_fresh : Obs.Metrics.counter;
+  c_shared : Obs.Metrics.counter;
+  c_rejected : Obs.Metrics.counter;
+  c_proto_errors : Obs.Metrics.counter;
+  c_gc_runs : Obs.Metrics.counter;
+  warm_hit_ms : Obs.Metrics.histogram;
+}
+
+let store t = t.store
+let metrics t = t.metrics
+
+let log t fmt =
+  if t.conf.log then
+    Printf.ksprintf (fun s -> Printf.eprintf "[mptcp-daemon] %s\n%!" s) fmt
+  else Printf.ksprintf ignore fmt
+
+let draining t =
+  Mutex.lock t.m;
+  let d = t.is_draining in
+  Mutex.unlock t.m;
+  d
+
+let queue_depth t =
+  Mutex.lock t.m;
+  let n = t.busy_entries in
+  Mutex.unlock t.m;
+  n
+
+let bump ?by t c =
+  Mutex.lock t.m;
+  Obs.Metrics.incr ?by c;
+  Mutex.unlock t.m
+
+let initiate_drain t =
+  Mutex.lock t.m;
+  let first = not t.is_draining in
+  t.is_draining <- true;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.m;
+  if first then log t "draining: no new work; letting in-flight runs land"
+
+(* One submission's entry, after the store lookup and flight entry.
+   Leaders carry the pool ticket for their own simulation; followers
+   (of this or another submission) only carry the slot to wait on. *)
+type item =
+  | Cached of Serve.Batch.entry * string * Serve.Store.record
+  | Lead of
+      Serve.Batch.entry
+      * string
+      * Flights.slot
+      * (Serve.Store.record * Serve.Service.sim_kind) Engine.Pool.ticket
+  | Join of Serve.Batch.entry * string * Flights.slot
+
+(* Resolve every entry to (entry, hash, record, outcome kind), dispatch
+   order preserved.  Phase 1 enters flights and enqueues every miss on
+   the pool before phase 2 awaits any of them, so a submission's misses
+   run in parallel and a concurrent submission of the same hash joins
+   the flight instead of re-simulating. *)
+let resolve t entries =
+  let items =
+    List.map
+      (fun (e : Serve.Batch.entry) ->
+        let hash = Serve.Service.hash_entry e in
+        match Serve.Store.lookup t.store ~hash with
+        | Some r -> Cached (e, hash, r)
+        | None -> (
+          match Flights.enter t.flights ~hash with
+          | Flights.Follower slot -> Join (e, hash, slot)
+          | Flights.Leader slot -> (
+            match
+              Engine.Pool.submit t.pool (fun () ->
+                  Serve.Service.simulate_entry ~store:t.store e ~hash)
+            with
+            | ticket -> Lead (e, hash, slot, ticket)
+            | exception ex ->
+              (* never leave a flight unpublished: followers would
+                 block forever *)
+              Flights.publish t.flights ~hash slot (Error ex);
+              Join (e, hash, slot))))
+      entries
+  in
+  List.iter
+    (function
+      | Lead (_, hash, slot, ticket) ->
+        let res =
+          match Engine.Pool.await ticket with
+          | payload -> Ok payload
+          | exception ex -> Error ex
+        in
+        Flights.publish t.flights ~hash slot res
+      | Cached _ | Join _ -> ())
+    items;
+  List.map
+    (function
+      | Cached (e, hash, r) -> (e, hash, r, Protocol.Hit)
+      | Lead (e, _, slot, _) -> (
+        match Flights.wait t.flights slot with
+        | Ok (r, Serve.Service.Simulated) ->
+          (e, r.Serve.Store.hash, r, Protocol.Fresh)
+        | Ok (r, Serve.Service.Adopted) ->
+          (* a peer process held the store claim; we rode its run *)
+          (e, r.Serve.Store.hash, r, Protocol.Shared)
+        | Error ex -> raise ex)
+      | Join (e, hash, slot) -> (
+        match Flights.wait t.flights slot with
+        | Ok (r, _) -> (e, hash, r, Protocol.Shared)
+        | Error ex -> raise ex))
+    items
+
+let submit_entries t entries =
+  let wall0 = Unix.gettimeofday () in
+  let n = List.length entries in
+  Mutex.lock t.m;
+  if t.is_draining then begin
+    Obs.Metrics.incr t.c_rejected;
+    Mutex.unlock t.m;
+    Protocol.Error (Protocol.Draining, "daemon is draining; no new work")
+  end
+  else if t.busy_entries + n > t.conf.max_queue then begin
+    Obs.Metrics.incr t.c_rejected;
+    let depth = t.busy_entries in
+    Mutex.unlock t.m;
+    Protocol.Error
+      ( Protocol.Busy,
+        Printf.sprintf
+          "queue full: %d entries in flight plus %d submitted exceeds limit %d"
+          depth n t.conf.max_queue )
+  end
+  else begin
+    t.busy_entries <- t.busy_entries + n;
+    Obs.Metrics.incr t.c_submissions;
+    Obs.Metrics.incr ~by:n t.c_entries;
+    Mutex.unlock t.m;
+    Fun.protect
+      ~finally:(fun () ->
+        Mutex.lock t.m;
+        t.busy_entries <- t.busy_entries - n;
+        Condition.broadcast t.cond;
+        Mutex.unlock t.m)
+      (fun () ->
+        match resolve t entries with
+        | exception ex ->
+          Protocol.Error (Protocol.Failed, Printexc.to_string ex)
+        | resolved ->
+          let at_unix = Unix.gettimeofday () in
+          List.iter
+            (fun (_, _, r, kind) ->
+              Serve.Trend.append ~dir:(Serve.Store.dir t.store)
+                (Serve.Trend.entry_of_record ~at_unix
+                   ~cached:(kind <> Protocol.Fresh) r))
+            resolved;
+          let count k =
+            List.length (List.filter (fun (_, _, _, k') -> k' = k) resolved)
+          in
+          let hits = count Protocol.Hit in
+          let fresh = count Protocol.Fresh in
+          let shared = count Protocol.Shared in
+          let fresh_sim_events =
+            List.fold_left
+              (fun acc (_, _, r, k) ->
+                if k = Protocol.Fresh then acc + r.Serve.Store.sim_events
+                else acc)
+              0 resolved
+          in
+          Mutex.lock t.m;
+          Obs.Metrics.incr ~by:hits t.c_hits;
+          Obs.Metrics.incr ~by:fresh t.c_fresh;
+          Obs.Metrics.incr ~by:shared t.c_shared;
+          Mutex.unlock t.m;
+          if fresh = 0 && shared = 0 then
+            Obs.Metrics.observe t.warm_hit_ms
+              ((Unix.gettimeofday () -. wall0) *. 1000.);
+          let outcomes =
+            List.map
+              (fun ((e : Serve.Batch.entry), hash, r, kind) ->
+                {
+                  Protocol.kind;
+                  hash;
+                  label = e.Serve.Batch.label;
+                  tail_mbps = r.Serve.Store.tail_mbps;
+                  opt_mbps = r.Serve.Store.opt_mbps;
+                  sim_events = r.Serve.Store.sim_events;
+                })
+              resolved
+          in
+          Protocol.Batch
+            { Protocol.outcomes; entries = n; hits; fresh; shared;
+              fresh_sim_events })
+  end
+
+let gc_now t =
+  match t.conf.gc_max_bytes with
+  | None -> None
+  | Some budget ->
+    let g = Serve.Store.gc t.store ~max_bytes:budget in
+    bump t t.c_gc_runs;
+    if g.Serve.Store.evicted > 0 then
+      log t "gc: evicted %d records (%d bytes), %d kept"
+        g.Serve.Store.evicted g.Serve.Store.evicted_bytes g.Serve.Store.kept;
+    Some g
+
+let handle t (req : Protocol.request) =
+  match req with
+  | Protocol.Submit forms -> (
+    match Serve.Batch.of_sexps ~base_dir:t.conf.base_dir forms with
+    | [] -> Protocol.Error (Protocol.Failed, "empty batch")
+    | entries -> submit_entries t entries
+    | exception Events.Sexp.Parse_error msg ->
+      bump t t.c_proto_errors;
+      Protocol.Error (Protocol.Parse, msg)
+    | exception Invalid_argument msg ->
+      Protocol.Error (Protocol.Failed, msg))
+  | Protocol.Status ->
+    Mutex.lock t.m;
+    let queue_depth = t.busy_entries in
+    let draining = t.is_draining in
+    Mutex.unlock t.m;
+    Protocol.Status_reply
+      {
+        Protocol.pid = Unix.getpid ();
+        draining;
+        queue_depth;
+        inflight = Flights.inflight t.flights;
+        pool_domains = Engine.Pool.size t.pool;
+        store_records = Serve.Store.count t.store;
+      }
+  | Protocol.Stats ->
+    let v = Obs.Metrics.value in
+    let trend_entries =
+      List.length (fst (Serve.Trend.load ~dir:(Serve.Store.dir t.store)))
+    in
+    Protocol.Stats_reply
+      {
+        Protocol.submissions = v t.c_submissions;
+        served_entries = v t.c_entries;
+        s_hits = v t.c_hits;
+        s_fresh = v t.c_fresh;
+        s_shared = v t.c_shared;
+        rejected = v t.c_rejected;
+        protocol_errors = v t.c_proto_errors;
+        gc_runs = v t.c_gc_runs;
+        store_records = Serve.Store.count t.store;
+        store_bytes = Serve.Store.bytes t.store;
+        trend_entries;
+      }
+  | Protocol.Invalidate ->
+    Protocol.Invalidated (Serve.Store.invalidate t.store)
+  | Protocol.Gc budget -> (
+    match Serve.Store.gc t.store ~max_bytes:budget with
+    | g ->
+      bump t t.c_gc_runs;
+      Protocol.Gc_done
+        {
+          Protocol.examined = g.Serve.Store.examined;
+          evicted = g.Serve.Store.evicted;
+          evicted_bytes = g.Serve.Store.evicted_bytes;
+          kept = g.Serve.Store.kept;
+          kept_bytes = g.Serve.Store.kept_bytes;
+        }
+    | exception Invalid_argument msg -> Protocol.Error (Protocol.Failed, msg))
+  | Protocol.Drain ->
+    initiate_drain t;
+    Mutex.lock t.m;
+    while t.busy_entries > 0 do
+      Condition.wait t.cond t.m
+    done;
+    Mutex.unlock t.m;
+    Protocol.Drained
+
+(* Helper-thread sleep that notices a drain within 0.1 s. *)
+let sleep_interruptible t seconds =
+  let rec go remaining =
+    if remaining > 0. && not (draining t) then begin
+      Thread.delay (min 0.1 remaining);
+      go (remaining -. 0.1)
+    end
+  in
+  go seconds
+
+let gc_loop t =
+  while not (draining t) do
+    sleep_interruptible t t.conf.gc_interval_s;
+    if not (draining t) then ignore (gc_now t)
+  done
+
+let watch_loop t dir =
+  let processed = Hashtbl.create 16 in
+  let shelve path suffix =
+    try Sys.rename path (path ^ suffix) with Sys_error _ -> ()
+  in
+  while not (draining t) do
+    (match Sys.readdir dir with
+    | exception Sys_error _ -> ()
+    | names ->
+      Array.sort compare names;
+      Array.iter
+        (fun name ->
+          if
+            Filename.check_suffix name ".sexp"
+            && (not (Hashtbl.mem processed name))
+            && not (draining t)
+          then begin
+            Hashtbl.add processed name ();
+            let path = Filename.concat dir name in
+            match Serve.Batch.load path with
+            | exception ex ->
+              log t "watch: %s: %s" name (Printexc.to_string ex);
+              shelve path ".err"
+            | [] ->
+              log t "watch: %s: empty batch" name;
+              shelve path ".err"
+            | entries -> (
+              match submit_entries t entries with
+              | Protocol.Batch b ->
+                log t "watch: %s: %d entries, %d hits, %d fresh, %d shared"
+                  name b.Protocol.entries b.Protocol.hits b.Protocol.fresh
+                  b.Protocol.shared;
+                shelve path ".done"
+              | Protocol.Error (Protocol.Busy, _) ->
+                (* backpressure: leave the file in place and retry on a
+                   later poll *)
+                Hashtbl.remove processed name;
+                log t "watch: %s: queue full, will retry" name
+              | Protocol.Error (_, msg) ->
+                log t "watch: %s: rejected: %s" name msg;
+                shelve path ".err"
+              | _ -> ())
+          end)
+        names);
+    sleep_interruptible t t.conf.watch_poll_s
+  done
+
+let handle_conn t fd =
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Mutex.lock t.m;
+      t.active_conns <- t.active_conns - 1;
+      Condition.broadcast t.cond;
+      Mutex.unlock t.m)
+    (fun () ->
+      let idle_stop () = draining t in
+      let reply resp =
+        match Protocol.write_frame fd (Protocol.render_response resp) with
+        | () -> true
+        | exception (Unix.Unix_error _ | Invalid_argument _) -> false
+      in
+      let rec loop () =
+        match Protocol.read_frame ~idle_stop fd with
+        | Protocol.Eof | Protocol.Idle_stop -> ()
+        | Protocol.Truncated ->
+          (* stream died mid-frame: nothing sensible to answer *)
+          bump t t.c_proto_errors
+        | Protocol.Too_large n ->
+          bump t t.c_proto_errors;
+          (* answer, then drop the connection: the stream cannot be
+             resynchronised without trusting the bogus length *)
+          ignore
+            (reply
+               (Protocol.Error
+                  ( Protocol.Oversized,
+                    Printf.sprintf
+                      "frame of %d bytes exceeds the %d byte limit" n
+                      Protocol.max_frame )))
+        | Protocol.Frame payload ->
+          let resp =
+            match Protocol.parse_request payload with
+            | req -> (
+              try handle t req
+              with ex ->
+                Protocol.Error (Protocol.Failed, Printexc.to_string ex))
+            | exception Events.Sexp.Parse_error msg ->
+              bump t t.c_proto_errors;
+              Protocol.Error (Protocol.Parse, msg)
+            | exception Protocol.Wrong_version v ->
+              bump t t.c_proto_errors;
+              Protocol.Error
+                ( Protocol.Version,
+                  Printf.sprintf
+                    "peer speaks protocol %d, this daemon speaks %d" v
+                    Protocol.version )
+          in
+          if reply resp then loop ()
+      in
+      loop ())
+
+let start conf =
+  (match Unix.stat conf.socket_path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { Unix.st_kind = Unix.S_SOCK; _ } ->
+    (* leftover from a dead daemon, or a live one?  probe it *)
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect probe (Unix.ADDR_UNIX conf.socket_path) with
+      | () -> true
+      | exception Unix.Unix_error _ -> false
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    if live then
+      failwith
+        (Printf.sprintf "a daemon is already listening on %s" conf.socket_path)
+    else (try Sys.remove conf.socket_path with Sys_error _ -> ())
+  | _ -> failwith (conf.socket_path ^ " exists and is not a socket"));
+  let listen = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock listen;
+  Unix.bind listen (Unix.ADDR_UNIX conf.socket_path);
+  Unix.listen listen 16;
+  let store = Serve.Store.open_store ~dir:conf.store_dir in
+  let domains =
+    match conf.jobs with
+    | Some j -> j
+    | None -> Engine.Pool.default_domains ()
+  in
+  let pool = Engine.Pool.create ~domains () in
+  let metrics = Obs.Metrics.create () in
+  let t =
+    {
+      conf;
+      store;
+      pool;
+      flights = Flights.create ();
+      listen;
+      m = Mutex.create ();
+      cond = Condition.create ();
+      is_draining = false;
+      busy_entries = 0;
+      active_conns = 0;
+      helpers = [];
+      metrics;
+      c_submissions = Obs.Metrics.counter metrics "daemon.submissions";
+      c_entries = Obs.Metrics.counter metrics "daemon.entries";
+      c_hits = Obs.Metrics.counter metrics "daemon.hits";
+      c_fresh = Obs.Metrics.counter metrics "daemon.fresh";
+      c_shared = Obs.Metrics.counter metrics "daemon.shared";
+      c_rejected = Obs.Metrics.counter metrics "daemon.rejected";
+      c_proto_errors = Obs.Metrics.counter metrics "daemon.protocol_errors";
+      c_gc_runs = Obs.Metrics.counter metrics "daemon.gc_runs";
+      warm_hit_ms = Obs.Metrics.histogram metrics "daemon.warm_hit_ms";
+    }
+  in
+  Obs.Metrics.gauge metrics "daemon.queue_depth" (fun () ->
+      float_of_int (queue_depth t));
+  Obs.Metrics.gauge metrics "daemon.inflight_singles" (fun () ->
+      float_of_int (Flights.inflight t.flights));
+  let helpers = ref [] in
+  (match conf.gc_max_bytes with
+  | Some _ -> helpers := Thread.create gc_loop t :: !helpers
+  | None -> ());
+  (match conf.watch_dir with
+  | Some dir -> helpers := Thread.create (watch_loop t) dir :: !helpers
+  | None -> ());
+  t.helpers <- !helpers;
+  t
+
+let serve t =
+  (* a client that hangs up before reading its reply must not kill the
+     daemon: surface EPIPE as an exception instead *)
+  ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+  log t "listening on %s (pid %d, %d worker domains, %d records cached)"
+    t.conf.socket_path (Unix.getpid ())
+    (Engine.Pool.size t.pool)
+    (Serve.Store.count t.store);
+  let rec accept_loop () =
+    if draining t then ()
+    else begin
+      (match Unix.select [ t.listen ] [] [] 0.25 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | [], _, _ -> ()
+      | _ -> (
+        match Unix.accept t.listen with
+        | exception
+            Unix.Unix_error
+              ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+          ()
+        | fd, _ ->
+          Unix.clear_nonblock fd;
+          Mutex.lock t.m;
+          t.active_conns <- t.active_conns + 1;
+          Mutex.unlock t.m;
+          ignore (Thread.create (handle_conn t) fd)));
+      accept_loop ()
+    end
+  in
+  accept_loop ();
+  (* drain: every admitted entry replies, every connection closes *)
+  Mutex.lock t.m;
+  while t.busy_entries > 0 || t.active_conns > 0 do
+    Condition.wait t.cond t.m
+  done;
+  Mutex.unlock t.m;
+  List.iter Thread.join t.helpers;
+  (try Unix.close t.listen with Unix.Unix_error _ -> ());
+  (try Sys.remove t.conf.socket_path with Sys_error _ -> ());
+  Engine.Pool.shutdown t.pool;
+  log t "drained: socket unlinked, pool shut down"
+
+let run conf =
+  let t = start conf in
+  let drain_signal _ = initiate_drain t in
+  let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle drain_signal) in
+  let old_int = Sys.signal Sys.sigint (Sys.Signal_handle drain_signal) in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.set_signal Sys.sigterm old_term;
+      Sys.set_signal Sys.sigint old_int)
+    (fun () -> serve t)

@@ -1,0 +1,145 @@
+(** The resident scenario daemon: a warm-pool socket service.
+
+    [mptcp_sim serve --listen SOCK] keeps one process resident with a
+    single {!Engine.Pool} of worker domains, an open {!Serve.Store} and
+    the trend log, and serves {!Protocol} requests over a Unix-domain
+    socket.  Compared to one-shot [serve] runs it amortises process
+    start, domain spawn and store open across every submission: a warm
+    resubmission of a cached batch does zero simulation work and spawns
+    nothing.
+
+    Concurrency model: one [Thread] per connection, all sharing the one
+    domain pool.  Submissions are deduplicated twice over —
+
+    - {e in-process} by {!Flights}: concurrent clients submitting the
+      same spec share one simulation (one leader runs it, followers
+      wait for the published record);
+    - {e cross-process} by the store's advisory claims
+      ({!Serve.Store.try_claim} via {!Serve.Service.simulate_entry}):
+      a second daemon or one-shot [serve] on the same store adopts this
+      daemon's in-flight result instead of re-running it.
+
+    Admission is bounded: when the entries already in flight plus a new
+    submission would exceed [max_queue], the client gets a typed
+    [Busy] error immediately (backpressure) instead of queueing without
+    limit.  Draining ([drain] request, SIGTERM or SIGINT) stops
+    admission with typed [Draining] errors, lets in-flight runs
+    complete and their clients receive full replies, flushes
+    store/trend (both are written synchronously per outcome), unlinks
+    the socket and shuts the pool down. *)
+
+module Protocol = Protocol
+(** Re-exported: this module is the library's interface module, which
+    hides its siblings, so the wire protocol rides along here. *)
+
+(** In-process single-flight: at most one running simulation per hash.
+
+    The first thread to {!Flights.enter} a hash becomes the [Leader]
+    and must eventually {!Flights.publish} a result (even a failure) —
+    every concurrent [Follower] of that hash blocks in {!Flights.wait}
+    until then.  The split between [enter] (non-blocking) and [wait]
+    lets a submission dispatch all its misses to the pool before
+    awaiting any of them, and lets tests drive the leader/follower
+    handshake deterministically. *)
+module Flights : sig
+  type payload = Serve.Store.record * Serve.Service.sim_kind
+  (** What a flight lands with: the record, and whether this process
+      simulated it or adopted a peer process's run. *)
+
+  type slot
+  (** One in-flight (or landed) simulation of one hash. *)
+
+  type role =
+    | Leader of slot  (** first in: run it, then {!publish} *)
+    | Follower of slot  (** someone is on it: {!wait} for the result *)
+
+  type t
+
+  val create : unit -> t
+
+  val inflight : t -> int
+  (** Flights currently between [enter] and [publish]. *)
+
+  val enter : t -> hash:string -> role
+  (** Join (or open) the flight for [hash].  Never blocks. *)
+
+  val publish : t -> hash:string -> slot -> (payload, exn) result -> unit
+  (** Leader only: land the flight, wake every waiter, and retire the
+      hash so the next [enter] starts a fresh flight. *)
+
+  val wait : t -> slot -> (payload, exn) result
+  (** Block until the slot's leader has published. *)
+end
+
+(** {1 Configuration and lifecycle} *)
+
+type conf = {
+  socket_path : string;  (** Unix-domain socket to bind *)
+  store_dir : string;  (** result store + trend log directory *)
+  base_dir : string;
+      (** directory that relative paths in submitted batch forms
+          (experiment files) resolve against *)
+  jobs : int option;  (** pool domains; [None] = recommended count *)
+  max_queue : int;  (** max entries in flight before [Busy] rejection *)
+  gc_max_bytes : int option;
+      (** when set, a periodic LRU pass keeps the store under this many
+          bytes (the [cache --gc --max-bytes] policy, resident) *)
+  gc_interval_s : float;  (** period of that pass *)
+  watch_dir : string option;
+      (** when set, a poller submits every [*.sexp] batch file dropped
+          here and renames it [.done] (or [.err]) once served *)
+  watch_poll_s : float;
+  log : bool;  (** lifecycle lines on stderr *)
+}
+
+val default_conf : socket_path:string -> store_dir:string -> conf
+(** [base_dir "."], recommended domains, [max_queue 64], no GC, no
+    watch dir, 5 s GC interval, 0.5 s watch poll, logging on. *)
+
+type t
+
+val start : conf -> t
+(** Bind the socket, open the store, spawn the pool and the helper
+    threads (GC / watch, when configured).  A stale socket file left by
+    a dead daemon is probed and replaced; a live daemon on the same
+    path raises [Failure].  The caller still owes a {!serve}. *)
+
+val serve : t -> unit
+(** Accept loop: one handler thread per connection.  Returns only
+    after a drain completes — every in-flight run finished and
+    replied, helper threads joined, socket closed and unlinked, pool
+    shut down. *)
+
+val run : conf -> unit
+(** {!start} + SIGTERM/SIGINT → {!initiate_drain} wiring + {!serve}:
+    the whole [serve --listen] server mode. *)
+
+val initiate_drain : t -> unit
+(** Flip to draining (idempotent, async-signal-usable): new
+    submissions get typed [Draining] errors, the accept loop winds
+    down, {!serve} completes once in-flight work lands. *)
+
+val draining : t -> bool
+
+(** {1 In-process service access}
+
+    The socket is one transport; tests, the watch poller and the bench
+    harness call straight into the same request handler. *)
+
+val handle : t -> Protocol.request -> Protocol.response
+(** Serve one request exactly as a connection handler would — including
+    admission control, single-flight dedup and counter updates.
+    [Drain] blocks until in-flight submissions land, then answers
+    [Drained]. *)
+
+val gc_now : t -> Serve.Store.gc_stats option
+(** One LRU pass at [gc_max_bytes] (what the periodic timer runs);
+    [None] when no byte budget is configured. *)
+
+val store : t -> Serve.Store.t
+
+val metrics : t -> Obs.Metrics.t
+(** The daemon's instrument registry: gauges [daemon.queue_depth] and
+    [daemon.inflight_singles], histogram [daemon.warm_hit_ms] (service
+    latency of all-hit submissions) and the [daemon.*] counters
+    surfaced by the [stats] request. *)

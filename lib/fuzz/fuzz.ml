@@ -719,3 +719,144 @@ let test ?(count = 120) () =
         QCheck.Test.fail_reportf "case %s: no checks performed (%d injected)"
           (to_string c) rep.Audit.ledger.Audit.injected_pkts
       else true)
+
+(* --- daemon protocol robustness --- *)
+
+(* Deterministic garbage: a tiny LCG so cases shrink and replay without
+   a shared RNG. *)
+let lcg s = ((s * 1103515245) + 12345) land 0x3FFFFFFF
+
+let garbage_bytes n seed =
+  let b = Bytes.create n in
+  let s = ref (lcg (seed + 7)) in
+  for i = 0 to n - 1 do
+    s := lcg !s;
+    Bytes.set b i (Char.chr (!s land 0xff))
+  done;
+  Bytes.to_string b
+
+let write_raw fd s =
+  (* the server may already have dropped the connection: that is a
+     legal answer to garbage, not a test failure *)
+  try
+    let rec go off =
+      if off < String.length s then
+        go (off + Unix.write_substring fd s off (String.length s - off))
+    in
+    go 0
+  with Unix.Unix_error _ -> ()
+
+let frame_header n =
+  let b = Bytes.create 4 in
+  Bytes.set b 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (n land 0xff));
+  Bytes.to_string b
+
+let daemon_garbage_kinds = 7
+
+(* Send one garbage transmission on a fresh connection.  Kinds 1 and
+   3-6 are framed well enough that the server owes a typed error reply;
+   kinds 0 and 2 break the framing itself, where dropping the
+   connection is the only sound answer. *)
+let send_daemon_garbage ~socket i kind =
+  let fd = Daemon.Protocol.connect socket in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let expect_reply =
+        match kind with 1 | 3 | 4 | 5 | 6 -> true | _ -> false
+      in
+      (match kind with
+      | 0 ->
+        (* raw bytes, no framing at all *)
+        write_raw fd (garbage_bytes (8 + i) i)
+      | 1 ->
+        (* oversized declared length *)
+        write_raw fd (frame_header (Daemon.Protocol.max_frame + 1 + i))
+      | 2 ->
+        (* truncated: declare more than we send, then hang up *)
+        write_raw fd (frame_header (128 + i) ^ garbage_bytes 64 i)
+      | 3 ->
+        (* complete frame, unbalanced sexp *)
+        Daemon.Protocol.write_frame fd "(mptcp-daemon (status"
+      | 4 ->
+        (* well-formed sexp, unknown request form *)
+        Daemon.Protocol.write_frame fd
+          (Printf.sprintf "(mptcp-daemon %d (frobnicate 3))"
+             Daemon.Protocol.version)
+      | 5 ->
+        (* a valid request with one bit flipped *)
+        let s = Bytes.of_string (Daemon.Protocol.render_request Daemon.Protocol.Status) in
+        let pos = (i * 13) mod Bytes.length s in
+        Bytes.set s pos
+          (Char.chr (Char.code (Bytes.get s pos) lxor (1 lsl (i mod 8))));
+        Daemon.Protocol.write_frame fd (Bytes.to_string s)
+      | 6 ->
+        (* structurally valid frame from a future protocol version *)
+        Daemon.Protocol.write_frame fd
+          (Printf.sprintf "(mptcp-daemon %d (status))"
+             (Daemon.Protocol.version + 1))
+      | _ -> assert false);
+      if expect_reply then
+        match Daemon.Protocol.read_frame fd with
+        | Daemon.Protocol.Frame s -> (
+          match Daemon.Protocol.parse_response s with
+          | Daemon.Protocol.Error _ -> ()
+          | _ ->
+            QCheck.Test.fail_reportf
+              "garbage kind %d got a non-error reply" kind
+          | exception Events.Sexp.Parse_error msg ->
+            QCheck.Test.fail_reportf
+              "garbage kind %d got an unreadable reply: %s" kind msg)
+        | _ ->
+          QCheck.Test.fail_reportf "garbage kind %d got no reply frame" kind)
+
+let daemon_seq = ref 0
+
+let daemon_test ?(count = 12) () =
+  QCheck.Test.make ~count
+    ~name:"fuzz: the daemon survives protocol garbage and still drains"
+    (QCheck.list_of_size
+       QCheck.Gen.(int_range 1 8)
+       (QCheck.int_bound (daemon_garbage_kinds - 1)))
+    (fun kinds ->
+      incr daemon_seq;
+      (* relative paths: dune sandboxes the test cwd, and a short
+         relative socket path dodges the 108-byte sockaddr_un limit *)
+      let tag = Printf.sprintf "%d_%d" (Unix.getpid ()) !daemon_seq in
+      let socket = Printf.sprintf "_dfz_%s.sock" tag in
+      let conf =
+        {
+          (Daemon.default_conf ~socket_path:socket
+             ~store_dir:(Printf.sprintf "_dfz_store_%s" tag))
+          with
+          Daemon.jobs = Some 1;
+          log = false;
+        }
+      in
+      let t = Daemon.start conf in
+      let server = Thread.create Daemon.serve t in
+      Fun.protect
+        ~finally:(fun () ->
+          (try ignore (Daemon.handle t Daemon.Protocol.Drain)
+           with _ -> ());
+          Thread.join server)
+        (fun () ->
+          List.iteri
+            (fun i kind ->
+              send_daemon_garbage ~socket i kind;
+              (* the daemon must still answer a well-formed request on a
+                 fresh connection after every piece of garbage *)
+              match Daemon.Protocol.call_once ~socket Daemon.Protocol.Status with
+              | Daemon.Protocol.Status_reply s ->
+                if s.Daemon.Protocol.pid <> Unix.getpid () then
+                  QCheck.Test.fail_report "status reply from a foreign pid"
+              | _ ->
+                QCheck.Test.fail_reportf
+                  "no status reply after garbage kind %d" kind)
+            kinds);
+      if Sys.file_exists socket then
+        QCheck.Test.fail_reportf "socket %s still present after drain" socket;
+      true)

@@ -154,3 +154,13 @@ val hybrid_test : ?count:int -> unit -> QCheck.Test.t
     whose occupancy respects the buffer and whose goodput never exceeds
     the offered load, and stay bit-identical between [jobs = 1] and
     [jobs = 4] sweeps. *)
+
+val daemon_test : ?count:int -> unit -> QCheck.Test.t
+(** Daemon robustness: [count] (default 12) random garbage scripts —
+    unframed bytes, oversized length prefixes, truncated frames,
+    unbalanced sexps, unknown request forms, single-bit flips and
+    wrong-version frames — fired at a live daemon.  The server never
+    crashes: every frame it can answer gets a typed error reply, a
+    well-formed request on a fresh connection succeeds after each
+    piece of garbage, and the daemon still drains cleanly (socket
+    unlinked) at the end. *)

@@ -36,6 +36,44 @@ let simulate (e : Batch.entry) ~hash () =
   Store.of_result ~hash ~label:e.Batch.label ~wall_s ~alloc_words
     ~created_unix:(Unix.gettimeofday ()) result
 
+type sim_kind = Simulated | Adopted
+
+(* The cross-process single-flight primitive: claim the hash, then
+   simulate-and-insert, so a peer process that loses the claim race
+   adopts our record instead of re-running the scenario.  The claim is
+   advisory — a stale lock (crashed holder) is taken over inside
+   [Store.try_claim], so this always terminates with a record. *)
+let rec simulate_entry ?(claim = true) ~store (e : Batch.entry) ~hash =
+  if not claim then begin
+    (* --no-cache: re-simulation was explicitly requested, so never
+       adopt a peer's record (and don't make peers wait on us). *)
+    let r = simulate e ~hash () in
+    Store.insert store r;
+    (r, Simulated)
+  end
+  else
+    match Store.try_claim store ~hash with
+    | `Claimed c ->
+      Fun.protect
+        ~finally:(fun () -> Store.release_claim c)
+        (fun () ->
+          (* Re-check under the claim: a peer may have finished between
+             our miss and the claim. *)
+          match Store.lookup store ~hash with
+          | Some r -> (r, Adopted)
+          | None ->
+            let r = simulate e ~hash () in
+            Store.insert store r;
+            (r, Simulated))
+    | `Busy -> (
+      (* A live peer is simulating this very hash; poll for its record.
+         If the peer dies instead, its lock goes stale and the retry's
+         [try_claim] takes over. *)
+      Unix.sleepf 0.02;
+      match Store.lookup store ~hash with
+      | Some r -> (r, Adopted)
+      | None -> simulate_entry ~claim ~store e ~hash)
+
 let run_batch ?jobs ?pool ?(cache = true) ~store entries =
   let wall0 = Unix.gettimeofday () in
   let looked_up =
@@ -60,20 +98,18 @@ let run_batch ?jobs ?pool ?(cache = true) ~store entries =
           end)
       looked_up
   in
-  let run_serially () =
-    List.map (fun (e, hash) -> simulate e ~hash ()) misses
-  in
+  let run_one (e, hash) () = simulate_entry ~claim:cache ~store e ~hash in
+  let run_serially () = List.map (fun m -> run_one m ()) misses in
   let run_on pool =
     let tickets =
-      List.map (fun (e, hash) -> Engine.Pool.submit pool (simulate e ~hash))
-        misses
+      List.map (fun m -> Engine.Pool.submit pool (run_one m)) misses
     in
     List.map Engine.Pool.await tickets
   in
-  let fresh_records =
+  let miss_results =
     match (misses, pool) with
     | [], _ -> []
-    | [ (e, hash) ], None -> [ simulate e ~hash () ]
+    | [ m ], None -> [ run_one m () ]
     | _, Some pool -> run_on pool
     | _, None ->
       let domains =
@@ -91,17 +127,21 @@ let run_batch ?jobs ?pool ?(cache = true) ~store entries =
           (fun () -> run_on pool)
       end
   in
-  List.iter (Store.insert store) fresh_records;
-  let fresh_by_hash = Hashtbl.create 16 in
+  let miss_by_hash = Hashtbl.create 16 in
   List.iter2
-    (fun (_, hash) r -> Hashtbl.replace fresh_by_hash hash r)
-    misses fresh_records;
+    (fun (_, hash) rk -> Hashtbl.replace miss_by_hash hash rk)
+    misses miss_results;
   let outcomes =
     List.map
       (fun (e, hash, hit) ->
         match hit with
         | Some r -> (e, Hit r)
-        | None -> (e, Fresh (Hashtbl.find fresh_by_hash hash)))
+        | None -> (
+          match Hashtbl.find miss_by_hash hash with
+          | r, Simulated -> (e, Fresh r)
+          (* a peer process simulated it while we waited: a hit from
+             the submitter's point of view — zero work of ours *)
+          | r, Adopted -> (e, Hit r)))
       looked_up
   in
   let at_unix = Unix.gettimeofday () in
@@ -122,7 +162,11 @@ let run_batch ?jobs ?pool ?(cache = true) ~store entries =
       hits;
       fresh = List.length entries - hits;
       fresh_sim_events =
-        List.fold_left (fun acc r -> acc + r.Store.sim_events) 0 fresh_records;
+        List.fold_left
+          (fun acc -> function
+            | r, Simulated -> acc + r.Store.sim_events
+            | _, Adopted -> acc)
+          0 miss_results;
       wall_s = Unix.gettimeofday () -. wall0;
     }
   in

@@ -48,3 +48,24 @@ val run_batch :
 val hash_entry : Batch.entry -> string
 (** The content address the service uses for an entry —
     {!Core.Canon.hash} of its spec. *)
+
+type sim_kind =
+  | Simulated  (** this process ran the engine *)
+  | Adopted
+      (** a peer process held the advisory claim and this call adopted
+          its record once it landed — zero simulation work here *)
+
+val simulate_entry :
+  ?claim:bool ->
+  store:Store.t ->
+  Batch.entry ->
+  hash:string ->
+  Store.record * sim_kind
+(** Simulate one miss under the store's advisory claim
+    ({!Store.try_claim}) and insert the record: the cross-process half
+    of single-flight dedup.  If a live peer already claimed [hash],
+    polls for its record instead of re-simulating (a stale claim —
+    crashed peer — is taken over).  [~claim:false] always simulates
+    and never waits, the [--no-cache] contract.  Both {!run_batch}
+    misses and the daemon's in-flight singles go through here, so two
+    processes sharing a store run each scenario once between them. *)

@@ -226,8 +226,19 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* Temp names are built from pid + a process-wide atomic counter
+   rather than [Filename.temp_file]: inserts now run on pool worker
+   domains (Service.simulate_entry stores its own result under the
+   advisory claim), and temp_file's shared PRNG state is not
+   domain-safe. *)
+let tmp_seq = Atomic.make 0
+
 let write_file_atomic ~dir ~path content =
-  let tmp = Filename.temp_file ~temp_dir:dir "record" ".tmp" in
+  let tmp =
+    Filename.concat dir
+      (Printf.sprintf ".tmp.%d.%d" (Unix.getpid ())
+         (Atomic.fetch_and_add tmp_seq 1))
+  in
   let oc = open_out_bin tmp in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -327,6 +338,14 @@ let insert t r =
   mkdir_p dir;
   write_file_atomic ~dir ~path (file_of_record r)
 
+(* Record files only: the shard directories also hold transient
+   [.tmp.*] halves of atomic writes and advisory [*.lock] claims, and
+   neither may be counted, GC-evicted or invalidated as a record. *)
+let is_record_name name =
+  String.length name > 0
+  && name.[0] <> '.'
+  && not (Filename.check_suffix name ".lock")
+
 let iter_objects t f =
   let objs = objects_dir t.dir in
   if Sys.file_exists objs then
@@ -334,7 +353,9 @@ let iter_objects t f =
       (fun shard ->
         let sdir = Filename.concat objs shard in
         if Sys.is_directory sdir then
-          Array.iter (fun name -> f (Filename.concat sdir name))
+          Array.iter
+            (fun name ->
+              if is_record_name name then f (Filename.concat sdir name))
             (Sys.readdir sdir))
       (Sys.readdir objs)
 
@@ -409,6 +430,55 @@ let gc t ~max_bytes =
 let stale_seen t = t.stale
 let corrupt_seen t = t.corrupt
 let evicted_total (t : t) = t.evicted
+
+(* --- advisory in-flight claims --- *)
+
+type claim = { lock_path : string; mutable held : bool }
+
+let claim_path t ~hash = record_path t ~hash ^ ".lock"
+
+let release_claim c =
+  if c.held then begin
+    c.held <- false;
+    try Sys.remove c.lock_path with Sys_error _ -> ()
+  end
+
+(* O_CREAT|O_EXCL is the atomic test-and-set; the file body (pid +
+   creation time) is for humans debugging a stuck store, the mtime is
+   what staleness reads. *)
+let try_claim ?(stale_after_s = 120.) t ~hash =
+  let lock_path = claim_path t ~hash in
+  mkdir_p (Filename.dirname lock_path);
+  let attempt () =
+    match
+      Unix.openfile lock_path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_EXCL ]
+        0o644
+    with
+    | fd ->
+      let body =
+        Printf.sprintf "pid %d at %.6f\n" (Unix.getpid ())
+          (Unix.gettimeofday ())
+      in
+      ignore (Unix.write_substring fd body 0 (String.length body));
+      Unix.close fd;
+      Some { lock_path; held = true }
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> None
+  in
+  match attempt () with
+  | Some c -> `Claimed c
+  | None -> (
+    (* Held.  A holder that died stops refreshing the file; once its
+       mtime is older than the staleness horizon, take it over. *)
+    match Unix.stat lock_path with
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> (
+      (* released between our two looks; retry the create once *)
+      match attempt () with Some c -> `Claimed c | None -> `Busy)
+    | { Unix.st_mtime; _ } ->
+      if Unix.gettimeofday () -. st_mtime <= stale_after_s then `Busy
+      else begin
+        (try Sys.remove lock_path with Sys_error _ -> ());
+        match attempt () with Some c -> `Claimed c | None -> `Busy
+      end)
 
 let pp_record fmt r =
   Format.fprintf fmt "@[<v>%s %s (cc=%s seed=%d, %d paths)@,"

@@ -117,6 +117,41 @@ val evicted_total : t -> int
 (** Rejection/eviction counters since [open_store], for the [cache]
     CLI. *)
 
+(** {1 Advisory in-flight claims}
+
+    Two serve processes sharing one store interleave their {e writes}
+    safely (atomic rename, O_APPEND), but nothing used to stop both
+    from {e simulating} the same miss concurrently — wasted work, not
+    corruption.  A claim closes that hole: before simulating hash [h],
+    a process takes [objects/<h2>/<h>.lock] with [O_CREAT|O_EXCL]; a
+    peer that finds the lock held waits for the record to land instead
+    of re-running the scenario ({!Serve.Service.simulate_entry}).
+
+    The claim is advisory and crash-safe: a holder that dies leaves a
+    lock whose mtime stops advancing, and {!try_claim} takes such a
+    stale lock over (unlink + re-create) once it is older than
+    [stale_after_s] — so a crashed peer delays the simulation, never
+    blocks it.  Claims are never required for correctness; they only
+    dedup effort. *)
+
+type claim
+(** A held advisory lock on one hash. *)
+
+val try_claim :
+  ?stale_after_s:float -> t -> hash:string -> [ `Claimed of claim | `Busy ]
+(** Attempt to claim [hash].  [`Busy] means a live peer holds it (its
+    lock file is younger than [stale_after_s], default 120 s); a stale
+    lock is taken over.  Claims from the same process are not
+    re-entrant: a second [try_claim] on a held hash is [`Busy]. *)
+
+val release_claim : claim -> unit
+(** Unlinks the lock file.  Idempotent; call after the record has been
+    {!insert}ed so waiting peers find it. *)
+
+val claim_path : t -> hash:string -> string
+(** Where the lock for [hash] lives — exposed so tests can backdate a
+    lock's mtime to exercise the stale-takeover path. *)
+
 val record_path : t -> hash:string -> string
 (** Where the record for [hash] lives — exposed so tests can corrupt,
     truncate and re-version records deliberately. *)

@@ -23,6 +23,7 @@ let required =
     "Extension: n pairwise-overlapping paths";
     "Extension: two MPTCP connections";
     "Hybrid: fluid background classes vs all-packet equivalent";
+    "Daemon: cold-process vs warm-daemon submission latency";
     "allocation profile: paper sim (CUBIC)";
     "words per packet";
     "Bechamel micro-benchmarks";
@@ -57,7 +58,8 @@ let () =
       && contains j "\"jobs\": 2" && contains j "\"profile\""
       && contains j "\"alloc\"" && contains j "\"words_per_packet\""
       && contains j "\"pool_recycled\"" && contains j "\"hybrid\""
-      && contains j "\"speedup\""
+      && contains j "\"speedup\"" && contains j "\"daemon\""
+      && contains j "\"warm_p99_ms\""
     in
     if not json_ok then Printf.eprintf "malformed %s:\n%s\n" json j;
     if missing <> [] || not json_ok then exit 1;

@@ -1,0 +1,101 @@
+(* Golden test for the resident daemon at the CLI level.
+
+   Starts `mptcp_sim serve --listen` as a real subprocess, submits the
+   same preset batch from two separate client processes, and pins both
+   replies byte-for-byte: the first must simulate, the second must be
+   all hits with `0 simulation events` — the warm-pool acceptance check
+   — then `submit --drain` must exit 0, the daemon must exit 0, and the
+   socket file must be gone.
+
+   Usage: check_daemon MPTCP_SIM BATCH EXPECTED1 EXPECTED2 *)
+
+let sock = "daemon.sock"
+let store = "daemon_store"
+
+let die fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("check_daemon: " ^ s);
+      exit 1)
+    fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Run [exe args], stdout to [out_path], and return the exit code. *)
+let run_capture exe args out_path =
+  let out =
+    Unix.openfile out_path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  let pid =
+    Unix.create_process exe
+      (Array.of_list (exe :: args))
+      Unix.stdin out Unix.stderr
+  in
+  Unix.close out;
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED n -> n
+  | _, (Unix.WSIGNALED n | Unix.WSTOPPED n) -> 128 + n
+
+let () =
+  let exe, batch, expected1, expected2 =
+    match Sys.argv with
+    | [| _; exe; batch; e1; e2 |] -> (exe, batch, e1, e2)
+    | _ -> die "usage: check_daemon MPTCP_SIM BATCH EXPECTED1 EXPECTED2"
+  in
+  if Sys.file_exists sock then Sys.remove sock;
+  let daemon =
+    Unix.create_process exe
+      [| exe; "serve"; "--listen"; sock; "--store"; store; "--jobs"; "1" |]
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  let daemon_done = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      (* never leave an orphaned daemon behind a failing check *)
+      if not !daemon_done then begin
+        (try Unix.kill daemon Sys.sigterm with Unix.Unix_error _ -> ());
+        ignore (Unix.waitpid [] daemon)
+      end)
+    (fun () ->
+      let deadline = Unix.gettimeofday () +. 10. in
+      let rec wait_sock () =
+        if Sys.file_exists sock then ()
+        else if Unix.gettimeofday () > deadline then
+          die "the daemon's socket never appeared"
+        else begin
+          ignore (Unix.select [] [] [] 0.05);
+          wait_sock ()
+        end
+      in
+      wait_sock ();
+      let check what expected actual =
+        let e = read_file expected and a = read_file actual in
+        if e <> a then
+          die "%s drifted\n--- expected (%s):\n%s--- got (%s):\n%s" what
+            expected e actual a
+      in
+      (* client 1: a cold store, so everything simulates *)
+      let rc = run_capture exe [ "submit"; "--socket"; sock; batch ] "daemon1.out" in
+      if rc <> 0 then die "first submit exited %d" rc;
+      check "first submission" expected1 "daemon1.out";
+      (* client 2: the same batch from a second process must be served
+         warm — all hits, zero simulation events, no respawned domains *)
+      let rc = run_capture exe [ "submit"; "--socket"; sock; batch ] "daemon2.out" in
+      if rc <> 0 then die "second submit exited %d" rc;
+      check "second submission" expected2 "daemon2.out";
+      (* drain: exits 0, the daemon exits 0, the socket is unlinked *)
+      let rc =
+        run_capture exe [ "submit"; "--socket"; sock; "--drain" ] "daemon_drain.out"
+      in
+      if rc <> 0 then die "submit --drain exited %d" rc;
+      (match Unix.waitpid [] daemon with
+      | _, Unix.WEXITED 0 -> daemon_done := true
+      | _, Unix.WEXITED n -> die "the daemon exited %d after the drain" n
+      | _, (Unix.WSIGNALED n | Unix.WSTOPPED n) ->
+        die "the daemon died on signal %d" n);
+      if Sys.file_exists sock then die "the socket survived the drain";
+      print_endline "daemon golden ok")

@@ -19,8 +19,14 @@
    RNG keeps the sweep reproducible; QCheck shrinks any failure to a
    minimal case.
 
+   The daemon sweep feeds protocol garbage (unframed bytes, oversized
+   and truncated frames, bit flips, unknown forms, wrong versions) to a
+   live resident daemon and requires typed error replies, continued
+   service and a clean drain.
+
    Case counts multiply by FUZZ_SCALE when set: `dune build @fuzz-long`
-   runs the whole sweep at 10x depth. *)
+   runs the whole sweep at 10x depth.  FUZZ_ONLY=<name> restricts the
+   run to one named sweep (the @daemon alias uses FUZZ_ONLY=daemon). *)
 
 let scale =
   match Sys.getenv_opt "FUZZ_SCALE" with
@@ -32,18 +38,33 @@ let scale =
 
 let n count = count * scale
 
+let sweeps =
+  [
+    ("audit", Fuzz.test ~count:(n 120) ());
+    ("pool", Fuzz.pool_test ~count:(n 60) ());
+    ("fluid", Fuzz.fluid_test ~count:(n 100) ());
+    ("events", Fuzz.events_test ~count:(n 200) ());
+    ("hybrid", Fuzz.hybrid_test ~count:(n 40) ());
+    ("wheel", Fuzz.wheel_test ~count:(n 400) ());
+    ("scoreboard", Fuzz.scoreboard_test ~count:(n 400) ());
+    ("determinism", Fuzz.determinism_test ~count:(n 20) ());
+    ("events-determinism", Fuzz.events_determinism_test ~count:(n 12) ());
+    ("daemon", Fuzz.daemon_test ~count:(n 12) ());
+  ]
+
 let () =
+  let selected =
+    match Sys.getenv_opt "FUZZ_ONLY" with
+    | None | Some "" -> List.map snd sweeps
+    | Some key -> (
+      match List.assoc_opt key sweeps with
+      | Some t -> [ t ]
+      | None ->
+        Printf.eprintf "FUZZ_ONLY=%s matches no sweep (have: %s)\n" key
+          (String.concat ", " (List.map fst sweeps));
+        exit 2)
+  in
   exit
     (QCheck_base_runner.run_tests ~colors:false ~verbose:true
        ~rand:(Random.State.make [| 0x5eed |])
-       [
-         Fuzz.test ~count:(n 120) ();
-         Fuzz.pool_test ~count:(n 60) ();
-         Fuzz.fluid_test ~count:(n 100) ();
-         Fuzz.events_test ~count:(n 200) ();
-         Fuzz.hybrid_test ~count:(n 40) ();
-         Fuzz.wheel_test ~count:(n 400) ();
-         Fuzz.scoreboard_test ~count:(n 400) ();
-         Fuzz.determinism_test ~count:(n 20) ();
-         Fuzz.events_determinism_test ~count:(n 12) ();
-       ])
+       selected)

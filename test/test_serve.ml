@@ -394,6 +394,88 @@ let jobs_do_not_change_results () =
         (Serve.Store.same_results ra rb))
     serial pooled
 
+(* --- advisory in-flight claims (cross-process single-flight) --- *)
+
+(* Two Store.t handles on one directory stand in for two processes:
+   the claim lives in the filesystem, not in the handle. *)
+
+let claim_exclusive () =
+  let store = fresh_store () in
+  let store2 = Serve.Store.open_store ~dir:(Serve.Store.dir store) in
+  let hash = String.make 32 'a' in
+  match Serve.Store.try_claim store ~hash with
+  | `Busy -> Alcotest.fail "fresh hash was already busy"
+  | `Claimed c ->
+    (match Serve.Store.try_claim store2 ~hash with
+    | `Busy -> ()
+    | `Claimed _ -> Alcotest.fail "second handle claimed a held hash");
+    Serve.Store.release_claim c;
+    (* release is idempotent and frees the hash for the peer *)
+    Serve.Store.release_claim c;
+    (match Serve.Store.try_claim store2 ~hash with
+    | `Claimed c2 -> Serve.Store.release_claim c2
+    | `Busy -> Alcotest.fail "released claim still reads as busy")
+
+let claim_stale_takeover () =
+  let store = fresh_store () in
+  let store2 = Serve.Store.open_store ~dir:(Serve.Store.dir store) in
+  let hash = String.make 32 'b' in
+  (match Serve.Store.try_claim store ~hash with
+  | `Busy -> Alcotest.fail "fresh hash was already busy"
+  | `Claimed _held_by_crashed_peer -> ());
+  (* backdate the lock: its holder 'crashed' ten minutes ago *)
+  let path = Serve.Store.claim_path store ~hash in
+  let old = Unix.gettimeofday () -. 600. in
+  Unix.utimes path old old;
+  match Serve.Store.try_claim ~stale_after_s:120. store2 ~hash with
+  | `Claimed c2 -> Serve.Store.release_claim c2
+  | `Busy -> Alcotest.fail "stale lock was not taken over"
+
+let claim_adoption () =
+  let store = fresh_store () in
+  let store2 = Serve.Store.open_store ~dir:(Serve.Store.dir store) in
+  let e = tiny ~label:"claimed" () in
+  let hash = Serve.Service.hash_entry e in
+  match Serve.Store.try_claim store ~hash with
+  | `Busy -> Alcotest.fail "fresh hash was already busy"
+  | `Claimed c ->
+    (* handle 1 'is simulating' (holds the claim); its record lands *)
+    let r, kind =
+      Serve.Service.simulate_entry ~claim:false ~store e ~hash
+    in
+    Alcotest.(check bool)
+      "the no-claim path always simulates" true
+      (kind = Serve.Service.Simulated);
+    (* handle 2 finds the claim held and the record present: it must
+       adopt the peer's result, not re-simulate *)
+    let r2, kind2 = Serve.Service.simulate_entry ~store:store2 e ~hash in
+    Alcotest.(check bool)
+      "second handle adopted the in-flight result" true
+      (kind2 = Serve.Service.Adopted);
+    Alcotest.(check bool)
+      "adopted record equals the simulated one" true
+      (Serve.Store.same_results r r2);
+    Serve.Store.release_claim c
+
+let claim_invisible_to_iteration () =
+  let store = fresh_store () in
+  let hash = String.make 32 'c' in
+  match Serve.Store.try_claim store ~hash with
+  | `Busy -> Alcotest.fail "fresh hash was already busy"
+  | `Claimed c ->
+    (* lock files are not records: counting, byte accounting, gc and
+       invalidate must all skip them *)
+    Alcotest.(check int) "count skips locks" 0 (Serve.Store.count store);
+    Alcotest.(check int) "bytes skips locks" 0 (Serve.Store.bytes store);
+    let g = Serve.Store.gc store ~max_bytes:0 in
+    Alcotest.(check int) "gc examines no locks" 0 g.Serve.Store.examined;
+    Alcotest.(check int) "invalidate removes no locks" 0
+      (Serve.Store.invalidate store);
+    Alcotest.(check bool)
+      "the lock survives a full sweep" true
+      (Sys.file_exists (Serve.Store.claim_path store ~hash));
+    Serve.Store.release_claim c
+
 let () =
   Alcotest.run "serve"
     [
@@ -418,6 +500,15 @@ let () =
         ] );
       ( "trend",
         [ Alcotest.test_case "append, load, report" `Quick trend_roundtrip ] );
+      ( "claims",
+        [
+          Alcotest.test_case "mutual exclusion across handles" `Quick
+            claim_exclusive;
+          Alcotest.test_case "stale lock takeover" `Quick claim_stale_takeover;
+          Alcotest.test_case "in-flight adoption" `Slow claim_adoption;
+          Alcotest.test_case "locks invisible to record iteration" `Quick
+            claim_invisible_to_iteration;
+        ] );
       ( "service",
         [
           Alcotest.test_case "second submission is free" `Slow

@@ -94,6 +94,9 @@ type t = {
   listen : Unix.file_descr;
   m : Mutex.t;
   cond : Condition.t;
+  drain_requested : bool Atomic.t;
+      (** set from signal handlers; the accept loop promotes it to a
+          real drain outside signal context *)
   mutable is_draining : bool;
   mutable busy_entries : int;  (** entries admitted and not yet replied *)
   mutable active_conns : int;
@@ -142,6 +145,13 @@ let initiate_drain t =
   Condition.broadcast t.cond;
   Mutex.unlock t.m;
   if first then log t "draining: no new work; letting in-flight runs land"
+
+(* Async-signal-safe drain request: signal handlers run at poll points
+   on whatever thread happens to be executing, so they must not touch
+   [t.m] (the thread may already hold it — instant self-deadlock).
+   They only flip this atomic; the accept loop, which polls at 4 Hz,
+   promotes it to [initiate_drain] from ordinary thread context. *)
+let request_drain t = Atomic.set t.drain_requested true
 
 (* One submission's entry, after the store lookup and flight entry.
    Leaders carry the pool ticket for their own simulation; followers
@@ -420,11 +430,13 @@ let watch_loop t dir =
                   name b.Protocol.entries b.Protocol.hits b.Protocol.fresh
                   b.Protocol.shared;
                 shelve path ".done"
-              | Protocol.Error (Protocol.Busy, _) ->
-                (* backpressure: leave the file in place and retry on a
-                   later poll *)
+              | Protocol.Error ((Protocol.Busy | Protocol.Draining), _) ->
+                (* transient rejects — backpressure, or a drain racing
+                   the poll: leave the file in place so a later poll or
+                   the next daemon instance retries it, instead of
+                   shelving a perfectly good batch as [.err] *)
                 Hashtbl.remove processed name;
-                log t "watch: %s: queue full, will retry" name
+                log t "watch: %s: rejected transiently, will retry" name
               | Protocol.Error (_, msg) ->
                 log t "watch: %s: rejected: %s" name msg;
                 shelve path ".err"
@@ -526,6 +538,7 @@ let start conf =
       listen;
       m = Mutex.create ();
       cond = Condition.create ();
+      drain_requested = Atomic.make false;
       is_draining = false;
       busy_entries = 0;
       active_conns = 0;
@@ -565,6 +578,7 @@ let serve t =
     (Engine.Pool.size t.pool)
     (Serve.Store.count t.store);
   let rec accept_loop () =
+    if Atomic.get t.drain_requested then initiate_drain t;
     if draining t then ()
     else begin
       (match Unix.select [ t.listen ] [] [] 0.25 with
@@ -574,8 +588,21 @@ let serve t =
         match Unix.accept t.listen with
         | exception
             Unix.Unix_error
-              ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+              (( Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR
+               | Unix.ECONNABORTED ),
+                _, _ ) ->
+          (* spurious wakeup, or the peer gave up before we got there *)
           ()
+        | exception Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE) as e, _, _)
+          ->
+          (* fd exhaustion (a burst of per-connection threads): shed
+             this client and back off until handlers release fds *)
+          log t "accept: %s; backing off" (Unix.error_message e);
+          Thread.delay 0.2
+        | exception Unix.Unix_error (e, _, _) ->
+          (* anything else transient must not take the daemon down
+             mid-drain with the socket still linked *)
+          log t "accept: %s" (Unix.error_message e)
         | fd, _ ->
           Unix.clear_nonblock fd;
           Mutex.lock t.m;
@@ -600,7 +627,7 @@ let serve t =
 
 let run conf =
   let t = start conf in
-  let drain_signal _ = initiate_drain t in
+  let drain_signal _ = request_drain t in
   let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle drain_signal) in
   let old_int = Sys.signal Sys.sigint (Sys.Signal_handle drain_signal) in
   Fun.protect

@@ -111,13 +111,21 @@ val serve : t -> unit
     shut down. *)
 
 val run : conf -> unit
-(** {!start} + SIGTERM/SIGINT → {!initiate_drain} wiring + {!serve}:
+(** {!start} + SIGTERM/SIGINT → {!request_drain} wiring + {!serve}:
     the whole [serve --listen] server mode. *)
 
 val initiate_drain : t -> unit
-(** Flip to draining (idempotent, async-signal-usable): new
-    submissions get typed [Draining] errors, the accept loop winds
-    down, {!serve} completes once in-flight work lands. *)
+(** Flip to draining (idempotent): new submissions get typed
+    [Draining] errors, the accept loop winds down, {!serve} completes
+    once in-flight work lands.  Takes the daemon mutex — never call it
+    from a signal handler; that is what {!request_drain} is for. *)
+
+val request_drain : t -> unit
+(** Async-signal-safe drain request: only flips an atomic flag (OCaml
+    signal handlers run at poll points on whatever thread is current,
+    so a handler that locked the daemon mutex could self-deadlock).
+    The accept loop notices within 0.25 s and runs {!initiate_drain}
+    from ordinary thread context. *)
 
 val draining : t -> bool
 

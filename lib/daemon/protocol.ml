@@ -314,9 +314,10 @@ type frame =
   | Too_large of int
   | Idle_stop
 
-(* Wait until [fd] is readable, polling [idle_stop] at 4 Hz.  [`Ready]
-   never lies: the following [read] may still return 0 (EOF), which the
-   callers treat per-position. *)
+(* Wait until [fd] is readable, polling [idle_stop] at 4 Hz.  A
+   [deadline] of [infinity] waits forever.  [`Ready] never lies: the
+   following [read] may still return 0 (EOF), which the callers treat
+   per-position. *)
 let rec wait_readable ?idle_stop fd ~deadline =
   let now = Unix.gettimeofday () in
   if now >= deadline then `Timeout
@@ -330,17 +331,20 @@ let rec wait_readable ?idle_stop fd ~deadline =
     | exception Unix.Unix_error (Unix.EINTR, _, _) ->
       wait_readable ?idle_stop fd ~deadline
 
-(* [read_exactly] returns how many bytes it managed before EOF.
-   [idle_stop] only applies while nothing has been read at [off0 = 0]
-   of the length prefix — i.e. between frames. *)
-let read_bytes ?idle_stop fd buf ~len ~mid_frame_timeout_s =
+(* Returns how many bytes it managed before EOF or a stall.
+   [first_timeout_s] bounds the wait for byte 0 ([infinity] waits
+   indefinitely, polling [idle_stop]); every later byte is bounded by
+   [mid_frame_timeout_s] — a peer that stalls inside a frame is broken,
+   one that is merely quiet before it is not. *)
+let read_bytes ?idle_stop ~first_timeout_s fd buf ~len ~mid_frame_timeout_s =
   let rec go off =
     if off >= len then `All
     else
       let idle_stop = if off = 0 then idle_stop else None in
+      let timeout_s = if off = 0 then first_timeout_s else mid_frame_timeout_s in
       match
         wait_readable ?idle_stop fd
-          ~deadline:(Unix.gettimeofday () +. mid_frame_timeout_s)
+          ~deadline:(Unix.gettimeofday () +. timeout_s)
       with
       | `Stop -> `Stopped
       | `Timeout -> `Partial off
@@ -356,7 +360,14 @@ let mid_frame_timeout_s = 10.
 
 let read_frame ?idle_stop fd =
   let hdr = Bytes.create 4 in
-  match read_bytes ?idle_stop fd hdr ~len:4 ~mid_frame_timeout_s with
+  (* No deadline before a frame starts: an idle-but-healthy peer — a
+     client between requests, or a server still computing a long reply —
+     is not an error.  [idle_stop] is the only way to give up here, so
+     `Partial 0` can only mean a genuine EOF. *)
+  match
+    read_bytes ?idle_stop ~first_timeout_s:infinity fd hdr ~len:4
+      ~mid_frame_timeout_s
+  with
   | `Stopped -> Idle_stop
   | `Partial 0 -> Eof
   | `Partial _ -> Truncated
@@ -371,7 +382,12 @@ let read_frame ?idle_stop fd =
     else if len = 0 then Frame ""
     else
       let payload = Bytes.create len in
-      (match read_bytes fd payload ~len ~mid_frame_timeout_s with
+      (* the header already arrived, so the payload is mid-frame from
+         its first byte: the stall deadline applies throughout *)
+      (match
+         read_bytes ~first_timeout_s:mid_frame_timeout_s fd payload ~len
+           ~mid_frame_timeout_s
+       with
       | `All -> Frame (Bytes.unsafe_to_string payload)
       | `Partial _ | `Stopped -> Truncated)
 

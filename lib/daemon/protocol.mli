@@ -147,10 +147,13 @@ type frame =
 
 val read_frame :
   ?idle_stop:(unit -> bool) -> Unix.file_descr -> frame
-(** Blocking frame read.  [idle_stop] is polled (4 Hz) only while
-    waiting for the {e first} byte of a frame — the drain loop uses it
-    to shed idle connections without cutting off a client mid-send.  A
-    stream that stalls for 10 s mid-frame reads as {!Truncated}. *)
+(** Blocking frame read.  The wait for the {e first} byte of a frame is
+    unbounded — an idle connection between requests, or a reply still
+    being computed, is healthy, however long it takes — and is the only
+    place [idle_stop] is polled (4 Hz): the drain loop uses it to shed
+    idle connections without cutting off a client mid-send.  Once a
+    frame has started, a stream that stalls for 10 s mid-frame reads as
+    {!Truncated}. *)
 
 val write_frame : Unix.file_descr -> string -> unit
 (** Complete write of the length prefix and payload (EINTR-safe).

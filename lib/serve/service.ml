@@ -38,6 +38,36 @@ let simulate (e : Batch.entry) ~hash () =
 
 type sim_kind = Simulated | Adopted
 
+(* Refresh cadence for a held claim — well inside [Store.try_claim]'s
+   default 120 s staleness horizon, so a live simulation of any length
+   keeps its lock from ever reading as stale to peers. *)
+let claim_refresh_interval_s = 10.
+
+(* Keep a held claim visibly alive: touch its mtime every
+   [claim_refresh_interval_s] until [finished].  The thread is
+   detached — it exits within one 0.1 s tick of [finished], and a last
+   touch racing the release (or a takeover) is a caught ENOENT inside
+   [Store.refresh_claim], not a hazard — so the simulating caller never
+   waits on a join. *)
+let keep_claim_fresh c ~finished =
+  ignore
+    (Thread.create
+       (fun () ->
+         let tick = 0.1 in
+         let ticks_per_refresh =
+           int_of_float (claim_refresh_interval_s /. tick)
+         in
+         let n = ref 0 in
+         while not (Atomic.get finished) do
+           Thread.delay tick;
+           incr n;
+           if !n >= ticks_per_refresh then begin
+             n := 0;
+             Store.refresh_claim c
+           end
+         done)
+       ())
+
 (* The cross-process single-flight primitive: claim the hash, then
    simulate-and-insert, so a peer process that loses the claim race
    adopts our record instead of re-running the scenario.  The claim is
@@ -54,8 +84,12 @@ let rec simulate_entry ?(claim = true) ~store (e : Batch.entry) ~hash =
   else
     match Store.try_claim store ~hash with
     | `Claimed c ->
+      let finished = Atomic.make false in
+      keep_claim_fresh c ~finished;
       Fun.protect
-        ~finally:(fun () -> Store.release_claim c)
+        ~finally:(fun () ->
+          Atomic.set finished true;
+          Store.release_claim c)
         (fun () ->
           (* Re-check under the claim: a peer may have finished between
              our miss and the claim. *)

@@ -63,9 +63,13 @@ val simulate_entry :
   Store.record * sim_kind
 (** Simulate one miss under the store's advisory claim
     ({!Store.try_claim}) and insert the record: the cross-process half
-    of single-flight dedup.  If a live peer already claimed [hash],
-    polls for its record instead of re-simulating (a stale claim —
-    crashed peer — is taken over).  [~claim:false] always simulates
-    and never waits, the [--no-cache] contract.  Both {!run_batch}
-    misses and the daemon's in-flight singles go through here, so two
-    processes sharing a store run each scenario once between them. *)
+    of single-flight dedup.  While the claim is held, a helper thread
+    refreshes its mtime ({!Store.refresh_claim}) every 10 s, so a live
+    simulation longer than the staleness horizon is never mistaken for
+    a crashed holder and re-run by a peer.  If a live peer already
+    claimed [hash], polls for its record instead of re-simulating (a
+    stale claim — crashed peer — is taken over).  [~claim:false] always
+    simulates and never waits, the [--no-cache] contract.  Both
+    {!run_batch} misses and the daemon's in-flight singles go through
+    here, so two processes sharing a store run each scenario once
+    between them. *)

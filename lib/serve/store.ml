@@ -443,6 +443,12 @@ let release_claim c =
     try Sys.remove c.lock_path with Sys_error _ -> ()
   end
 
+(* utimes with both times 0.0 sets atime and mtime to now.  Racing a
+   release (lock already unlinked) is a caught ENOENT, not a hazard. *)
+let refresh_claim c =
+  if c.held then
+    try Unix.utimes c.lock_path 0. 0. with Unix.Unix_error _ -> ()
+
 (* O_CREAT|O_EXCL is the atomic test-and-set; the file body (pid +
    creation time) is for humans debugging a stuck store, the mtime is
    what staleness reads. *)

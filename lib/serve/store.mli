@@ -127,12 +127,14 @@ val evicted_total : t -> int
     peer that finds the lock held waits for the record to land instead
     of re-running the scenario ({!Serve.Service.simulate_entry}).
 
-    The claim is advisory and crash-safe: a holder that dies leaves a
-    lock whose mtime stops advancing, and {!try_claim} takes such a
-    stale lock over (unlink + re-create) once it is older than
-    [stale_after_s] — so a crashed peer delays the simulation, never
-    blocks it.  Claims are never required for correctness; they only
-    dedup effort. *)
+    The claim is advisory and crash-safe: a live holder keeps the
+    lock's mtime advancing with {!refresh_claim} (the service does this
+    from a helper thread while simulating), a holder that dies stops,
+    and {!try_claim} takes a lock whose mtime has fallen more than
+    [stale_after_s] behind over (unlink + re-create) — so a crashed
+    peer delays the simulation, never blocks it, while a live long run
+    keeps its claim however long it takes.  Claims are never required
+    for correctness; they only dedup effort. *)
 
 type claim
 (** A held advisory lock on one hash. *)
@@ -147,6 +149,12 @@ val try_claim :
 val release_claim : claim -> unit
 (** Unlinks the lock file.  Idempotent; call after the record has been
     {!insert}ed so waiting peers find it. *)
+
+val refresh_claim : claim -> unit
+(** Touch the lock's mtime so a long-running live holder is never
+    mistaken for a crashed one and taken over mid-simulation.  No-op
+    after {!release_claim}; a refresh racing a concurrent takeover is
+    harmless (the lock is advisory). *)
 
 val claim_path : t -> hash:string -> string
 (** Where the lock for [hash] lives — exposed so tests can backdate a

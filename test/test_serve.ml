@@ -431,6 +431,29 @@ let claim_stale_takeover () =
   | `Claimed c2 -> Serve.Store.release_claim c2
   | `Busy -> Alcotest.fail "stale lock was not taken over"
 
+let claim_refresh () =
+  let store = fresh_store () in
+  let store2 = Serve.Store.open_store ~dir:(Serve.Store.dir store) in
+  let hash = String.make 32 'e' in
+  match Serve.Store.try_claim store ~hash with
+  | `Busy -> Alcotest.fail "fresh hash was already busy"
+  | `Claimed c ->
+    (* the lock looks long-abandoned... *)
+    let path = Serve.Store.claim_path store ~hash in
+    let old = Unix.gettimeofday () -. 600. in
+    Unix.utimes path old old;
+    (* ...until the live holder refreshes it: no takeover *)
+    Serve.Store.refresh_claim c;
+    (match Serve.Store.try_claim ~stale_after_s:120. store2 ~hash with
+    | `Busy -> ()
+    | `Claimed _ -> Alcotest.fail "refreshed claim was stolen");
+    Serve.Store.release_claim c;
+    (* refresh after release is a no-op, not a lock resurrection *)
+    Serve.Store.refresh_claim c;
+    Alcotest.(check bool)
+      "released lock stays gone through a late refresh" false
+      (Sys.file_exists path)
+
 let claim_adoption () =
   let store = fresh_store () in
   let store2 = Serve.Store.open_store ~dir:(Serve.Store.dir store) in
@@ -505,6 +528,8 @@ let () =
           Alcotest.test_case "mutual exclusion across handles" `Quick
             claim_exclusive;
           Alcotest.test_case "stale lock takeover" `Quick claim_stale_takeover;
+          Alcotest.test_case "live holder refresh defeats takeover" `Quick
+            claim_refresh;
           Alcotest.test_case "in-flight adoption" `Slow claim_adoption;
           Alcotest.test_case "locks invisible to record iteration" `Quick
             claim_invisible_to_iteration;
